@@ -1,0 +1,54 @@
+# Resilient IoT reproduction — common developer targets.
+
+GO ?= go
+
+.PHONY: all build test race cover bench fuzz experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One iteration of every table/figure benchmark with metrics.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Package-level micro-benchmarks.
+microbench:
+	$(GO) test -bench=. -benchtime=100x ./internal/...
+
+# Short fuzz pass over the parsers and the topic matcher.
+fuzz:
+	$(GO) test -fuzz FuzzParseCTL -fuzztime 10s ./internal/verify/
+	$(GO) test -fuzz FuzzParseLTL -fuzztime 10s ./internal/verify/
+	$(GO) test -fuzz FuzzTopicMatches -fuzztime 10s ./internal/pubsub/
+
+# All experiments at paper-scale parameters (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/riotbench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/deviceless
+	$(GO) run ./examples/healthcare
+	$(GO) run ./examples/energygrid
+	$(GO) run ./examples/udpgossip
+	$(GO) run ./examples/smartcity
+
+# Record the outputs checked into the repository root.
+record:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem -benchtime=1x . 2>&1 | tee bench_output.txt
+
+clean:
+	$(GO) clean -testcache

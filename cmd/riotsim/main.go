@@ -1,0 +1,88 @@
+// Command riotsim runs the smart-city scenario at one architecture
+// maturity level and prints its resilience report.
+//
+// Usage:
+//
+//	riotsim -arch ML4 -zones 4 -duration 20m -seed 1 -preset standard
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "riotsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("riotsim", flag.ContinueOnError)
+	archName := fs.String("arch", "ML4", "architecture maturity level: ML1, ML2, ML3 or ML4")
+	zones := fs.Int("zones", 4, "number of zones")
+	duration := fs.Duration("duration", 20*time.Minute, "virtual run duration")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	preset := fs.String("preset", "standard", "fault preset: standard, none or heavy")
+	matrix := fs.Bool("matrix", false, "run all four archetypes (Tables 1/2)")
+	events := fs.Bool("events", false, "print the run journal (faults, placements, violations, alerts)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := core.DefaultScenario()
+	cfg.Zones = *zones
+	cfg.Duration = *duration
+	cfg.Seed = *seed
+	switch strings.ToLower(*preset) {
+	case "standard":
+		cfg.Preset = core.FaultsStandard
+	case "none":
+		cfg.Preset = core.FaultsNone
+	case "heavy":
+		cfg.Preset = core.FaultsHeavy
+	default:
+		return fmt.Errorf("unknown preset %q", *preset)
+	}
+
+	if *matrix {
+		reports := core.RunMatrix(cfg)
+		fmt.Fprint(out, core.FormatReports(reports))
+		return nil
+	}
+
+	arch, err := parseArchetype(*archName)
+	if err != nil {
+		return err
+	}
+	sys := core.NewSystem(cfg, arch)
+	report := sys.Run()
+	fmt.Fprint(out, report.String())
+	if *events {
+		fmt.Fprintf(out, "\nrun journal (%d events):\n", len(sys.Journal()))
+		fmt.Fprint(out, core.FormatJournal(sys.Journal()))
+	}
+	return nil
+}
+
+func parseArchetype(name string) (core.Archetype, error) {
+	switch strings.ToUpper(name) {
+	case "ML1":
+		return core.ML1, nil
+	case "ML2":
+		return core.ML2, nil
+	case "ML3":
+		return core.ML3, nil
+	case "ML4":
+		return core.ML4, nil
+	default:
+		return 0, fmt.Errorf("unknown archetype %q (want ML1..ML4)", name)
+	}
+}

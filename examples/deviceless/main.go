@@ -1,0 +1,94 @@
+// Deviceless: the paper's "business logic fully managed and abstracted
+// from the infrastructure capabilities" (Table 2). Analytics functions
+// are declared by capability and resource demand only; the
+// orchestrator picks hosts across a heterogeneous pool, places a
+// replicated service with anti-affinity, and heals placements as hosts
+// fail and recover — no function ever names a device.
+//
+//	go run ./examples/deviceless
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/orchestrate"
+	"repro/internal/space"
+)
+
+func main() {
+	// A heterogeneous host pool: two gateways, two cloudlets, one
+	// beefy cloud VM.
+	world := space.NewMap()
+	world.AddDomain(space.Domain{ID: "site", Trusted: true})
+	if err := world.AddZone(space.Zone{ID: "hall-1", Max: space.Point{X: 50, Y: 50}, DomainID: "site"}); err != nil {
+		panic(err)
+	}
+	world.Place("gw-a", space.Point{X: 10, Y: 10}, "site")
+	world.Place("gw-b", space.Point{X: 40, Y: 40}, "site")
+	world.Place("cl-0", space.Point{X: 200, Y: 10}, "site")
+	world.Place("cl-1", space.Point{X: 200, Y: 40}, "site")
+	world.Place("cloud", space.Point{X: 900, Y: 900}, "site")
+
+	down := map[device.ID]bool{}
+	orch := orchestrate.New(world, func(id device.ID) bool { return !down[id] })
+	for _, h := range []struct {
+		id    device.ID
+		class device.Class
+	}{
+		{"gw-a", device.ClassGateway},
+		{"gw-b", device.ClassGateway},
+		{"cl-0", device.ClassCloudlet},
+		{"cl-1", device.ClassCloudlet},
+		{"cloud", device.ClassCloudVM},
+	} {
+		orch.RegisterHost(device.New(h.id, device.Config{Class: h.class}))
+	}
+
+	// 1) A latency-sensitive function pinned to the hall's zone.
+	hallFn := orchestrate.Function{
+		Name: "hall-anomaly-detector", Requires: []device.Capability{device.CapCompute},
+		CPUMIPS: 500, MemMB: 256, Zone: "hall-1", PreferEdge: true,
+	}
+	host, err := orch.Deploy(hallFn)
+	must(err)
+	fmt.Printf("hall-anomaly-detector  → %-6s (zone-constrained to hall-1)\n", host)
+
+	// 2) A replicated stream aggregator: three replicas, three
+	//    distinct hosts (anti-affinity).
+	aggFn := orchestrate.Function{
+		Name: "stream-aggregator", Requires: []device.Capability{device.CapCompute},
+		CPUMIPS: 2000, MemMB: 512, PreferEdge: true,
+	}
+	hosts, err := orch.DeployReplicated(aggFn, 3)
+	must(err)
+	fmt.Printf("stream-aggregator ×3   → %v (anti-affinity)\n", hosts)
+
+	// 3) Kill a host; the orchestrator heals every affected placement.
+	victim := hosts[0]
+	down[victim] = true
+	fmt.Printf("\n%s fails —\n", victim)
+	healed := orch.Heal()
+	fmt.Printf("self-healing migrated %d placements:\n", healed)
+	for _, p := range orch.Placements() {
+		status := "ok"
+		if !orch.Operational(p.Function.Name) {
+			status = "DOWN"
+		}
+		fmt.Printf("  %-24s on %-6s %s\n", p.Function.Name, p.Host, status)
+	}
+
+	// 4) The host returns; a rebalance is one Deploy away.
+	down[victim] = false
+	fmt.Printf("\n%s recovers — placements stay where they are until the\n", victim)
+	fmt.Println("next deploy/heal decision (no churn for churn's sake).")
+	st := orch.Stats()
+	fmt.Printf("\ntotals: %d deployments, %d migrations, %d failed placements\n",
+		st.Deployments, st.Migrations, st.FailedDeploys+st.FailedMigrations)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,76 @@
+package consensus
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// BenchmarkCommitThroughput measures commands committed per simulated
+// group through a 5-node Raft cluster.
+func BenchmarkCommitThroughput(b *testing.B) {
+	sim := simnet.New(simnet.WithSeed(1), simnet.WithDefaultLatency(2*time.Millisecond))
+	ids := []simnet.NodeID{"r0", "r1", "r2", "r3", "r4"}
+	applied := 0
+	nodes := make([]*Node, len(ids))
+	for i, id := range ids {
+		nodes[i] = New(sim.AddNode(id), ids, Config{}, func(uint64, Command) { applied++ })
+		nodes[i].Start()
+	}
+	// Elect a leader.
+	var leader *Node
+	for sim.Now() < 3*time.Second && leader == nil {
+		sim.RunUntil(sim.Now() + 100*time.Millisecond)
+		for _, n := range nodes {
+			if n.Role() == Leader {
+				leader = n
+				break
+			}
+		}
+	}
+	if leader == nil {
+		b.Fatal("no leader")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := leader.Propose(i); !ok {
+			b.Fatal("propose refused")
+		}
+		// Let replication settle every batch of 64.
+		if i%64 == 63 {
+			sim.RunUntil(sim.Now() + 200*time.Millisecond)
+		}
+	}
+	sim.RunUntil(sim.Now() + time.Second)
+	b.StopTimer()
+	if leader.CommitIndex() != uint64(b.N) {
+		b.Fatalf("committed %d of %d", leader.CommitIndex(), b.N)
+	}
+}
+
+// BenchmarkElection measures a full leader election from cold start.
+func BenchmarkElection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := simnet.New(simnet.WithSeed(int64(i+1)), simnet.WithDefaultLatency(2*time.Millisecond))
+		ids := []simnet.NodeID{"r0", "r1", "r2"}
+		nodes := make([]*Node, len(ids))
+		for j, id := range ids {
+			nodes[j] = New(sim.AddNode(id), ids, Config{}, nil)
+			nodes[j].Start()
+		}
+		elected := false
+		for sim.Now() < 5*time.Second && !elected {
+			sim.RunUntil(sim.Now() + 50*time.Millisecond)
+			for _, n := range nodes {
+				if n.Role() == Leader {
+					elected = true
+					break
+				}
+			}
+		}
+		if !elected {
+			b.Fatalf("no leader elected (iter %d)", i)
+		}
+	}
+}

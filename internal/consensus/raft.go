@@ -1,0 +1,614 @@
+// Package consensus implements Raft (leader election, log replication,
+// commitment) as the coordination kernel for groups of edge nodes. The
+// paper argues that resilient IoT requires control and coordination
+// facilities at the software-component level, without a central point of
+// failure (§V): an edge group running consensus keeps making control
+// decisions while any minority of its members — or the cloud uplink —
+// is unavailable, which is exactly the property the Figure 3 benchmark
+// measures.
+//
+// Persistence model: each Node keeps its Raft persistent state
+// (currentTerm, votedFor, log) across simulated crashes, mirroring a
+// real deployment's stable storage; volatile state (role, leadership,
+// indices) is rebuilt on recovery.
+package consensus
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// Command is an opaque state-machine command carried in the log.
+type Command any
+
+// ApplyFunc consumes committed commands in log order.
+type ApplyFunc func(index uint64, cmd Command)
+
+// Role is a Raft role.
+type Role int
+
+// Raft roles.
+const (
+	Follower Role = iota + 1
+	Candidate
+	Leader
+)
+
+func (r Role) String() string {
+	switch r {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// Config tunes timing. Zero fields take defaults suited to edge LANs.
+type Config struct {
+	// ElectionTimeoutMin/Max bound the randomized election timeout.
+	ElectionTimeoutMin time.Duration
+	ElectionTimeoutMax time.Duration
+	// HeartbeatInterval is the leader's AppendEntries period.
+	HeartbeatInterval time.Duration
+	// MaxEntriesPerMessage caps entries in one AppendEntries.
+	MaxEntriesPerMessage int
+	// DisablePreVote turns off the PreVote phase (Raft §9.6). With
+	// PreVote (the default), a node that timed out — e.g. isolated by
+	// a partition — first asks peers whether they *would* vote for it
+	// without touching any terms; while peers still hear a healthy
+	// leader they refuse, so the node's term never inflates and its
+	// return does not depose the leader.
+	DisablePreVote bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.ElectionTimeoutMin == 0 {
+		c.ElectionTimeoutMin = 150 * time.Millisecond
+	}
+	if c.ElectionTimeoutMax == 0 {
+		c.ElectionTimeoutMax = 300 * time.Millisecond
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if c.MaxEntriesPerMessage == 0 {
+		c.MaxEntriesPerMessage = 64
+	}
+	return c
+}
+
+// entry is one log slot.
+type entry struct {
+	Term uint64
+	Cmd  Command
+}
+
+// Wire messages.
+
+type requestVoteMsg struct {
+	Term         uint64
+	Candidate    simnet.NodeID
+	LastLogIndex uint64
+	LastLogTerm  uint64
+}
+
+type requestVoteResp struct {
+	Term    uint64
+	Granted bool
+}
+
+// preVoteMsg probes electability without changing persistent state on
+// either side.
+type preVoteMsg struct {
+	Term         uint64 // the term the candidate would start
+	Candidate    simnet.NodeID
+	LastLogIndex uint64
+	LastLogTerm  uint64
+}
+
+type preVoteResp struct {
+	Term    uint64
+	Granted bool
+}
+
+type appendEntriesMsg struct {
+	Term         uint64
+	Leader       simnet.NodeID
+	PrevLogIndex uint64
+	PrevLogTerm  uint64
+	Entries      []entry
+	LeaderCommit uint64
+}
+
+type appendEntriesResp struct {
+	Term       uint64
+	Success    bool
+	MatchIndex uint64
+}
+
+// RegisterWire registers the protocol's message types with a wire
+// codec (e.g. realnet's gob transport). Applications must additionally
+// register the concrete types of the commands they propose.
+func RegisterWire(register func(any)) {
+	register(requestVoteMsg{})
+	register(requestVoteResp{})
+	register(preVoteMsg{})
+	register(preVoteResp{})
+	register(appendEntriesMsg{})
+	register(appendEntriesResp{})
+	register(entry{})
+}
+
+func (m requestVoteMsg) Size() int    { return 48 }
+func (m requestVoteResp) Size() int   { return 16 }
+func (m preVoteMsg) Size() int        { return 48 }
+func (m preVoteResp) Size() int       { return 16 }
+func (m appendEntriesMsg) Size() int  { return 56 + 64*len(m.Entries) }
+func (m appendEntriesResp) Size() int { return 24 }
+
+// Node is one Raft participant. Construct with New.
+type Node struct {
+	ep    simnet.Port
+	peers []simnet.NodeID // all group members including self
+	cfg   Config
+	apply ApplyFunc
+
+	// Persistent state (survives crashes — stable storage).
+	currentTerm uint64
+	votedFor    simnet.NodeID
+	log         []entry // log[0] is a sentinel; real entries start at 1
+
+	// Volatile state.
+	role        Role
+	leaderID    simnet.NodeID
+	commitIndex uint64
+	lastApplied uint64
+	nextIndex   map[simnet.NodeID]uint64
+	matchIndex  map[simnet.NodeID]uint64
+	votes       map[simnet.NodeID]bool
+	preVotes    map[simnet.NodeID]bool
+	// lastLeaderContact is when a valid AppendEntries last arrived;
+	// pre-votes are refused while a leader is recent.
+	lastLeaderContact time.Duration
+
+	electionTimer *simnet.Timer
+	heartbeat     *simnet.Ticker
+	started       bool
+
+	onLeaderChange []func(leader simnet.NodeID)
+}
+
+// New constructs a Raft node over ep, coordinating with peers (which
+// must include the node's own ID). apply receives committed commands;
+// it may be nil.
+func New(ep simnet.Port, peers []simnet.NodeID, cfg Config, apply ApplyFunc) *Node {
+	ps := make([]simnet.NodeID, len(peers))
+	copy(ps, peers)
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	n := &Node{
+		ep:    ep,
+		peers: ps,
+		cfg:   cfg.withDefaults(),
+		apply: apply,
+		log:   make([]entry, 1), // sentinel
+		role:  Follower,
+	}
+	ep.OnMessage(n.handle)
+	ep.OnUp(n.onRecover)
+	ep.OnDown(n.onCrash)
+	return n
+}
+
+// Start arms the node's election timer.
+func (n *Node) Start() {
+	n.started = true
+	n.becomeFollower(n.currentTerm, "")
+}
+
+// Role returns the node's current role.
+func (n *Node) Role() Role { return n.role }
+
+// Term returns the current term.
+func (n *Node) Term() uint64 { return n.currentTerm }
+
+// Leader returns the last known leader's ID ("" if unknown).
+func (n *Node) Leader() simnet.NodeID { return n.leaderID }
+
+// CommitIndex returns the highest committed log index.
+func (n *Node) CommitIndex() uint64 { return n.commitIndex }
+
+// LogLen returns the number of real entries in the log.
+func (n *Node) LogLen() int { return len(n.log) - 1 }
+
+// CommittedCommands returns a copy of the committed command prefix, in
+// log order.
+func (n *Node) CommittedCommands() []Command {
+	out := make([]Command, 0, n.commitIndex)
+	for i := uint64(1); i <= n.commitIndex; i++ {
+		out = append(out, n.log[i].Cmd)
+	}
+	return out
+}
+
+// OnLeaderChange registers a callback invoked when this node observes a
+// leadership change (including itself winning).
+func (n *Node) OnLeaderChange(fn func(leader simnet.NodeID)) {
+	n.onLeaderChange = append(n.onLeaderChange, fn)
+}
+
+// Propose appends a command if this node is the leader. It returns the
+// assigned log index and true, or 0 and false when not leader (callers
+// should redirect to Leader()).
+func (n *Node) Propose(cmd Command) (uint64, bool) {
+	if n.role != Leader || !n.ep.Up() {
+		return 0, false
+	}
+	n.log = append(n.log, entry{Term: n.currentTerm, Cmd: cmd})
+	idx := n.lastLogIndex()
+	n.matchIndex[n.ep.ID()] = idx
+	n.broadcastAppend()
+	// Single-node groups commit immediately.
+	n.advanceCommit()
+	return idx, true
+}
+
+// --- role transitions ---
+
+func (n *Node) onCrash() {
+	// Volatile state is lost. Timers are endpoint-scoped and silent
+	// while down; explicit stop keeps the queue clean.
+	n.stopTimers()
+}
+
+func (n *Node) onRecover() {
+	if !n.started {
+		return
+	}
+	n.commitIndex = 0
+	n.lastApplied = 0
+	n.becomeFollower(n.currentTerm, "")
+}
+
+func (n *Node) stopTimers() {
+	if n.electionTimer != nil {
+		n.electionTimer.Stop()
+		n.electionTimer = nil
+	}
+	if n.heartbeat != nil {
+		n.heartbeat.Stop()
+		n.heartbeat = nil
+	}
+}
+
+func (n *Node) becomeFollower(term uint64, leader simnet.NodeID) {
+	prevLeader := n.leaderID
+	if term > n.currentTerm {
+		n.currentTerm = term
+		n.votedFor = ""
+	}
+	n.role = Follower
+	n.leaderID = leader
+	n.preVotes = nil
+	if n.heartbeat != nil {
+		n.heartbeat.Stop()
+		n.heartbeat = nil
+	}
+	n.resetElectionTimer()
+	if leader != "" && leader != prevLeader {
+		n.notifyLeader(leader)
+	}
+}
+
+func (n *Node) notifyLeader(leader simnet.NodeID) {
+	for _, fn := range n.onLeaderChange {
+		fn(leader)
+	}
+}
+
+func (n *Node) resetElectionTimer() {
+	if n.electionTimer != nil {
+		n.electionTimer.Stop()
+	}
+	span := n.cfg.ElectionTimeoutMax - n.cfg.ElectionTimeoutMin
+	d := n.cfg.ElectionTimeoutMin
+	if span > 0 {
+		d += time.Duration(n.ep.Rand().Int63n(int64(span)))
+	}
+	n.electionTimer = n.ep.After(d, n.onElectionTimeout)
+}
+
+// onElectionTimeout starts an election, preceded by a PreVote round
+// unless disabled.
+func (n *Node) onElectionTimeout() {
+	if n.cfg.DisablePreVote {
+		n.startElection()
+		return
+	}
+	n.preVotes = map[simnet.NodeID]bool{n.ep.ID(): true}
+	n.resetElectionTimer()
+	msg := preVoteMsg{
+		Term:         n.currentTerm + 1,
+		Candidate:    n.ep.ID(),
+		LastLogIndex: n.lastLogIndex(),
+		LastLogTerm:  n.lastLogTerm(),
+	}
+	for _, p := range n.peers {
+		if p != n.ep.ID() {
+			n.ep.Send(p, msg)
+		}
+	}
+	n.maybeStartRealElection()
+}
+
+func (n *Node) maybeStartRealElection() {
+	if n.preVotes == nil || len(n.preVotes) < n.quorum() {
+		return
+	}
+	n.preVotes = nil
+	n.startElection()
+}
+
+func (n *Node) startElection() {
+	n.currentTerm++
+	n.role = Candidate
+	n.votedFor = n.ep.ID()
+	n.leaderID = ""
+	n.preVotes = nil
+	n.votes = map[simnet.NodeID]bool{n.ep.ID(): true}
+	n.resetElectionTimer()
+	msg := requestVoteMsg{
+		Term:         n.currentTerm,
+		Candidate:    n.ep.ID(),
+		LastLogIndex: n.lastLogIndex(),
+		LastLogTerm:  n.lastLogTerm(),
+	}
+	for _, p := range n.peers {
+		if p != n.ep.ID() {
+			n.ep.Send(p, msg)
+		}
+	}
+	n.maybeWin()
+}
+
+func (n *Node) maybeWin() {
+	if n.role != Candidate || len(n.votes) < n.quorum() {
+		return
+	}
+	n.role = Leader
+	n.leaderID = n.ep.ID()
+	n.nextIndex = make(map[simnet.NodeID]uint64, len(n.peers))
+	n.matchIndex = make(map[simnet.NodeID]uint64, len(n.peers))
+	for _, p := range n.peers {
+		n.nextIndex[p] = n.lastLogIndex() + 1
+		n.matchIndex[p] = 0
+	}
+	n.matchIndex[n.ep.ID()] = n.lastLogIndex()
+	if n.electionTimer != nil {
+		n.electionTimer.Stop()
+		n.electionTimer = nil
+	}
+	n.broadcastAppend()
+	n.heartbeat = n.ep.Every(n.cfg.HeartbeatInterval, n.broadcastAppend)
+	n.notifyLeader(n.ep.ID())
+}
+
+func (n *Node) quorum() int { return len(n.peers)/2 + 1 }
+
+func (n *Node) lastLogIndex() uint64 { return uint64(len(n.log) - 1) }
+
+func (n *Node) lastLogTerm() uint64 { return n.log[len(n.log)-1].Term }
+
+// --- replication ---
+
+func (n *Node) broadcastAppend() {
+	if n.role != Leader {
+		return
+	}
+	for _, p := range n.peers {
+		if p != n.ep.ID() {
+			n.sendAppend(p)
+		}
+	}
+}
+
+func (n *Node) sendAppend(to simnet.NodeID) {
+	next := n.nextIndex[to]
+	if next < 1 {
+		next = 1
+	}
+	prevIdx := next - 1
+	prevTerm := n.log[prevIdx].Term
+	var entries []entry
+	if n.lastLogIndex() >= next {
+		end := next + uint64(n.cfg.MaxEntriesPerMessage)
+		if end > n.lastLogIndex()+1 {
+			end = n.lastLogIndex() + 1
+		}
+		entries = append(entries, n.log[next:end]...)
+	}
+	n.ep.Send(to, appendEntriesMsg{
+		Term:         n.currentTerm,
+		Leader:       n.ep.ID(),
+		PrevLogIndex: prevIdx,
+		PrevLogTerm:  prevTerm,
+		Entries:      entries,
+		LeaderCommit: n.commitIndex,
+	})
+}
+
+func (n *Node) advanceCommit() {
+	if n.role != Leader {
+		return
+	}
+	// Find the highest index replicated on a quorum with an entry from
+	// the current term.
+	matches := make([]uint64, 0, len(n.peers))
+	for _, p := range n.peers {
+		matches = append(matches, n.matchIndex[p])
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i] > matches[j] })
+	candidate := matches[n.quorum()-1]
+	if candidate > n.commitIndex && n.log[candidate].Term == n.currentTerm {
+		n.commitIndex = candidate
+		n.applyCommitted()
+	}
+}
+
+func (n *Node) applyCommitted() {
+	for n.lastApplied < n.commitIndex {
+		n.lastApplied++
+		if n.apply != nil {
+			n.apply(n.lastApplied, n.log[n.lastApplied].Cmd)
+		}
+	}
+}
+
+// --- message handling ---
+
+func (n *Node) handle(from simnet.NodeID, msg simnet.Message) {
+	if !n.started {
+		return
+	}
+	switch m := msg.(type) {
+	case requestVoteMsg:
+		n.handleRequestVote(from, m)
+	case requestVoteResp:
+		n.handleVoteResp(from, m)
+	case preVoteMsg:
+		n.handlePreVote(from, m)
+	case preVoteResp:
+		n.handlePreVoteResp(from, m)
+	case appendEntriesMsg:
+		n.handleAppendEntries(from, m)
+	case appendEntriesResp:
+		n.handleAppendResp(from, m)
+	}
+}
+
+// handlePreVote grants a pre-vote without touching currentTerm or
+// votedFor: the probe succeeds only if the candidate could win a real
+// election AND this node has not heard from a leader recently.
+func (n *Node) handlePreVote(from simnet.NodeID, m preVoteMsg) {
+	leaderRecent := n.leaderID != "" &&
+		n.ep.Now()-n.lastLeaderContact < n.cfg.ElectionTimeoutMin
+	granted := m.Term >= n.currentTerm && n.logUpToDate(m.LastLogIndex, m.LastLogTerm) && !leaderRecent
+	n.ep.Send(from, preVoteResp{Term: n.currentTerm, Granted: granted})
+}
+
+func (n *Node) handlePreVoteResp(from simnet.NodeID, m preVoteResp) {
+	if m.Term > n.currentTerm {
+		n.becomeFollower(m.Term, "")
+		return
+	}
+	if n.preVotes == nil || !m.Granted {
+		return
+	}
+	n.preVotes[from] = true
+	n.maybeStartRealElection()
+}
+
+func (n *Node) handleRequestVote(from simnet.NodeID, m requestVoteMsg) {
+	if m.Term > n.currentTerm {
+		n.becomeFollower(m.Term, "")
+	}
+	granted := false
+	if m.Term == n.currentTerm && (n.votedFor == "" || n.votedFor == m.Candidate) && n.logUpToDate(m.LastLogIndex, m.LastLogTerm) {
+		granted = true
+		n.votedFor = m.Candidate
+		n.resetElectionTimer()
+	}
+	n.ep.Send(from, requestVoteResp{Term: n.currentTerm, Granted: granted})
+}
+
+// logUpToDate implements Raft's §5.4.1 voting restriction.
+func (n *Node) logUpToDate(lastIdx, lastTerm uint64) bool {
+	if lastTerm != n.lastLogTerm() {
+		return lastTerm > n.lastLogTerm()
+	}
+	return lastIdx >= n.lastLogIndex()
+}
+
+func (n *Node) handleVoteResp(from simnet.NodeID, m requestVoteResp) {
+	if m.Term > n.currentTerm {
+		n.becomeFollower(m.Term, "")
+		return
+	}
+	if n.role != Candidate || m.Term < n.currentTerm || !m.Granted {
+		return
+	}
+	n.votes[from] = true
+	n.maybeWin()
+}
+
+func (n *Node) handleAppendEntries(from simnet.NodeID, m appendEntriesMsg) {
+	if m.Term < n.currentTerm {
+		n.ep.Send(from, appendEntriesResp{Term: n.currentTerm, Success: false})
+		return
+	}
+	// Valid leader for this term.
+	n.becomeFollower(m.Term, m.Leader)
+	n.lastLeaderContact = n.ep.Now()
+	if m.PrevLogIndex > n.lastLogIndex() || n.log[m.PrevLogIndex].Term != m.PrevLogTerm {
+		n.ep.Send(from, appendEntriesResp{Term: n.currentTerm, Success: false, MatchIndex: 0})
+		return
+	}
+	// Append, truncating conflicts.
+	idx := m.PrevLogIndex
+	for _, e := range m.Entries {
+		idx++
+		if idx <= n.lastLogIndex() {
+			if n.log[idx].Term != e.Term {
+				n.log = n.log[:idx]
+				n.log = append(n.log, e)
+			}
+			continue
+		}
+		n.log = append(n.log, e)
+	}
+	match := m.PrevLogIndex + uint64(len(m.Entries))
+	if m.LeaderCommit > n.commitIndex {
+		n.commitIndex = min64(m.LeaderCommit, n.lastLogIndex())
+		n.applyCommitted()
+	}
+	n.ep.Send(from, appendEntriesResp{Term: n.currentTerm, Success: true, MatchIndex: match})
+}
+
+func (n *Node) handleAppendResp(from simnet.NodeID, m appendEntriesResp) {
+	if m.Term > n.currentTerm {
+		n.becomeFollower(m.Term, "")
+		return
+	}
+	if n.role != Leader || m.Term < n.currentTerm {
+		return
+	}
+	if m.Success {
+		if m.MatchIndex > n.matchIndex[from] {
+			n.matchIndex[from] = m.MatchIndex
+		}
+		n.nextIndex[from] = n.matchIndex[from] + 1
+		n.advanceCommit()
+		if n.nextIndex[from] <= n.lastLogIndex() {
+			n.sendAppend(from)
+		}
+		return
+	}
+	// Log mismatch: back off and retry.
+	if n.nextIndex[from] > 1 {
+		n.nextIndex[from]--
+	}
+	n.sendAppend(from)
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,60 @@
+// Package core is the primary contribution of this repository: a
+// runnable operationalization of the paper's resilient-IoT roadmap. It
+// assembles the substrate packages (simulation, devices, membership,
+// consensus, CRDT data plane, MAPE loops, formal verification,
+// orchestration) into four architecture archetypes matching the
+// paper's maturity levels ML1–ML4 (Tables 1 and 2), runs them against
+// identical workloads and disruption schedules, and measures each
+// along the paper's five disruption vectors. The resulting Report is
+// the measured counterpart of the paper's qualitative tables; the
+// benchmarks in the repository root regenerate every table and figure
+// from it.
+package core
+
+import "fmt"
+
+// Archetype selects the architecture maturity level a System is built
+// at (the rows of Tables 1 and 2).
+type Archetype int
+
+// The paper's maturity levels.
+const (
+	// ML1 is the vertically coupled IoT silo: task-specific gateway
+	// per zone, business logic bundled with devices, point-to-point
+	// flows, manual recovery, no validation.
+	ML1 Archetype = iota + 1
+	// ML2 is the hybrid IoT-Cloud system: all data and control flow
+	// through a cloud broker over WAN; partial cloud-side automation;
+	// unidirectional device→cloud flows without governance.
+	ML2
+	// ML3 is the edge-centric system: control runs on the zone
+	// gateway with a statically designated cloudlet backup;
+	// bidirectional edge↔cloud flows; task-specific validation;
+	// governance limited to trust (not jurisdiction).
+	ML3
+	// ML4 is the paper's resilient IoT: deviceless control placed and
+	// healed by an orchestrator replicated over Raft among all edge
+	// nodes, gossip membership, CRDT data plane with enforced privacy
+	// scopes, edge MAPE analysis/planning, full validation (design
+	// time and runtime).
+	ML4
+)
+
+var archetypeNames = map[Archetype]string{
+	ML1: "ML1-silo",
+	ML2: "ML2-cloud",
+	ML3: "ML3-edge",
+	ML4: "ML4-resilient",
+}
+
+func (a Archetype) String() string {
+	if s, ok := archetypeNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("archetype(%d)", int(a))
+}
+
+// AllArchetypes lists the maturity levels in ascending order.
+func AllArchetypes() []Archetype {
+	return []Archetype{ML1, ML2, ML3, ML4}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RunEvent is one entry of a system run's journal: faults as they are
+// injected, controller placements as they change, requirement
+// violations and recoveries as ground truth crosses the band, privacy
+// violations as the auditor sees them, and models@runtime alerts.
+type RunEvent struct {
+	At     time.Duration
+	Kind   string
+	Detail string
+}
+
+// Journal event kinds.
+const (
+	EventFault     = "fault"
+	EventPlacement = "placement"
+	EventViolation = "violation"
+	EventRecovery  = "recovery"
+	EventPrivacy   = "privacy"
+	EventAlert     = "models@runtime"
+)
+
+// record appends one journal entry at the current virtual time.
+func (sys *System) record(kind, format string, args ...any) {
+	sys.journal = append(sys.journal, RunEvent{
+		At:     sys.sim.Now(),
+		Kind:   kind,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Journal returns the run's events in chronological order. Call after
+// Run.
+func (sys *System) Journal() []RunEvent {
+	out := make([]RunEvent, len(sys.journal))
+	copy(out, sys.journal)
+	return out
+}
+
+// FormatJournal renders events as one line each.
+func FormatJournal(events []RunEvent) string {
+	var b strings.Builder
+	for _, ev := range events {
+		fmt.Fprintf(&b, "%8s  %-14s %s\n", ev.At.Round(time.Millisecond), ev.Kind, ev.Detail)
+	}
+	return b.String()
+}

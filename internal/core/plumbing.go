@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/simnet"
+)
+
+// Wire messages shared by the archetypes.
+
+// readingMsg carries one sensor item to a collector. Seq 0 means
+// fire-and-forget (no ack expected), used for edge→cloud forwarding.
+type readingMsg struct {
+	Seq  uint64
+	Item dataflow.Item
+}
+
+// readingAck acknowledges a reading to its sensor.
+type readingAck struct {
+	Seq uint64
+}
+
+// actuateMsg commands an actuator to the desired engagement state. It
+// is idempotent and re-sent every control period so a restarted
+// actuator re-learns its state.
+type actuateMsg struct {
+	Zone   int
+	Engage bool
+}
+
+func (m readingMsg) Size() int { return 24 + 64 }
+func (m readingAck) Size() int { return 12 }
+func (m actuateMsg) Size() int { return 16 }
+
+// zoneTempKey is the data key of a zone's temperature stream.
+func zoneTempKey(z int) string { return fmt.Sprintf("z%d/temp", z) }
+
+// zoneOccKey is the data key of a zone's (sensitive) occupancy stream.
+func zoneOccKey(z int) string { return fmt.Sprintf("z%d/occ", z) }
+
+// ackTimeout bounds how long a reporter waits for a collector ack
+// before counting a miss.
+const ackTimeout = 500 * time.Millisecond
+
+// reporterMissLimit is how many consecutive misses trigger failover to
+// the next collector candidate.
+const reporterMissLimit = 2
+
+// reporterHomeInterval is how often a failed-over reporter retries its
+// primary candidate, so a recovered collector is rediscovered.
+const reporterHomeInterval = 30 * time.Second
+
+// reporter delivers sensor readings to a prioritized list of collector
+// candidates with ack-based failover: after reporterMissLimit
+// consecutive unacknowledged readings it rotates to the next candidate
+// (and eventually back, so a recovered primary is rediscovered).
+type reporter struct {
+	port       simnet.Port
+	candidates []simnet.NodeID
+	cur        int
+	misses     int
+	seq        uint64
+	pending    map[uint64]*simnet.Timer
+}
+
+// newReporter wires a reporter onto port. The port's message handler is
+// installed here; sensors own the whole port.
+func newReporter(port simnet.Port, candidates []simnet.NodeID) *reporter {
+	r := &reporter{
+		port:       port,
+		candidates: append([]simnet.NodeID(nil), candidates...),
+		pending:    make(map[uint64]*simnet.Timer),
+	}
+	port.OnMessage(func(_ simnet.NodeID, msg simnet.Message) {
+		ack, ok := msg.(readingAck)
+		if !ok {
+			return
+		}
+		if t, pending := r.pending[ack.Seq]; pending {
+			t.Stop()
+			delete(r.pending, ack.Seq)
+			r.misses = 0
+		}
+	})
+	if len(r.candidates) > 1 {
+		// Periodically fail back to the primary so a recovered
+		// collector is rediscovered (otherwise the reporter would stay
+		// on a working backup forever).
+		port.Every(reporterHomeInterval, func() {
+			r.cur = 0
+			r.misses = 0
+		})
+	}
+	return r
+}
+
+// target returns the current collector candidate.
+func (r *reporter) target() simnet.NodeID { return r.candidates[r.cur] }
+
+// send ships one item to the current candidate and arms the failover
+// timer.
+func (r *reporter) send(item dataflow.Item) {
+	r.seq++
+	seq := r.seq
+	r.port.Send(r.target(), readingMsg{Seq: seq, Item: item})
+	r.pending[seq] = r.port.After(ackTimeout, func() {
+		if _, still := r.pending[seq]; !still {
+			return
+		}
+		delete(r.pending, seq)
+		r.misses++
+		if r.misses >= reporterMissLimit && len(r.candidates) > 1 {
+			r.cur = (r.cur + 1) % len(r.candidates)
+			r.misses = 0
+		}
+	})
+}
+
+// collector receives readings on a port, hands items to sink and acks
+// them. Forwarding, storage and auditing live in the sink closure.
+type collector struct {
+	port simnet.Port
+	sink func(item dataflow.Item, from simnet.NodeID)
+}
+
+// newCollector installs the collector's handler on port.
+func newCollector(port simnet.Port, sink func(dataflow.Item, simnet.NodeID)) *collector {
+	c := &collector{port: port, sink: sink}
+	port.OnMessage(func(from simnet.NodeID, msg simnet.Message) {
+		m, ok := msg.(readingMsg)
+		if !ok {
+			return
+		}
+		c.sink(m.Item, from)
+		if m.Seq != 0 {
+			c.port.Send(from, readingAck{Seq: m.Seq})
+		}
+	})
+	return c
+}
+
+// itemTable is the simple latest-value store used by ML1–ML3
+// collectors (a plain map, deliberately not replicated — that is the
+// point of those maturity levels).
+type itemTable struct {
+	items map[string]dataflow.Item
+}
+
+func newItemTable() *itemTable {
+	return &itemTable{items: make(map[string]dataflow.Item)}
+}
+
+func (t *itemTable) put(item dataflow.Item) {
+	cur, ok := t.items[item.Key]
+	if ok && cur.ProducedAt > item.ProducedAt {
+		return // keep the newest payload
+	}
+	t.items[item.Key] = item
+}
+
+func (t *itemTable) get(key string) (dataflow.Item, bool) {
+	item, ok := t.items[key]
+	return item, ok
+}

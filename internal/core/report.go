@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Report is the measured counterpart of one row of the paper's
+// Tables 1 and 2: the same scenario and disruption schedule, scored
+// along each disruption vector.
+type Report struct {
+	Archetype Archetype
+
+	// GoalPersistence is the headline resilience number: the paper's
+	// "persistence of reliable requirements satisfaction when facing
+	// change", as the time-weighted fraction of the run during which
+	// the whole goal tree was satisfied.
+	GoalPersistence float64
+	// TempPersistence is the mean per-zone temperature-band
+	// satisfaction (ground truth).
+	TempPersistence float64
+
+	// Pervasiveness: fraction of time a zone's sensors had at least
+	// one admissible, reachable collector (infrastructure as utility).
+	Pervasiveness float64
+	// InvocationSuccess: fraction of control periods in which the
+	// zone's controller function ran with fresh data (deviceless).
+	InvocationSuccess float64
+	// ValidationCoverage: fraction of (requirement × assurance-kind)
+	// pairs carrying a formal artifact — runtime monitor or
+	// design-time model-checking verdict.
+	ValidationCoverage float64
+	// DesignChecksPassed reports whether all executed design-time
+	// checks verified.
+	DesignChecksPassed bool
+	// MTTR is the mean time to recover ground-truth requirement
+	// satisfaction after a violation; ManualInterventions counts
+	// outages resolved only by external repair, AutoRecoveries those
+	// the architecture resolved itself (operations automation).
+	MTTR                time.Duration
+	ManualInterventions int
+	AutoRecoveries      int
+	// DataAvailability: fraction of (zone × consumer) checks where
+	// the intended consumer had fresh data; StalenessP95 the 95th
+	// percentile age of delivered data; PrivacyViolations the number
+	// of items observed at a node policy forbids (data flows and
+	// governance).
+	DataAvailability  float64
+	StalenessP95      time.Duration
+	PrivacyViolations int
+
+	// RuntimeChecks counts models@runtime re-verifications the ML4
+	// leader performed; RuntimeAlerts how many found the failure
+	// assumption no longer satisfiable by the live membership.
+	RuntimeChecks int
+	RuntimeAlerts int
+
+	// Traffic cost of the architecture.
+	Messages int
+	Bytes    int
+}
+
+// header returns the table header rows for Format.
+func header() []string {
+	return []string{
+		"archetype", "R(goal)", "R(temp)", "pervasive", "invoke", "validate",
+		"MTTR", "manual", "auto", "dataAvail", "staleP95", "privViol", "msgs",
+	}
+}
+
+// row formats one report as table cells.
+func (r Report) row() []string {
+	return []string{
+		r.Archetype.String(),
+		fmt.Sprintf("%.3f", r.GoalPersistence),
+		fmt.Sprintf("%.3f", r.TempPersistence),
+		fmt.Sprintf("%.3f", r.Pervasiveness),
+		fmt.Sprintf("%.3f", r.InvocationSuccess),
+		fmt.Sprintf("%.2f", r.ValidationCoverage),
+		r.MTTR.Round(time.Second).String(),
+		fmt.Sprintf("%d", r.ManualInterventions),
+		fmt.Sprintf("%d", r.AutoRecoveries),
+		fmt.Sprintf("%.3f", r.DataAvailability),
+		r.StalenessP95.Round(time.Millisecond).String(),
+		fmt.Sprintf("%d", r.PrivacyViolations),
+		fmt.Sprintf("%d", r.Messages),
+	}
+}
+
+// String renders the report as a single table row with header.
+func (r Report) String() string {
+	return FormatReports([]Report{r})
+}
+
+// FormatReports renders reports as an aligned text table — the
+// measured Table 1/2.
+func FormatReports(reports []Report) string {
+	rows := [][]string{header()}
+	for _, r := range reports {
+		rows = append(rows, r.row())
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// RunMatrix builds and runs the scenario at each archetype — the
+// measured reproduction of Tables 1 and 2.
+func RunMatrix(cfg ScenarioConfig, archetypes ...Archetype) []Report {
+	if len(archetypes) == 0 {
+		archetypes = AllArchetypes()
+	}
+	out := make([]Report, 0, len(archetypes))
+	for _, a := range archetypes {
+		out = append(out, NewSystem(cfg, a).Run())
+	}
+	return out
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/simnet"
+)
+
+// coolDownWindow is the physical settling time after a repair: an
+// outage that ends within this window after an external recovery event
+// is attributed to the repair (a manual intervention), not to the
+// architecture's own adaptation.
+const coolDownWindow = 90 * time.Second
+
+// Run executes the scenario to its horizon and returns the measured
+// report. Run may be called once per System.
+func (sys *System) Run() Report {
+	sys.startEnvironmentLoop()
+	sys.startMeasurementLoop()
+	sys.sim.RunUntil(sys.cfg.Duration)
+	return sys.report()
+}
+
+// startEnvironmentLoop advances the physical world: environment
+// processes, actuator effects and battery drain, every EnvStep.
+func (sys *System) startEnvironmentLoop() {
+	step := sys.cfg.EnvStep
+	var tick func()
+	tick = func() {
+		sys.envm.Step(step)
+		for _, rig := range sys.actuators {
+			// A crashed actuator node has no effect on the world.
+			if sys.sim.NodeUp(rig.id) {
+				rig.actuator.Apply(sys.envm, step)
+			}
+		}
+		for _, rig := range sys.sensors {
+			if rig.dev.Idle(step) {
+				// Battery exhausted: the node goes dark.
+				sys.sim.SetDown(rig.id, true)
+			}
+		}
+		if sys.sim.Now()+step <= sys.cfg.Duration {
+			sys.sim.After(step, tick)
+		}
+	}
+	sys.sim.After(step, tick)
+}
+
+// startMeasurementLoop samples ground truth and per-vector metrics.
+func (sys *System) startMeasurementLoop() {
+	step := sys.cfg.EnvStep
+	var tick func()
+	tick = func() {
+		if sys.sim.Now() >= sys.warmup {
+			sys.measure()
+		}
+		if sys.sim.Now()+step <= sys.cfg.Duration {
+			sys.sim.After(step, tick)
+		}
+	}
+	sys.sim.After(step, tick)
+
+	inv := sys.cfg.ControlInterval
+	var invTick func()
+	invTick = func() {
+		if sys.sim.Now() >= sys.warmup {
+			for z := 0; z < sys.cfg.Zones; z++ {
+				ok := sys.sim.Now()-sys.lastControlOK[z] <= inv+inv/2
+				sys.invocations.RecordOutcome(ok)
+			}
+		}
+		if sys.sim.Now()+inv <= sys.cfg.Duration {
+			sys.sim.After(inv, invTick)
+		}
+	}
+	sys.sim.After(inv, invTick)
+}
+
+// controllerStack resolves which stack currently controls zone z (and
+// is up), per the archetype's rules.
+func (sys *System) controllerStack(z int) (*edgeStack, bool) {
+	switch sys.arch {
+	case ML1:
+		st := sys.gateways[z]
+		return st, sys.sim.NodeUp(st.id)
+	case ML2:
+		return sys.cloud, sys.sim.NodeUp(cloudID)
+	case ML3:
+		if sys.sim.NodeUp(sys.gateways[z].id) {
+			return sys.gateways[z], true
+		}
+		bak := sys.backupFor(z)
+		return bak, sys.sim.NodeUp(bak.id)
+	case ML4:
+		for _, st := range sys.edgeStacks() {
+			if st.applied[z] == st.id && sys.sim.NodeUp(st.id) {
+				return st, true
+			}
+		}
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+// servableCandidates lists the collectors a zone's sensors may use
+// under the archetype's binding rules — the pervasiveness vector
+// measures how often at least one is alive and reachable.
+func (sys *System) servableCandidates(z int) []simnet.NodeID {
+	switch sys.arch {
+	case ML1:
+		return []simnet.NodeID{gatewayID(z)}
+	case ML2:
+		return []simnet.NodeID{cloudID}
+	case ML3:
+		return []simnet.NodeID{gatewayID(z), sys.backupFor(z).id}
+	case ML4:
+		return sys.edgeIDs()
+	default:
+		return nil
+	}
+}
+
+// freshAt reports whether key is present and fresh in the given view.
+func (sys *System) freshAt(view dataView, key string) (time.Duration, bool) {
+	if view == nil {
+		return 0, false
+	}
+	item, ok := view(key)
+	if !ok {
+		return 0, false
+	}
+	age := sys.sim.Now() - item.ProducedAt
+	return age, age <= sys.freshWin
+}
+
+// measure samples every metric once.
+func (sys *System) measure() {
+	now := sys.sim.Now()
+	if sys.prevTempOK == nil {
+		sys.prevTempOK = make([]bool, sys.cfg.Zones)
+		sys.prevFresh = make([]bool, sys.cfg.Zones)
+		for z := range sys.prevTempOK {
+			sys.prevTempOK[z] = true
+			sys.prevFresh[z] = true
+		}
+	}
+	sat := make(map[model.RequirementID]bool, 2*sys.cfg.Zones)
+	for z := 0; z < sys.cfg.Zones; z++ {
+		// Ground-truth temperature requirement.
+		temp, _ := sys.envm.Value(zoneID(z), env.Temperature)
+		tempOK := temp >= sys.cfg.TempLow && temp <= sys.cfg.TempHigh
+		sys.tempTrace[z].Record(now, tempOK)
+		sat[sys.reqTemp[z]] = tempOK
+		if tempOK != sys.prevTempOK[z] {
+			if tempOK {
+				sys.record(EventRecovery, "zone %d temperature back in band (%.1f°)", z, temp)
+			} else {
+				sys.record(EventViolation, "zone %d temperature out of band (%.1f°)", z, temp)
+			}
+			sys.prevTempOK[z] = tempOK
+		}
+
+		// Freshness at the active controller.
+		ctrl, up := sys.controllerStack(z)
+		freshOK := false
+		var ctrlView dataView
+		if up && ctrl != nil {
+			ctrlView = ctrl.view
+			_, freshOK = sys.freshAt(ctrl.view, zoneTempKey(z))
+		}
+		sys.freshTrace[z].Record(now, freshOK)
+		sat[sys.reqFresh[z]] = freshOK
+		if freshOK != sys.prevFresh[z] {
+			if freshOK {
+				sys.record(EventRecovery, "zone %d data fresh at controller again", z)
+			} else {
+				sys.record(EventViolation, "zone %d data stale at controller", z)
+			}
+			sys.prevFresh[z] = freshOK
+		}
+
+		// Pervasiveness: is any admissible collector alive and
+		// reachable from the zone's first sensor?
+		sensor := tempSensorID(z, 0)
+		servable := false
+		for _, c := range sys.servableCandidates(z) {
+			if sys.sim.NodeUp(c) && sys.sim.Reachable(sensor, c) {
+				servable = true
+				break
+			}
+		}
+		sys.servable.RecordOutcome(servable)
+
+		// Data-flow vector: the application's intended consumers.
+		dash := sys.gateways[(z+1)%sys.cfg.Zones]
+		var dashView dataView
+		if sys.sim.NodeUp(dash.id) {
+			dashView = dash.view
+		}
+		var cloudView dataView
+		if sys.sim.NodeUp(cloudID) {
+			cloudView = sys.cloud.view
+		}
+		for _, consumer := range []dataView{ctrlView, cloudView, dashView} {
+			age, fresh := sys.freshAt(consumer, zoneTempKey(z))
+			sys.dataAvail.RecordOutcome(fresh)
+			if fresh {
+				sys.staleness.Record(age)
+			}
+		}
+		// Sensitive occupancy: its intended consumers are the edge
+		// dashboards inside the jurisdiction (never the cloud).
+		home := sys.gateways[z]
+		var homeView dataView
+		if sys.sim.NodeUp(home.id) {
+			homeView = home.view
+		}
+		for _, consumer := range []dataView{homeView, dashView} {
+			_, fresh := sys.freshAt(consumer, zoneOccKey(z))
+			sys.dataAvail.RecordOutcome(fresh)
+		}
+	}
+	sys.goalTrace.Record(now, sys.goal.Satisfied(sat))
+}
+
+// report assembles the final Report, including the manual-intervention
+// attribution against the fault log.
+func (sys *System) report() Report {
+	end := sys.cfg.Duration
+	r := Report{
+		Archetype:          sys.arch,
+		GoalPersistence:    sys.goalTrace.TimeWeightedPersistence(end),
+		Pervasiveness:      sys.servable.Value(),
+		InvocationSuccess:  sys.invocations.Value(),
+		DataAvailability:   sys.dataAvail.Value(),
+		StalenessP95:       sys.staleness.Percentile(95),
+		PrivacyViolations:  sys.auditor.ViolationCount(),
+		DesignChecksPassed: sys.designPassed,
+		RuntimeChecks:      sys.runtimeChecks,
+		RuntimeAlerts:      sys.runtimeAlerts,
+		Messages:           sys.sim.Stats().Delivered,
+		Bytes:              sys.sim.Stats().Bytes,
+	}
+	// Each requirement has two assurance slots (runtime monitor,
+	// design-time verdict); coverage is the filled fraction.
+	totalAssurance := 2 * 2 * sys.cfg.Zones
+	r.ValidationCoverage = float64(sys.runtimeMonitored+sys.designChecked) / float64(totalAssurance)
+	if r.ValidationCoverage > 1 {
+		r.ValidationCoverage = 1
+	}
+
+	var persistSum float64
+	var mttrSum time.Duration
+	mttrCount := 0
+	recoveries := sys.recoveryTimes()
+	for z := 0; z < sys.cfg.Zones; z++ {
+		persistSum += sys.tempTrace[z].TimeWeightedPersistence(end)
+		if m := sys.tempTrace[z].MTTR(); m > 0 {
+			mttrSum += m
+			mttrCount++
+		}
+		manual, auto := attributeOutages(sys.tempTrace[z], recoveries)
+		r.ManualInterventions += manual
+		r.AutoRecoveries += auto
+	}
+	r.TempPersistence = persistSum / float64(sys.cfg.Zones)
+	if mttrCount > 0 {
+		r.MTTR = mttrSum / time.Duration(mttrCount)
+	}
+	return r
+}
+
+// recoveryTimes extracts external repair instants from the fault log.
+func (sys *System) recoveryTimes() []time.Duration {
+	var out []time.Duration
+	for _, ev := range sys.injector.Log() {
+		switch ev.Kind {
+		case fault.KindRecover, fault.KindPartitionEnd, fault.KindLinkRestore:
+			out = append(out, ev.At)
+		}
+	}
+	return out
+}
+
+// attributeOutages classifies each completed outage of a trace as
+// manually resolved (its end follows an external repair within the
+// settling window) or automatically resolved by the architecture.
+func attributeOutages(tr *metrics.SatisfactionTrace, recoveries []time.Duration) (manual, auto int) {
+	for _, end := range tr.OutageEnds() {
+		isManual := false
+		for _, rec := range recoveries {
+			if end >= rec && end-rec <= coolDownWindow {
+				isManual = true
+				break
+			}
+		}
+		if isManual {
+			manual++
+		} else {
+			auto++
+		}
+	}
+	return manual, auto
+}

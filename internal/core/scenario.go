@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/simnet"
+)
+
+// FaultPreset selects a canned disruption schedule.
+type FaultPreset int
+
+// Canned disruption schedules.
+const (
+	// FaultsStandard is the Table 1/2 schedule: a cloud-WAN outage, a
+	// gateway crash, a combined gateway+backup crash, an edge
+	// partition and a cloud restart, spread over the run.
+	FaultsStandard FaultPreset = iota + 1
+	// FaultsNone disables disruption (calibration runs).
+	FaultsNone
+	// FaultsHeavy doubles the standard schedule's outage durations.
+	FaultsHeavy
+)
+
+// ScenarioConfig describes the smart-city workload every archetype
+// runs: zones with drifting/shocked temperature controlled through
+// cooling actuators, plus a sensitive occupancy stream per zone. Zero
+// fields take defaults (see DefaultScenario).
+type ScenarioConfig struct {
+	Seed  int64
+	Zones int
+	// TempSensorsPerZone is the number of redundant temperature
+	// sensors per zone.
+	TempSensorsPerZone int
+	// Cloudlets is the number of shared edge cloudlets.
+	Cloudlets int
+
+	Duration        time.Duration
+	SampleInterval  time.Duration // sensor reporting period
+	ControlInterval time.Duration // controller decision period
+	EnvStep         time.Duration // environment integration step
+
+	TempInit  float64
+	TempLow   float64 // requirement band lower bound
+	TempHigh  float64 // requirement band upper bound
+	Drift     float64 // ambient heating, units/s
+	Noise     float64 // environment noise stddev
+	ShockProb float64 // heat-shock probability per env step
+	ShockMag  float64 // heat-shock magnitude
+	CoolRate  float64 // actuator effect, units/s (negative)
+
+	// FreshnessFactor: a reading is fresh at the controller while its
+	// age is below FreshnessFactor × SampleInterval.
+	FreshnessFactor int
+
+	Preset FaultPreset
+	// Faults overrides the preset with a custom schedule.
+	Faults *fault.Schedule
+
+	// BoltOnResilience hardens the ML2 archetype with the traditional
+	// add-on mechanisms the paper argues are insufficient (§III):
+	// QoS-1 publishes with retry, aggressive re-subscription after
+	// broker restarts. Used by the A1 ablation; ignored by other
+	// archetypes.
+	BoltOnResilience bool
+	// ML4Ablation disables one native mechanism of the ML4 archetype
+	// for the A2 ablation: "no-failover" pins sensors to their home
+	// gateway, "no-replan" freezes controller placements after the
+	// initial assignment, "no-sync" removes CRDT peer synchronization
+	// between stores. Empty means the full architecture.
+	ML4Ablation string
+	// ML4SyncInterval overrides the ML4 data plane's anti-entropy
+	// period (default: SampleInterval). The X2 experiment sweeps it to
+	// trade traffic against freshness.
+	ML4SyncInterval time.Duration
+}
+
+// DefaultScenario returns the configuration used by the Table 1/2
+// experiment.
+func DefaultScenario() ScenarioConfig {
+	return ScenarioConfig{
+		Seed:               1,
+		Zones:              4,
+		TempSensorsPerZone: 2,
+		Cloudlets:          2,
+		Duration:           20 * time.Minute,
+		SampleInterval:     2 * time.Second,
+		ControlInterval:    2 * time.Second,
+		EnvStep:            time.Second,
+		TempInit:           21,
+		TempLow:            18,
+		TempHigh:           26,
+		Drift:              0.06,
+		Noise:              0.03,
+		ShockProb:          0.002,
+		ShockMag:           3,
+		CoolRate:           -0.3,
+		FreshnessFactor:    4,
+		Preset:             FaultsStandard,
+	}
+}
+
+// withDefaults fills zero fields from DefaultScenario.
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	d := DefaultScenario()
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.Zones == 0 {
+		c.Zones = d.Zones
+	}
+	if c.TempSensorsPerZone == 0 {
+		c.TempSensorsPerZone = d.TempSensorsPerZone
+	}
+	if c.Cloudlets == 0 {
+		c.Cloudlets = d.Cloudlets
+	}
+	if c.Duration == 0 {
+		c.Duration = d.Duration
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = d.SampleInterval
+	}
+	if c.ControlInterval == 0 {
+		c.ControlInterval = d.ControlInterval
+	}
+	if c.EnvStep == 0 {
+		c.EnvStep = d.EnvStep
+	}
+	if c.TempInit == 0 {
+		c.TempInit = d.TempInit
+	}
+	if c.TempLow == 0 {
+		c.TempLow = d.TempLow
+	}
+	if c.TempHigh == 0 {
+		c.TempHigh = d.TempHigh
+	}
+	if c.Drift == 0 {
+		c.Drift = d.Drift
+	}
+	if c.Noise == 0 {
+		c.Noise = d.Noise
+	}
+	if c.ShockProb == 0 {
+		c.ShockProb = d.ShockProb
+	}
+	if c.ShockMag == 0 {
+		c.ShockMag = d.ShockMag
+	}
+	if c.CoolRate == 0 {
+		c.CoolRate = d.CoolRate
+	}
+	if c.FreshnessFactor == 0 {
+		c.FreshnessFactor = d.FreshnessFactor
+	}
+	if c.Preset == 0 {
+		c.Preset = d.Preset
+	}
+	return c
+}
+
+// Node naming helpers shared by the archetypes and experiments.
+
+func gatewayID(zone int) simnet.NodeID {
+	return simnet.NodeID(fmt.Sprintf("gw-%d", zone))
+}
+
+func cloudletID(i int) simnet.NodeID {
+	return simnet.NodeID(fmt.Sprintf("cl-%d", i))
+}
+
+func tempSensorID(zone, i int) simnet.NodeID {
+	return simnet.NodeID(fmt.Sprintf("z%d-s%d", zone, i))
+}
+
+func occSensorID(zone int) simnet.NodeID {
+	return simnet.NodeID(fmt.Sprintf("z%d-occ", zone))
+}
+
+func actuatorID(zone int) simnet.NodeID {
+	return simnet.NodeID(fmt.Sprintf("z%d-act", zone))
+}
+
+// cloudID is the single cloud node.
+const cloudID = simnet.NodeID("cloud")
+
+// standardFaults builds the preset disruption schedule, expressed as
+// fractions of the run so it scales with Duration.
+func standardFaults(cfg ScenarioConfig, heavy bool) *fault.Schedule {
+	T := cfg.Duration
+	frac := func(f float64) time.Duration { return time.Duration(f * float64(T)) }
+	scale := 1.0
+	if heavy {
+		scale = 2.0
+	}
+	dur := func(f float64) time.Duration { return time.Duration(f * scale * float64(T)) }
+
+	s := &fault.Schedule{}
+	// 1) Cloud WAN outage: all traffic to/from the cloud dies.
+	for z := 0; z < cfg.Zones; z++ {
+		s.CutLink(frac(0.10), dur(0.15), gatewayID(z), cloudID)
+		for i := 0; i < cfg.TempSensorsPerZone; i++ {
+			s.CutLink(frac(0.10), dur(0.15), tempSensorID(z, i), cloudID)
+		}
+		s.CutLink(frac(0.10), dur(0.15), occSensorID(z), cloudID)
+		s.CutLink(frac(0.10), dur(0.15), actuatorID(z), cloudID)
+	}
+	for i := 0; i < cfg.Cloudlets; i++ {
+		s.CutLink(frac(0.10), dur(0.15), cloudletID(i), cloudID)
+	}
+	// 2) Gateway of zone 0 crashes.
+	s.Crash(frac(0.30), gatewayID(0), dur(0.12))
+	// 3) Gateway of zone 1 AND its statically designated ML3 backup
+	//    cloudlet crash together.
+	s.Crash(frac(0.50), gatewayID(1), dur(0.12))
+	s.Crash(frac(0.50), cloudletID(1%cfg.Cloudlets), dur(0.12))
+	// 4) Partition: zone 2's infrastructure is severed from the rest
+	//    of the edge (and the cloud).
+	if cfg.Zones > 2 {
+		island := []simnet.NodeID{gatewayID(2), actuatorID(2), occSensorID(2)}
+		for i := 0; i < cfg.TempSensorsPerZone; i++ {
+			island = append(island, tempSensorID(2, i))
+		}
+		s.Partition(frac(0.70), dur(0.10), island)
+	}
+	// 5) Cloud node restarts (brokers lose volatile state).
+	s.Crash(frac(0.85), cloudID, dur(0.05))
+	return s
+}
+
+// buildFaults resolves the schedule for a config.
+func buildFaults(cfg ScenarioConfig) *fault.Schedule {
+	if cfg.Faults != nil {
+		return cfg.Faults
+	}
+	switch cfg.Preset {
+	case FaultsNone:
+		return &fault.Schedule{}
+	case FaultsHeavy:
+		return standardFaults(cfg, true)
+	default:
+		return standardFaults(cfg, false)
+	}
+}

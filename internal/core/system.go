@@ -1,0 +1,452 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/dataflow"
+	"repro/internal/device"
+	"repro/internal/env"
+	"repro/internal/fault"
+	"repro/internal/gossip"
+	"repro/internal/mape"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/orchestrate"
+	"repro/internal/pubsub"
+	"repro/internal/simnet"
+	"repro/internal/space"
+	"repro/internal/verify"
+)
+
+// dataView reads a node's current belief about a data key.
+type dataView func(key string) (dataflow.Item, bool)
+
+// sensorRig is one sensor device with its delivery path.
+type sensorRig struct {
+	id       simnet.NodeID
+	zone     int
+	ep       *simnet.Endpoint
+	mux      *simnet.Mux
+	dev      *device.Device
+	sensor   *device.Sensor
+	reporter *reporter      // ML1/3/4
+	client   *pubsub.Client // ML2
+	label    dataflow.Label
+	key      string
+}
+
+// actRig is one actuator device.
+type actRig struct {
+	id       simnet.NodeID
+	zone     int
+	ep       *simnet.Endpoint
+	mux      *simnet.Mux
+	dev      *device.Device
+	actuator *device.Actuator
+	// lastCmd drives the device-local watchdog: an actuator that
+	// stops hearing from its controller disengages rather than run
+	// away (a standard hardware failsafe, present at every maturity
+	// level).
+	lastCmd time.Duration
+}
+
+// edgeStack is one edge or cloud node with whatever subsystems its
+// archetype installed.
+type edgeStack struct {
+	id   simnet.NodeID
+	ep   *simnet.Endpoint
+	mux  *simnet.Mux
+	dev  *device.Device
+	zone int // home zone; -1 for cloudlets and cloud
+
+	table *itemTable      // ML1–ML3 latest-value store
+	store *dataflow.Store // ML4 replicated store
+	view  dataView
+
+	desired map[int]bool              // controller hysteresis memory per zone
+	applied map[int]simnet.NodeID     // ML4: raft-applied controller placements
+	raft    *consensus.Node           // ML4
+	gossip  *gossip.Protocol          // ML4
+	orch    *orchestrate.Orchestrator // ML4: leader-side placement brain
+	loop    *mape.Loop                // ML2+: analysis at this node
+	syncer  *mape.Syncer              // ML4 knowledge sharing
+}
+
+// System is one archetype instance of the scenario, ready to Run.
+type System struct {
+	cfg  ScenarioConfig
+	arch Archetype
+
+	sim      *simnet.Sim
+	envm     *env.Environment
+	spaces   *space.Map
+	injector *fault.Injector
+
+	sensors   []*sensorRig
+	actuators []*actRig
+	gateways  []*edgeStack
+	cloudlets []*edgeStack
+	cloud     *edgeStack
+	broker    *pubsub.Broker // ML2
+
+	goal     *model.GoalModel
+	reqTemp  []model.RequirementID
+	reqFresh []model.RequirementID
+	auditor  *dataflow.Engine
+	freshWin time.Duration
+	warmup   time.Duration
+	endOfRun time.Duration
+
+	// Measurement state.
+	tempTrace     []*metrics.SatisfactionTrace
+	freshTrace    []*metrics.SatisfactionTrace
+	goalTrace     *metrics.SatisfactionTrace
+	servable      metrics.Ratio
+	invocations   metrics.Ratio
+	dataAvail     metrics.Ratio
+	staleness     *metrics.LatencyRecorder
+	lastControlOK []time.Duration
+
+	runtimeMonitored int
+	designChecked    int
+	designPassed     bool
+	// models@runtime: the ML4 leader re-verifies the control
+	// availability model against the live membership view on every
+	// replanning pass.
+	runtimeChecks int
+	runtimeAlerts int
+
+	journal    []RunEvent
+	prevTempOK []bool
+	prevFresh  []bool
+}
+
+// NewSystem builds the scenario at the given maturity level.
+func NewSystem(cfg ScenarioConfig, arch Archetype) *System {
+	cfg = cfg.withDefaults()
+	sys := &System{
+		cfg:          cfg,
+		arch:         arch,
+		sim:          simnet.New(simnet.WithSeed(cfg.Seed), simnet.WithDefaultLatency(2*time.Millisecond)),
+		envm:         env.New(cfg.Seed + 1),
+		spaces:       space.NewMap(),
+		auditor:      dataflow.ObservedEngine(),
+		freshWin:     time.Duration(cfg.FreshnessFactor) * cfg.SampleInterval,
+		warmup:       cfg.Duration / 20,
+		endOfRun:     cfg.Duration,
+		staleness:    &metrics.LatencyRecorder{},
+		designPassed: true,
+	}
+	sys.injector = fault.NewInjector(sys.sim)
+	sys.buildWorld()
+	sys.buildRequirements()
+	switch arch {
+	case ML1:
+		sys.wireML1()
+	case ML2:
+		sys.wireML2()
+	case ML3:
+		sys.wireML3()
+	case ML4:
+		sys.wireML4()
+	default:
+		panic(fmt.Sprintf("core: unknown archetype %v", arch))
+	}
+	sys.injector.Arm(buildFaults(cfg))
+	sys.injector.Subscribe(sys.onFault)
+	sys.injector.Subscribe(func(ev fault.Event) {
+		sys.record(EventFault, "%s%s", ev.Kind, faultDetail(ev))
+	})
+	return sys
+}
+
+// faultDetail renders the target of a fault event for the journal.
+func faultDetail(ev fault.Event) string {
+	switch {
+	case ev.From != "" || ev.To != "":
+		return fmt.Sprintf(" %s↔%s", ev.From, ev.To)
+	case ev.Node != "" && ev.Detail != "":
+		return fmt.Sprintf(" %s %s", ev.Node, ev.Detail)
+	case ev.Node != "":
+		return " " + string(ev.Node)
+	case ev.Detail != "":
+		return " " + ev.Detail
+	default:
+		return ""
+	}
+}
+
+// zoneID names zone z in the spatial model.
+func zoneID(z int) space.ZoneID { return space.ZoneID(fmt.Sprintf("zone-%d", z)) }
+
+// buildWorld creates domains, zones, environment processes, devices
+// and their simulator nodes — everything archetype-independent.
+func (sys *System) buildWorld() {
+	cfg := sys.cfg
+	sys.spaces.AddDomain(space.Domain{ID: "campus", Jurisdiction: space.JurisdictionGDPR, Trusted: true})
+	sys.spaces.AddDomain(space.Domain{ID: "cloudprov", Jurisdiction: space.JurisdictionCCPA, Trusted: true})
+
+	for z := 0; z < cfg.Zones; z++ {
+		x0 := float64(z) * 100
+		if err := sys.spaces.AddZone(space.Zone{
+			ID:  zoneID(z),
+			Min: space.Point{X: x0, Y: 0}, Max: space.Point{X: x0 + 90, Y: 90},
+			DomainID: "campus",
+		}); err != nil {
+			panic(err)
+		}
+		sys.envm.Define(zoneID(z), env.Temperature, env.Process{
+			Initial: cfg.TempInit, Drift: cfg.Drift, Noise: cfg.Noise,
+			ShockProb: cfg.ShockProb, ShockMag: cfg.ShockMag,
+			Min: -20, Max: 60,
+		})
+		sys.envm.Define(zoneID(z), env.Occupancy, env.Process{
+			Initial: 5, Noise: 0.5, Min: 0, Max: 50,
+		})
+	}
+
+	place := func(id simnet.NodeID, z int, dx, dy float64, dom space.DomainID) {
+		x0 := 0.0
+		if z >= 0 {
+			x0 = float64(z) * 100
+		}
+		sys.spaces.Place(string(id), space.Point{X: x0 + dx, Y: dy}, dom)
+	}
+
+	// Devices and nodes.
+	for z := 0; z < cfg.Zones; z++ {
+		for i := 0; i < cfg.TempSensorsPerZone; i++ {
+			id := tempSensorID(z, i)
+			dev := device.New(device.ID(id), device.Config{
+				Class:        device.ClassSensorNode,
+				Capabilities: []device.Capability{device.SenseCap(env.Temperature)},
+			})
+			rig := &sensorRig{
+				id: id, zone: z, dev: dev,
+				sensor: &device.Sensor{Device: dev, Zone: zoneID(z), Variable: env.Temperature, NoiseStd: 0.05},
+				label: dataflow.Label{
+					Topic: "temperature", Sensitivity: dataflow.Public,
+					Origin: "campus", Jurisdiction: space.JurisdictionGDPR,
+				},
+				key: zoneTempKey(z),
+			}
+			rig.ep = sys.sim.AddNode(id)
+			rig.mux = simnet.NewMux(rig.ep)
+			sys.sensors = append(sys.sensors, rig)
+			place(id, z, 10+float64(i)*5, 10, "campus")
+		}
+		occ := occSensorID(z)
+		occDev := device.New(device.ID(occ), device.Config{
+			Class:        device.ClassSensorNode,
+			Capabilities: []device.Capability{device.SenseCap(env.Occupancy)},
+		})
+		occRig := &sensorRig{
+			id: occ, zone: z, dev: occDev,
+			sensor: &device.Sensor{Device: occDev, Zone: zoneID(z), Variable: env.Occupancy, NoiseStd: 0.2},
+			label: dataflow.Label{
+				Topic: "occupancy", Sensitivity: dataflow.Sensitive,
+				Origin: "campus", Jurisdiction: space.JurisdictionGDPR,
+			},
+			key: zoneOccKey(z),
+		}
+		occRig.ep = sys.sim.AddNode(occ)
+		occRig.mux = simnet.NewMux(occRig.ep)
+		sys.sensors = append(sys.sensors, occRig)
+		place(occ, z, 20, 20, "campus")
+
+		act := actuatorID(z)
+		actDev := device.New(device.ID(act), device.Config{
+			Class:        device.ClassActuatorNode,
+			Resources:    &device.Resources{Mains: true},
+			Capabilities: []device.Capability{device.ActuateCap("hvac")},
+		})
+		actR := &actRig{
+			id: act, zone: z, dev: actDev,
+			actuator: &device.Actuator{Device: actDev, Zone: zoneID(z), Variable: env.Temperature, Effect: cfg.CoolRate},
+		}
+		actR.ep = sys.sim.AddNode(act)
+		actR.mux = simnet.NewMux(actR.ep)
+		sys.actuators = append(sys.actuators, actR)
+		place(act, z, 40, 40, "campus")
+
+		gw := gatewayID(z)
+		sys.gateways = append(sys.gateways, sys.newEdgeStack(gw, z, device.ClassGateway))
+		place(gw, z, 45, 45, "campus")
+	}
+	for i := 0; i < cfg.Cloudlets; i++ {
+		cl := cloudletID(i)
+		sys.cloudlets = append(sys.cloudlets, sys.newEdgeStack(cl, -1, device.ClassCloudlet))
+		place(cl, -1, 50+float64(i)*10, 120, "campus")
+	}
+	sys.cloud = sys.newEdgeStack(cloudID, -1, device.ClassCloudVM)
+	place(cloudID, -1, 500, 500, "cloudprov")
+
+	// WAN links to the cloud: 40ms each way.
+	for _, id := range sys.allNodeIDs() {
+		if id != cloudID {
+			sys.sim.SetLinkBidirectional(id, cloudID, 40*time.Millisecond, 0)
+		}
+	}
+}
+
+// newEdgeStack registers the node and device for an edge/cloud host.
+func (sys *System) newEdgeStack(id simnet.NodeID, zone int, class device.Class) *edgeStack {
+	ep := sys.sim.AddNode(id)
+	st := &edgeStack{
+		id:      id,
+		ep:      ep,
+		mux:     simnet.NewMux(ep),
+		dev:     device.New(device.ID(id), device.Config{Class: class}),
+		zone:    zone,
+		desired: make(map[int]bool),
+	}
+	return st
+}
+
+// allNodeIDs returns every registered node ID, sorted.
+func (sys *System) allNodeIDs() []simnet.NodeID {
+	var out []simnet.NodeID
+	for _, s := range sys.sensors {
+		out = append(out, s.id)
+	}
+	for _, a := range sys.actuators {
+		out = append(out, a.id)
+	}
+	for _, g := range sys.gateways {
+		out = append(out, g.id)
+	}
+	for _, c := range sys.cloudlets {
+		out = append(out, c.id)
+	}
+	out = append(out, cloudID)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// edgeStacks returns gateways then cloudlets.
+func (sys *System) edgeStacks() []*edgeStack {
+	out := append([]*edgeStack(nil), sys.gateways...)
+	return append(out, sys.cloudlets...)
+}
+
+// edgeIDs returns the IDs of all edge nodes, sorted.
+func (sys *System) edgeIDs() []simnet.NodeID {
+	var out []simnet.NodeID
+	for _, st := range sys.edgeStacks() {
+		out = append(out, st.id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// buildRequirements creates the goal model: per zone, a temperature
+// band requirement and a data freshness requirement, all AND-refined
+// under the root goal.
+func (sys *System) buildRequirements() {
+	cfg := sys.cfg
+	var reqs []*model.Requirement
+	var leaves []*model.Goal
+	sys.tempTrace = make([]*metrics.SatisfactionTrace, cfg.Zones)
+	sys.freshTrace = make([]*metrics.SatisfactionTrace, cfg.Zones)
+	sys.goalTrace = &metrics.SatisfactionTrace{}
+	sys.lastControlOK = make([]time.Duration, cfg.Zones)
+	for z := 0; z < cfg.Zones; z++ {
+		sys.tempTrace[z] = &metrics.SatisfactionTrace{}
+		sys.freshTrace[z] = &metrics.SatisfactionTrace{}
+		sys.lastControlOK[z] = -time.Hour
+		tempID := model.RequirementID(fmt.Sprintf("R-temp-%d", z))
+		freshID := model.RequirementID(fmt.Sprintf("R-fresh-%d", z))
+		sys.reqTemp = append(sys.reqTemp, tempID)
+		sys.reqFresh = append(sys.reqFresh, freshID)
+		reqs = append(reqs,
+			&model.Requirement{
+				ID: tempID, Prop: tempProp(z),
+				Description: fmt.Sprintf("zone %d temperature within [%.0f,%.0f]", z, cfg.TempLow, cfg.TempHigh),
+			},
+			&model.Requirement{
+				ID: freshID, Prop: freshProp(z),
+				Description: fmt.Sprintf("zone %d readings fresh at controller", z),
+			},
+		)
+		leaves = append(leaves, &model.Goal{
+			ID:           model.GoalID(fmt.Sprintf("G-zone-%d", z)),
+			Refinement:   model.RefinementAND,
+			Requirements: []model.RequirementID{tempID, freshID},
+		})
+	}
+	root := &model.Goal{ID: "G-root", Refinement: model.RefinementAND, Subgoals: leaves}
+	sys.goal = model.NewGoalModel(root, reqs)
+	if err := sys.goal.Validate(); err != nil {
+		panic(err)
+	}
+}
+
+func tempProp(z int) verify.Prop  { return verify.Prop(fmt.Sprintf("z%d:temp_ok", z)) }
+func freshProp(z int) verify.Prop { return verify.Prop(fmt.Sprintf("z%d:fresh", z)) }
+
+// onFault handles model-level fault events (domain transfer, stack
+// upgrade, battery drain) that the network injector delegates.
+func (sys *System) onFault(ev fault.Event) {
+	switch ev.Kind {
+	case fault.KindDomainTransfer:
+		_ = sys.spaces.Transfer(string(ev.Node), space.DomainID(ev.Detail))
+	case fault.KindStackUpgrade:
+		if d := sys.deviceOf(ev.Node); d != nil {
+			d.UpgradeStack()
+		}
+	case fault.KindBatteryDrain:
+		if d := sys.deviceOf(ev.Node); d != nil {
+			for !d.Drained() && !d.Resources().Mains {
+				if d.Idle(time.Hour) {
+					break
+				}
+			}
+		}
+	}
+}
+
+// deviceOf finds the device model behind a node ID.
+func (sys *System) deviceOf(id simnet.NodeID) *device.Device {
+	for _, s := range sys.sensors {
+		if s.id == id {
+			return s.dev
+		}
+	}
+	for _, a := range sys.actuators {
+		if a.id == id {
+			return a.dev
+		}
+	}
+	for _, st := range sys.edgeStacks() {
+		if st.id == id {
+			return st.dev
+		}
+	}
+	if sys.cloud != nil && sys.cloud.id == id {
+		return sys.cloud.dev
+	}
+	return nil
+}
+
+// auditArrival counts privacy violations: the uniform observe-only
+// auditor checks every item that actually landed on a node, whatever
+// mechanism carried it there.
+func (sys *System) auditArrival(item dataflow.Item, at simnet.NodeID) {
+	fromDom, _ := sys.spaces.Domain(item.Label.Origin)
+	pl, ok := sys.spaces.PlacementOf(string(at))
+	if !ok {
+		return
+	}
+	toDom, _ := sys.spaces.Domain(pl.Domain)
+	if fromDom.ID == toDom.ID {
+		return // intra-domain placement is never a flow violation
+	}
+	before := sys.auditor.ViolationCount()
+	sys.auditor.Admit(dataflow.FlowContext{Item: item, From: fromDom, To: toDom}, sys.sim.Now())
+	if sys.auditor.ViolationCount() > before {
+		sys.record(EventPrivacy, "item %s observed at %s (origin %s)", item.Key, at, item.Label.Origin)
+	}
+}

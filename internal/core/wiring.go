@@ -1,0 +1,603 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/crdt"
+	"repro/internal/dataflow"
+	"repro/internal/device"
+	"repro/internal/gossip"
+	"repro/internal/mape"
+	"repro/internal/model"
+	"repro/internal/orchestrate"
+	"repro/internal/pubsub"
+	"repro/internal/simnet"
+	"repro/internal/verify"
+)
+
+// actTopic is the ML2 actuation topic of a zone.
+func actTopic(z int) string { return fmt.Sprintf("act/%d", z) }
+
+// readingsTopic is the ML2 sensor publication topic.
+const readingsTopic = "readings"
+
+// controlFnName is the ML4 deviceless controller function of a zone.
+func controlFnName(z int) string { return fmt.Sprintf("zone-controller-%d", z) }
+
+// --- shared wiring helpers ---
+
+// startSensorsWithReporter arms every sensor's sampling ticker
+// delivering through an ack-failover reporter with the given candidate
+// lists.
+func (sys *System) startSensorsWithReporter(candidates func(*sensorRig) []simnet.NodeID) {
+	for _, rig := range sys.sensors {
+		rig := rig
+		rig.reporter = newReporter(rig.mux.Port("data"), candidates(rig))
+		rig.ep.Every(sys.cfg.SampleInterval, func() {
+			val, ok := rig.sensor.Sample(sys.envm, sys.sim.Rand().NormFloat64())
+			if !ok {
+				return
+			}
+			rig.reporter.send(dataflow.Item{
+				Key: rig.key, Value: val, Label: rig.label, ProducedAt: sys.sim.Now(),
+			})
+		})
+	}
+}
+
+// wireActuatorsDirect installs the direct actuation handler used by
+// ML1, ML3 and ML4: actuateMsg on the "act" port. A crashed actuator
+// loses its engagement; the idempotent periodic commands restore it.
+func (sys *System) wireActuatorsDirect() {
+	for _, rig := range sys.actuators {
+		rig := rig
+		rig.mux.Port("act").OnMessage(func(_ simnet.NodeID, msg simnet.Message) {
+			if m, ok := msg.(actuateMsg); ok && m.Zone == rig.zone {
+				rig.lastCmd = sys.sim.Now()
+				rig.actuator.SetEngaged(m.Engage)
+			}
+		})
+		sys.armActuatorWatchdog(rig)
+	}
+}
+
+// armActuatorWatchdog installs the device-local failsafe: disengage on
+// crash or when no controller command has arrived within the freshness
+// window.
+func (sys *System) armActuatorWatchdog(rig *actRig) {
+	rig.ep.OnDown(func() { rig.actuator.SetEngaged(false) })
+	rig.ep.Every(sys.freshWin, func() {
+		if rig.actuator.Engaged() && sys.sim.Now()-rig.lastCmd > sys.freshWin {
+			rig.actuator.SetEngaged(false)
+		}
+	})
+}
+
+// controlTick builds a controller pass for the zones the stack
+// currently controls: hysteresis band control on fresh data, with
+// idempotent actuation commands.
+func (sys *System) controlTick(st *edgeStack, controls func(z int) bool, sendAct func(z int, engage bool)) func() {
+	cfg := sys.cfg
+	mid := (cfg.TempLow + cfg.TempHigh) / 2
+	return func() {
+		for z := 0; z < cfg.Zones; z++ {
+			if !controls(z) {
+				continue
+			}
+			item, ok := st.view(zoneTempKey(z))
+			if !ok {
+				continue
+			}
+			if sys.sim.Now()-item.ProducedAt > sys.freshWin {
+				continue
+			}
+			temp, ok := item.Value.(float64)
+			if !ok {
+				continue
+			}
+			engage := st.desired[z]
+			switch {
+			case temp > mid+0.5:
+				engage = true
+			case temp < mid-0.5:
+				engage = false
+			}
+			st.desired[z] = engage
+			sendAct(z, engage)
+			sys.lastControlOK[z] = sys.sim.Now()
+		}
+	}
+}
+
+// installLoop attaches a MAPE loop analyzing the given zones' two
+// requirements against the stack's data view, counting them toward the
+// validation coverage metric. The loop is driven by the stack's own
+// ticker, so it pauses while the node is down (an edge loop cannot run
+// on a dead edge node — the point of the F5 experiment).
+func (sys *System) installLoop(st *edgeStack, zones []int) {
+	cfg := sys.cfg
+	k := mape.NewKnowledge(knowledgeReplica(st.id), sys.sim.Now)
+	loop := mape.NewLoop(k, sys.sim.Now)
+	for _, z := range zones {
+		z := z
+		loop.AddMonitor(func(k *mape.Knowledge) {
+			if item, ok := st.view(zoneTempKey(z)); ok {
+				if v, isF := item.Value.(float64); isF {
+					k.Put(zoneTempKey(z), v)
+					k.Put(zoneTempKey(z)+"/age", float64(sys.sim.Now()-item.ProducedAt))
+				}
+			}
+		})
+		loop.AddRule(mape.PropRule{Prop: tempProp(z), Eval: func(k *mape.Knowledge) bool {
+			v, ok := k.GetFloat(zoneTempKey(z))
+			return ok && v >= cfg.TempLow && v <= cfg.TempHigh
+		}})
+		loop.AddRule(mape.PropRule{Prop: freshProp(z), Eval: func(k *mape.Knowledge) bool {
+			age, ok := k.GetFloat(zoneTempKey(z) + "/age")
+			return ok && time.Duration(age) <= sys.freshWin
+		}})
+		tempReq, _ := sys.goal.Requirement(sys.reqTemp[z])
+		freshReq, _ := sys.goal.Requirement(sys.reqFresh[z])
+		loop.AddRequirement(tempReq)
+		loop.AddRequirement(freshReq)
+		sys.runtimeMonitored += 2
+	}
+	st.loop = loop
+	st.ep.Every(cfg.ControlInterval, loop.Cycle)
+}
+
+// knowledgeReplica derives the CRDT replica ID for a node.
+func knowledgeReplica(id simnet.NodeID) crdt.ReplicaID { return crdt.ReplicaID(id) }
+
+// backupFor returns the statically designated ML3 backup cloudlet of a
+// zone.
+func (sys *System) backupFor(z int) *edgeStack {
+	return sys.cloudlets[z%len(sys.cloudlets)]
+}
+
+// --- ML1: vertical silo ---
+
+func (sys *System) wireML1() {
+	for _, st := range sys.gateways {
+		st := st
+		st.table = newItemTable()
+		st.view = st.table.get
+		newCollector(st.mux.Port("data"), func(item dataflow.Item, _ simnet.NodeID) {
+			st.table.put(item)
+			sys.auditArrival(item, st.id)
+		})
+		actPort := st.mux.Port("act")
+		home := st.zone
+		st.ep.Every(sys.cfg.ControlInterval, sys.controlTick(st,
+			func(z int) bool { return z == home },
+			func(z int, engage bool) { actPort.Send(actuatorID(z), actuateMsg{Zone: z, Engage: engage}) },
+		))
+	}
+	sys.startSensorsWithReporter(func(rig *sensorRig) []simnet.NodeID {
+		return []simnet.NodeID{gatewayID(rig.zone)}
+	})
+	sys.wireActuatorsDirect()
+	// ML1 has no validation machinery: runtimeMonitored and
+	// designChecked stay 0.
+}
+
+// --- ML2: IoT-Cloud ---
+
+func (sys *System) wireML2() {
+	cloud := sys.cloud
+	cloud.table = newItemTable()
+	cloud.view = cloud.table.get
+	sys.broker = pubsub.NewBroker(cloud.mux.Port("pubsub"))
+	sys.broker.SubscribeLocal(readingsTopic, func(_ string, payload any) {
+		if item, ok := payload.(dataflow.Item); ok {
+			cloud.table.put(item)
+			sys.auditArrival(item, cloud.id)
+		}
+	})
+
+	// Sensors publish through pubsub clients. The bolt-on variant
+	// (ablation A1) upgrades to QoS-1 retried publishes — the classic
+	// add-on reliability mechanism.
+	qos := pubsub.AtMostOnce
+	if sys.cfg.BoltOnResilience {
+		qos = pubsub.AtLeastOnce
+	}
+	for _, rig := range sys.sensors {
+		rig := rig
+		rig.client = pubsub.NewClient(rig.mux.Port("pubsub"), cloudID, pubsub.ClientConfig{
+			RetryInterval: sys.cfg.SampleInterval / 4,
+			MaxRetries:    3,
+		})
+		rig.ep.Every(sys.cfg.SampleInterval, func() {
+			val, ok := rig.sensor.Sample(sys.envm, sys.sim.Rand().NormFloat64())
+			if !ok {
+				return
+			}
+			rig.client.Publish(readingsTopic, dataflow.Item{
+				Key: rig.key, Value: val, Label: rig.label, ProducedAt: sys.sim.Now(),
+			}, qos)
+		})
+	}
+
+	// Actuators subscribe to their zone's actuation topic and
+	// re-subscribe periodically (the broker forgets subscriptions when
+	// the cloud node restarts — ML2's partial automation).
+	for _, rig := range sys.actuators {
+		rig := rig
+		client := pubsub.NewClient(rig.mux.Port("pubsub"), cloudID, pubsub.ClientConfig{})
+		handler := func(_ string, payload any) {
+			if m, ok := payload.(actuateMsg); ok && m.Zone == rig.zone {
+				rig.lastCmd = sys.sim.Now()
+				rig.actuator.SetEngaged(m.Engage)
+			}
+		}
+		client.Subscribe(actTopic(rig.zone), handler)
+		keepalive := 30 * time.Second
+		if sys.cfg.BoltOnResilience {
+			keepalive = 5 * time.Second
+		}
+		rig.ep.Every(keepalive, func() { client.Subscribe(actTopic(rig.zone), handler) })
+		sys.armActuatorWatchdog(rig)
+	}
+
+	// Cloud-side controller for every zone. Actuation is published
+	// retained, so an actuator re-subscribing after a broker restart
+	// immediately learns the current command.
+	cloud.ep.Every(sys.cfg.ControlInterval, sys.controlTick(cloud,
+		func(int) bool { return true },
+		func(z int, engage bool) { sys.broker.InjectRetained(actTopic(z), actuateMsg{Zone: z, Engage: engage}) },
+	))
+
+	// Validation: runtime monitoring only, centralized in the cloud.
+	zones := make([]int, sys.cfg.Zones)
+	for z := range zones {
+		zones[z] = z
+	}
+	sys.installLoop(cloud, zones)
+}
+
+// --- ML3: edge-centric with static backup ---
+
+func (sys *System) wireML3() {
+	wireEdgeCollector := func(st *edgeStack) {
+		st.table = newItemTable()
+		st.view = st.table.get
+		dataPort := st.mux.Port("data")
+		newCollector(dataPort, func(item dataflow.Item, _ simnet.NodeID) {
+			st.table.put(item)
+			sys.auditArrival(item, st.id)
+			// Bidirectional edge↔cloud flows: forward upstream,
+			// fire-and-forget.
+			dataPort.Send(cloudID, readingMsg{Seq: 0, Item: item})
+		})
+		actPort := st.mux.Port("act")
+		st.ep.Every(sys.cfg.ControlInterval, sys.controlTick(st,
+			func(int) bool { return true }, // data-driven: only zones with fresh local data act
+			func(z int, engage bool) { actPort.Send(actuatorID(z), actuateMsg{Zone: z, Engage: engage}) },
+		))
+	}
+	for _, st := range sys.gateways {
+		wireEdgeCollector(st)
+	}
+	for _, st := range sys.cloudlets {
+		wireEdgeCollector(st)
+	}
+	// Cloud ingests forwarded data (analytics consumer, no control).
+	sys.cloud.table = newItemTable()
+	sys.cloud.view = sys.cloud.table.get
+	newCollector(sys.cloud.mux.Port("data"), func(item dataflow.Item, _ simnet.NodeID) {
+		sys.cloud.table.put(item)
+		sys.auditArrival(item, sys.cloud.id)
+	})
+
+	sys.startSensorsWithReporter(func(rig *sensorRig) []simnet.NodeID {
+		return []simnet.NodeID{gatewayID(rig.zone), sys.backupFor(rig.zone).id}
+	})
+	sys.wireActuatorsDirect()
+
+	// Validation: runtime monitors at each gateway for its own zone,
+	// plus a task-specific design-time check of the control path's
+	// redundancy (gateway + designated backup).
+	for z, st := range sys.gateways {
+		sys.installLoop(st, []int{z})
+		cfg := model.NewConfiguration()
+		for i := 0; i < sys.cfg.TempSensorsPerZone; i++ {
+			cfg.Add(model.Component{
+				ID:   model.ComponentID(fmt.Sprintf("sense-%d-%d", z, i)),
+				Host: string(tempSensorID(z, i)), Provides: []model.Service{"sensing"},
+			})
+		}
+		cfg.Add(model.Component{ID: model.ComponentID(fmt.Sprintf("ctrl-gw-%d", z)),
+			Host: string(st.id), Provides: []model.Service{"control"}, Requires: []model.Service{"sensing"}})
+		cfg.Add(model.Component{ID: model.ComponentID(fmt.Sprintf("ctrl-bak-%d", z)),
+			Host: string(sys.backupFor(z).id), Provides: []model.Service{"control"}})
+		k, err := model.FailureKripke(cfg, model.FailureModelOptions{MaxConcurrentFailures: 1})
+		if err != nil {
+			panic(err)
+		}
+		if verify.Check(k, verify.AG(verify.AP(model.ServiceProp("control")))) {
+			sys.designChecked++ // temperature requirement has a design verdict
+		} else {
+			sys.designPassed = false
+		}
+	}
+}
+
+// --- ML4: resilient IoT ---
+
+func (sys *System) wireML4() {
+	edge := sys.edgeStacks()
+	edgeIDs := sys.edgeIDs()
+	syncEvery := sys.cfg.ML4SyncInterval
+	if syncEvery <= 0 {
+		syncEvery = sys.cfg.SampleInterval
+	}
+
+	// Replicated governed stores on every edge node and the cloud.
+	for _, st := range edge {
+		st := st
+		var peers []simnet.NodeID
+		if sys.cfg.ML4Ablation != "no-sync" {
+			for _, other := range edgeIDs {
+				if other != st.id {
+					peers = append(peers, other)
+				}
+			}
+			peers = append(peers, cloudID)
+		}
+		st.store = dataflow.NewStore(st.mux.Port("store"), sys.spaces, dataflow.StoreConfig{
+			Peers:        peers,
+			SyncInterval: syncEvery,
+			Engine:       dataflow.DefaultPrivacyEngine(),
+		})
+		st.store.OnApply(func(item dataflow.Item, _ simnet.NodeID) { sys.auditArrival(item, st.id) })
+		st.store.Start()
+		st.view = st.store.Get
+	}
+	sys.cloud.store = dataflow.NewStore(sys.cloud.mux.Port("store"), sys.spaces, dataflow.StoreConfig{
+		SyncInterval: syncEvery,
+		Engine:       dataflow.DefaultPrivacyEngine(),
+	})
+	sys.cloud.store.OnApply(func(item dataflow.Item, _ simnet.NodeID) { sys.auditArrival(item, sys.cloud.id) })
+	sys.cloud.store.Start()
+	sys.cloud.view = sys.cloud.store.Get
+
+	// Collectors put into the local store; CRDT sync distributes.
+	for _, st := range edge {
+		st := st
+		newCollector(st.mux.Port("data"), func(item dataflow.Item, _ simnet.NodeID) {
+			st.store.Put(item)
+			sys.auditArrival(item, st.id)
+		})
+	}
+
+	// Gossip membership across the edge group.
+	seeds := []simnet.NodeID{sys.gateways[0].id, sys.cloudlets[0].id}
+	for _, st := range edge {
+		st.gossip = gossip.New(st.mux.Port("gossip"), gossip.Config{
+			ProbeInterval:    time.Second,
+			ProbeTimeout:     200 * time.Millisecond,
+			SuspicionTimeout: 3 * time.Second,
+		})
+		st.gossip.Start(seeds...)
+	}
+
+	// Raft-replicated controller placements computed by a
+	// capability-aware orchestrator on the leader.
+	for _, st := range edge {
+		st := st
+		st.applied = make(map[int]simnet.NodeID)
+		st.orch = orchestrate.New(sys.spaces, func(id device.ID) bool {
+			for _, m := range st.gossip.Members() {
+				if string(m.ID) == string(id) {
+					return m.Status == gossip.StatusAlive
+				}
+			}
+			return false
+		})
+		for _, other := range edge {
+			st.orch.RegisterHost(other.dev)
+		}
+		st.raft = consensus.New(st.mux.Port("raft"), edgeIDs, consensus.Config{}, func(_ uint64, cmd consensus.Command) {
+			pc, ok := cmd.(placementCmd)
+			if !ok {
+				return
+			}
+			st.applied = make(map[int]simnet.NodeID, len(pc.Assignments))
+			for z, host := range pc.Assignments {
+				st.applied[z] = host
+			}
+		})
+		st.raft.Start()
+		if sys.cfg.ML4Ablation == "no-replan" {
+			// Ablation A2: one initial placement, never revisited.
+			st.ep.After(2*sys.cfg.ControlInterval, func() { sys.ml4Replan(st) })
+		} else {
+			st.ep.Every(2*sys.cfg.ControlInterval, func() { sys.ml4Replan(st) })
+		}
+
+		// Controller: runs the zones this node is assigned.
+		actPort := st.mux.Port("act")
+		st.ep.Every(sys.cfg.ControlInterval, sys.controlTick(st,
+			func(z int) bool { return st.applied[z] == st.id },
+			func(z int, engage bool) { actPort.Send(actuatorID(z), actuateMsg{Zone: z, Engage: engage}) },
+		))
+	}
+
+	// Sensors fail over across the whole edge, nearest first (the
+	// "no-failover" ablation pins them to the home gateway instead).
+	sys.startSensorsWithReporter(func(rig *sensorRig) []simnet.NodeID {
+		if sys.cfg.ML4Ablation == "no-failover" {
+			return []simnet.NodeID{gatewayID(rig.zone)}
+		}
+		cands := make([]string, 0, len(edgeIDs))
+		for _, id := range edgeIDs {
+			cands = append(cands, string(id))
+		}
+		ordered := sys.spaces.NearestOrder(string(rig.id), cands)
+		out := make([]simnet.NodeID, 0, len(ordered))
+		for _, c := range ordered {
+			out = append(out, simnet.NodeID(c))
+		}
+		return out
+	})
+	sys.wireActuatorsDirect()
+
+	// MAPE at the edge: per-gateway loops with knowledge sharing; the
+	// planner reacts to stale data by forcing an immediate store sync.
+	var gwIDs []simnet.NodeID
+	for _, g := range sys.gateways {
+		gwIDs = append(gwIDs, g.id)
+	}
+	for z, st := range sys.gateways {
+		st := st
+		sys.installLoop(st, []int{z})
+		st.loop.SetPlanner(func(_ *mape.Knowledge, issues []mape.Issue) []mape.Action {
+			var out []mape.Action
+			for _, is := range issues {
+				if is.Prop == freshProp(z) {
+					out = append(out, mape.Action{Name: "sync-now"})
+				}
+			}
+			return out
+		})
+		st.loop.SetExecutor(func(_ *mape.Knowledge, a mape.Action) bool {
+			if a.Name != "sync-now" {
+				return false
+			}
+			st.store.SyncNow()
+			return true
+		})
+		var peers []simnet.NodeID
+		for _, id := range gwIDs {
+			if id != st.id {
+				peers = append(peers, id)
+			}
+		}
+		st.syncer = mape.NewSyncer(st.mux.Port("mape"), st.loop, peers, 2*sys.cfg.SampleInterval)
+		st.syncer.Start()
+	}
+
+	// Design-time validation of the full edge configuration: control
+	// survives any two concurrent edge failures; sensing survives one.
+	for z := 0; z < sys.cfg.Zones; z++ {
+		cfg := model.NewConfiguration()
+		for i := 0; i < sys.cfg.TempSensorsPerZone; i++ {
+			cfg.Add(model.Component{
+				ID:   model.ComponentID(fmt.Sprintf("sense-%d-%d", z, i)),
+				Host: string(tempSensorID(z, i)), Provides: []model.Service{"sensing"},
+			})
+		}
+		k, err := model.FailureKripke(cfg, model.FailureModelOptions{MaxConcurrentFailures: 1})
+		if err != nil {
+			panic(err)
+		}
+		if verify.Check(k, verify.AG(verify.AP(model.ServiceProp("sensing")))) {
+			sys.designChecked++ // freshness requirement
+		} else {
+			sys.designPassed = false
+		}
+
+		ctrlCfg := model.NewConfiguration()
+		for _, st := range edge {
+			ctrlCfg.Add(model.Component{
+				ID:   model.ComponentID("ctrl-" + string(st.id)),
+				Host: string(st.id), Provides: []model.Service{"control"},
+			})
+		}
+		k2, err := model.FailureKripke(ctrlCfg, model.FailureModelOptions{MaxConcurrentFailures: 2})
+		if err != nil {
+			panic(err)
+		}
+		if verify.Check(k2, verify.AG(verify.AP(model.ServiceProp("control")))) &&
+			verify.Check(k2, verify.AG(verify.EF(verify.AP("all-up")))) {
+			sys.designChecked++ // temperature requirement
+		} else {
+			sys.designPassed = false
+		}
+	}
+}
+
+// ml4Replan runs on every edge node's ticker; only the current Raft
+// leader computes and proposes placements.
+func (sys *System) ml4Replan(st *edgeStack) {
+	if st.raft.Role() != consensus.Leader {
+		return
+	}
+	desired := make(map[int]simnet.NodeID, sys.cfg.Zones)
+	for z := 0; z < sys.cfg.Zones; z++ {
+		fn := orchestrate.Function{
+			Name:       controlFnName(z),
+			Requires:   []device.Capability{device.CapControl},
+			CPUMIPS:    50,
+			MemMB:      32,
+			PreferEdge: true,
+		}
+		zoned := fn
+		zoned.Zone = zoneID(z)
+		host, err := st.orch.Deploy(zoned)
+		if err != nil {
+			host, err = st.orch.Deploy(fn)
+		}
+		if err == nil {
+			desired[z] = simnet.NodeID(host)
+		}
+	}
+	if !placementsEqual(desired, st.applied) {
+		st.raft.Propose(placementCmd{Assignments: desired})
+		sys.record(EventPlacement, "leader %s proposes %s", st.id, formatPlacements(desired))
+	}
+
+	// models@runtime (roadmap, validation vector): re-verify the
+	// design-time control-availability property against the *current*
+	// membership view. A false verdict is an early warning that the
+	// failure assumption (any 2 concurrent edge failures survivable)
+	// no longer holds — before it actually bites.
+	sys.runtimeChecks++
+	cfg := model.NewConfiguration()
+	for _, id := range st.gossip.Alive() {
+		cfg.Add(model.Component{
+			ID:   model.ComponentID("ctrl-" + string(id)),
+			Host: string(id), Provides: []model.Service{"control"},
+		})
+	}
+	k, err := model.FailureKripke(cfg, model.FailureModelOptions{MaxConcurrentFailures: 2})
+	if err != nil || !verify.Check(k, verify.AG(verify.AP(model.ServiceProp("control")))) {
+		sys.runtimeAlerts++
+		sys.record(EventAlert, "failure assumption unsatisfiable with %d alive edge nodes", len(st.gossip.Alive()))
+	}
+}
+
+// formatPlacements renders a placement map compactly and stably.
+func formatPlacements(m map[int]simnet.NodeID) string {
+	parts := make([]string, 0, len(m))
+	for z := 0; z < len(m)+16; z++ { // zones are small dense ints
+		if host, ok := m[z]; ok {
+			parts = append(parts, fmt.Sprintf("z%d→%s", z, host))
+			if len(parts) == len(m) {
+				break
+			}
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func placementsEqual(a, b map[int]simnet.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for z, h := range a {
+		if b[z] != h {
+			return false
+		}
+	}
+	return true
+}
+
+// placementCmd is the Raft command replicating controller placements.
+type placementCmd struct {
+	Assignments map[int]simnet.NodeID
+}

@@ -1,0 +1,92 @@
+package crdt
+
+// GCounter is a grow-only counter. The zero value is ready to use.
+type GCounter struct {
+	counts map[ReplicaID]uint64
+}
+
+// NewGCounter returns an empty grow-only counter.
+func NewGCounter() *GCounter {
+	return &GCounter{counts: make(map[ReplicaID]uint64)}
+}
+
+func (g *GCounter) ensure() {
+	if g.counts == nil {
+		g.counts = make(map[ReplicaID]uint64)
+	}
+}
+
+// Add increments the counter by n on behalf of replica r.
+func (g *GCounter) Add(r ReplicaID, n uint64) {
+	g.ensure()
+	g.counts[r] += n
+}
+
+// Value returns the counter total.
+func (g *GCounter) Value() uint64 {
+	var sum uint64
+	for _, c := range g.counts {
+		sum += c
+	}
+	return sum
+}
+
+// Merge folds other into g (pairwise max per replica).
+func (g *GCounter) Merge(other *GCounter) {
+	if other == nil {
+		return
+	}
+	g.ensure()
+	for r, c := range other.counts {
+		if c > g.counts[r] {
+			g.counts[r] = c
+		}
+	}
+}
+
+// Copy returns a deep copy.
+func (g *GCounter) Copy() *GCounter {
+	out := NewGCounter()
+	for r, c := range g.counts {
+		out.counts[r] = c
+	}
+	return out
+}
+
+// PNCounter is a counter supporting increments and decrements, built
+// from two grow-only counters. The zero value is ready to use.
+type PNCounter struct {
+	pos GCounter
+	neg GCounter
+}
+
+// NewPNCounter returns an empty PN-counter.
+func NewPNCounter() *PNCounter { return &PNCounter{} }
+
+// Add increments by n on behalf of replica r.
+func (p *PNCounter) Add(r ReplicaID, n uint64) { p.pos.Add(r, n) }
+
+// Sub decrements by n on behalf of replica r.
+func (p *PNCounter) Sub(r ReplicaID, n uint64) { p.neg.Add(r, n) }
+
+// Value returns the signed total.
+func (p *PNCounter) Value() int64 {
+	return int64(p.pos.Value()) - int64(p.neg.Value())
+}
+
+// Merge folds other into p.
+func (p *PNCounter) Merge(other *PNCounter) {
+	if other == nil {
+		return
+	}
+	p.pos.Merge(&other.pos)
+	p.neg.Merge(&other.neg)
+}
+
+// Copy returns a deep copy.
+func (p *PNCounter) Copy() *PNCounter {
+	out := NewPNCounter()
+	out.pos = *p.pos.Copy()
+	out.neg = *p.neg.Copy()
+	return out
+}

@@ -1,0 +1,175 @@
+package crdt
+
+import (
+	"sort"
+	"time"
+)
+
+// LWWMap is a last-writer-wins key/value map — the workhorse of the
+// data plane: each key behaves as an LWWRegister, and replicas converge
+// by exchanging either full state or deltas (entries newer than a known
+// timestamp). Deletes are tombstoned writes so they propagate.
+type LWWMap struct {
+	replica ReplicaID
+	entries map[string]mapEntry
+}
+
+// mapEntry is one key's LWW state.
+type mapEntry struct {
+	Value   any
+	Ts      time.Duration
+	Replica ReplicaID
+	Deleted bool
+}
+
+// wins reports whether (ts, r) supersedes the entry.
+func (e mapEntry) wins(ts time.Duration, r ReplicaID) bool {
+	if ts != e.Ts {
+		return ts > e.Ts
+	}
+	return r > e.Replica
+}
+
+// Entry is an exported snapshot of one key's state, used for deltas.
+type Entry struct {
+	Key     string
+	Value   any
+	Ts      time.Duration
+	Replica ReplicaID
+	Deleted bool
+}
+
+// NewLWWMap returns an empty map owned by replica r.
+func NewLWWMap(r ReplicaID) *LWWMap {
+	return &LWWMap{replica: r, entries: make(map[string]mapEntry)}
+}
+
+// Replica returns the owning replica ID.
+func (m *LWWMap) Replica() ReplicaID { return m.replica }
+
+// Set writes key=value at timestamp ts on behalf of the local replica.
+// It reports whether the write won against the current state.
+func (m *LWWMap) Set(key string, value any, ts time.Duration) bool {
+	return m.apply(Entry{Key: key, Value: value, Ts: ts, Replica: m.replica})
+}
+
+// Delete tombstones the key at ts. It reports whether the delete won.
+func (m *LWWMap) Delete(key string, ts time.Duration) bool {
+	return m.apply(Entry{Key: key, Ts: ts, Replica: m.replica, Deleted: true})
+}
+
+// apply merges one entry (local or remote) into the map.
+func (m *LWWMap) apply(e Entry) bool {
+	cur, ok := m.entries[e.Key]
+	if ok && !cur.wins(e.Ts, e.Replica) {
+		return false
+	}
+	m.entries[e.Key] = mapEntry{Value: e.Value, Ts: e.Ts, Replica: e.Replica, Deleted: e.Deleted}
+	return true
+}
+
+// Get returns the live value for key.
+func (m *LWWMap) Get(key string) (any, bool) {
+	e, ok := m.entries[key]
+	if !ok || e.Deleted {
+		return nil, false
+	}
+	return e.Value, true
+}
+
+// Timestamp returns the winning write time for key (including deletes),
+// and false if the key was never written.
+func (m *LWWMap) Timestamp(key string) (time.Duration, bool) {
+	e, ok := m.entries[key]
+	if !ok {
+		return 0, false
+	}
+	return e.Ts, true
+}
+
+// Keys returns the live keys, sorted.
+func (m *LWWMap) Keys() []string {
+	var out []string
+	for k, e := range m.entries {
+		if !e.Deleted {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live keys.
+func (m *LWWMap) Len() int {
+	n := 0
+	for _, e := range m.entries {
+		if !e.Deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// State exports every entry (including tombstones), sorted by key, for
+// full-state synchronization.
+func (m *LWWMap) State() []Entry {
+	out := make([]Entry, 0, len(m.entries))
+	for k, e := range m.entries {
+		out = append(out, Entry{Key: k, Value: e.Value, Ts: e.Ts, Replica: e.Replica, Deleted: e.Deleted})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Since exports entries with a write time strictly after ts — a delta
+// for incremental anti-entropy.
+func (m *LWWMap) Since(ts time.Duration) []Entry {
+	var out []Entry
+	for k, e := range m.entries {
+		if e.Ts > ts {
+			out = append(out, Entry{Key: k, Value: e.Value, Ts: e.Ts, Replica: e.Replica, Deleted: e.Deleted})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Apply merges a batch of exported entries (full state or delta) and
+// returns how many of them won.
+func (m *LWWMap) Apply(entries []Entry) int {
+	won := 0
+	for _, e := range entries {
+		if m.apply(e) {
+			won++
+		}
+	}
+	return won
+}
+
+// Merge folds another map into this one.
+func (m *LWWMap) Merge(other *LWWMap) {
+	if other == nil {
+		return
+	}
+	m.Apply(other.State())
+}
+
+// MaxTimestamp returns the newest write time in the map.
+func (m *LWWMap) MaxTimestamp() time.Duration {
+	var max time.Duration
+	for _, e := range m.entries {
+		if e.Ts > max {
+			max = e.Ts
+		}
+	}
+	return max
+}
+
+// Copy returns a deep copy keeping the same replica identity.
+func (m *LWWMap) Copy() *LWWMap {
+	out := NewLWWMap(m.replica)
+	for k, e := range m.entries {
+		out.entries[k] = e
+	}
+	return out
+}

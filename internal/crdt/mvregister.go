@@ -1,0 +1,111 @@
+package crdt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// version is one causally-tagged value in an MVRegister.
+type version struct {
+	value any
+	clock VClock
+}
+
+// MVRegister is a multi-value register: unlike LWW, concurrent writes
+// are *kept* rather than arbitrated, so the application can see — and
+// resolve — the conflict itself. Useful where losing a concurrent
+// update silently is worse than surfacing it (e.g. conflicting
+// actuation set-points from two edge controllers during a partition).
+type MVRegister struct {
+	replica  ReplicaID
+	versions []version
+}
+
+// NewMVRegister returns an empty register owned by replica r.
+func NewMVRegister(r ReplicaID) *MVRegister {
+	return &MVRegister{replica: r}
+}
+
+// Set writes a value that causally supersedes every version currently
+// visible at this replica.
+func (m *MVRegister) Set(value any) {
+	clock := make(VClock)
+	for _, v := range m.versions {
+		clock.Merge(v.clock)
+	}
+	clock.Tick(m.replica)
+	m.versions = []version{{value: value, clock: clock}}
+}
+
+// Values returns the current concurrent values. A single element means
+// no conflict; multiple elements are concurrent writes awaiting
+// application-level resolution. Order is deterministic (by rendered
+// clock).
+func (m *MVRegister) Values() []any {
+	sorted := append([]version(nil), m.versions...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return clockKey(sorted[i].clock) < clockKey(sorted[j].clock)
+	})
+	out := make([]any, len(sorted))
+	for i, v := range sorted {
+		out[i] = v.value
+	}
+	return out
+}
+
+// Conflicting reports whether the register currently holds more than
+// one concurrent value.
+func (m *MVRegister) Conflicting() bool { return len(m.versions) > 1 }
+
+// Merge folds other's versions into m, keeping only causally maximal
+// versions.
+func (m *MVRegister) Merge(other *MVRegister) {
+	if other == nil {
+		return
+	}
+	combined := append(append([]version(nil), m.versions...), other.versions...)
+	var maximal []version
+	for i, v := range combined {
+		dominated := false
+		for j, w := range combined {
+			if i == j {
+				continue
+			}
+			switch v.clock.Compare(w.clock) {
+			case OrderingBefore:
+				dominated = true
+			case OrderingEqual:
+				// Keep only the first of identical versions.
+				if j < i {
+					dominated = true
+				}
+			}
+			if dominated {
+				break
+			}
+		}
+		if !dominated {
+			maximal = append(maximal, version{value: v.value, clock: v.clock.Copy()})
+		}
+	}
+	m.versions = maximal
+}
+
+// Copy returns a deep copy keeping the same replica identity.
+func (m *MVRegister) Copy() *MVRegister {
+	out := NewMVRegister(m.replica)
+	for _, v := range m.versions {
+		out.versions = append(out.versions, version{value: v.value, clock: v.clock.Copy()})
+	}
+	return out
+}
+
+// clockKey renders a clock canonically for deterministic ordering.
+func clockKey(v VClock) string {
+	reps := v.Replicas()
+	s := ""
+	for _, r := range reps {
+		s += fmt.Sprintf("%s=%d;", r, v[r])
+	}
+	return s
+}

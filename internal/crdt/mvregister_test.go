@@ -1,0 +1,119 @@
+package crdt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMVRegisterSingleWriter(t *testing.T) {
+	m := NewMVRegister("a")
+	if got := m.Values(); len(got) != 0 {
+		t.Fatalf("empty register values = %v", got)
+	}
+	m.Set(1)
+	m.Set(2)
+	got := m.Values()
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("values = %v, want [2]", got)
+	}
+	if m.Conflicting() {
+		t.Fatal("single writer conflicting")
+	}
+}
+
+func TestMVRegisterConcurrentWritesKept(t *testing.T) {
+	a := NewMVRegister("a")
+	b := NewMVRegister("b")
+	a.Set("fromA")
+	b.Set("fromB")
+	a.Merge(b)
+	if !a.Conflicting() {
+		t.Fatal("concurrent writes not kept")
+	}
+	got := a.Values()
+	if len(got) != 2 {
+		t.Fatalf("values = %v", got)
+	}
+}
+
+func TestMVRegisterCausalOverwrite(t *testing.T) {
+	a := NewMVRegister("a")
+	b := NewMVRegister("b")
+	a.Set("v1")
+	b.Merge(a)
+	b.Set("v2") // causally after v1
+	a.Merge(b)
+	got := a.Values()
+	if len(got) != 1 || got[0] != "v2" {
+		t.Fatalf("values = %v, want [v2] (v1 dominated)", got)
+	}
+}
+
+func TestMVRegisterResolveConflict(t *testing.T) {
+	a := NewMVRegister("a")
+	b := NewMVRegister("b")
+	a.Set(1)
+	b.Set(2)
+	a.Merge(b)
+	if !a.Conflicting() {
+		t.Fatal("expected conflict")
+	}
+	// Application-level resolution: a new Set dominates both.
+	a.Set(3)
+	if a.Conflicting() {
+		t.Fatal("conflict survived resolution")
+	}
+	b.Merge(a)
+	if got := b.Values(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("b values = %v, want [3]", got)
+	}
+}
+
+func TestMVRegisterMergeIdempotent(t *testing.T) {
+	a := NewMVRegister("a")
+	a.Set("x")
+	a.Merge(a.Copy())
+	a.Merge(a.Copy())
+	if got := a.Values(); len(got) != 1 {
+		t.Fatalf("idempotent merge broke: %v", got)
+	}
+	a.Merge(nil)
+	if got := a.Values(); len(got) != 1 {
+		t.Fatal("nil merge broke register")
+	}
+}
+
+// Property: merge order does not affect the final value set.
+func TestMVRegisterConvergence(t *testing.T) {
+	prop := func(writesA, writesB, writesC []uint8) bool {
+		a, b, c := NewMVRegister("a"), NewMVRegister("b"), NewMVRegister("c")
+		for _, w := range writesA {
+			a.Set(int(w))
+		}
+		for _, w := range writesB {
+			b.Set(int(w))
+		}
+		for _, w := range writesC {
+			c.Set(int(w))
+		}
+		x := a.Copy()
+		x.Merge(b)
+		x.Merge(c)
+		y := c.Copy()
+		y.Merge(a)
+		y.Merge(b)
+		vx, vy := x.Values(), y.Values()
+		if len(vx) != len(vy) {
+			return false
+		}
+		for i := range vx {
+			if vx[i] != vy[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package crdt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tag uniquely identifies one Add operation (replica + local counter).
+type Tag struct {
+	Replica ReplicaID
+	Seq     uint64
+}
+
+func (t Tag) String() string { return fmt.Sprintf("%s#%d", t.Replica, t.Seq) }
+
+// ORSet is an observed-remove set of strings: concurrent add wins over
+// remove, because a remove only deletes the add-tags it has observed.
+// The zero value is not usable; construct with NewORSet.
+type ORSet struct {
+	replica ReplicaID
+	seq     uint64
+	adds    map[string]map[Tag]struct{}
+	tombs   map[Tag]struct{}
+}
+
+// NewORSet returns an empty set owned by replica r.
+func NewORSet(r ReplicaID) *ORSet {
+	return &ORSet{
+		replica: r,
+		adds:    make(map[string]map[Tag]struct{}),
+		tombs:   make(map[Tag]struct{}),
+	}
+}
+
+// Add inserts the element with a fresh tag.
+func (s *ORSet) Add(elem string) {
+	s.seq++
+	tag := Tag{Replica: s.replica, Seq: s.seq}
+	if s.adds[elem] == nil {
+		s.adds[elem] = make(map[Tag]struct{})
+	}
+	s.adds[elem][tag] = struct{}{}
+}
+
+// Remove deletes the element by tombstoning every live tag observed
+// locally. Concurrent adds elsewhere (unobserved tags) survive a merge.
+func (s *ORSet) Remove(elem string) {
+	for tag := range s.adds[elem] {
+		if _, dead := s.tombs[tag]; !dead {
+			s.tombs[tag] = struct{}{}
+		}
+	}
+}
+
+// Contains reports whether the element has at least one live tag.
+func (s *ORSet) Contains(elem string) bool {
+	for tag := range s.adds[elem] {
+		if _, dead := s.tombs[tag]; !dead {
+			return true
+		}
+	}
+	return false
+}
+
+// Elements returns the live elements, sorted.
+func (s *ORSet) Elements() []string {
+	var out []string
+	for elem := range s.adds {
+		if s.Contains(elem) {
+			out = append(out, elem)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live elements.
+func (s *ORSet) Len() int {
+	n := 0
+	for elem := range s.adds {
+		if s.Contains(elem) {
+			n++
+		}
+	}
+	return n
+}
+
+// Merge folds other into s: union of add-tags and tombstones.
+func (s *ORSet) Merge(other *ORSet) {
+	if other == nil {
+		return
+	}
+	for elem, tags := range other.adds {
+		if s.adds[elem] == nil {
+			s.adds[elem] = make(map[Tag]struct{}, len(tags))
+		}
+		for tag := range tags {
+			s.adds[elem][tag] = struct{}{}
+		}
+	}
+	for tag := range other.tombs {
+		s.tombs[tag] = struct{}{}
+	}
+	// Keep local tag generation ahead of anything merged in from our
+	// own past states (e.g. a replica restored from a peer's copy).
+	for elem := range other.adds {
+		for tag := range other.adds[elem] {
+			if tag.Replica == s.replica && tag.Seq > s.seq {
+				s.seq = tag.Seq
+			}
+		}
+	}
+}
+
+// Copy returns a deep copy that keeps the same replica identity.
+func (s *ORSet) Copy() *ORSet {
+	out := NewORSet(s.replica)
+	out.seq = s.seq
+	for elem, tags := range s.adds {
+		out.adds[elem] = make(map[Tag]struct{}, len(tags))
+		for tag := range tags {
+			out.adds[elem][tag] = struct{}{}
+		}
+	}
+	for tag := range s.tombs {
+		out.tombs[tag] = struct{}{}
+	}
+	return out
+}

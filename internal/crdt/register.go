@@ -1,0 +1,66 @@
+package crdt
+
+import "time"
+
+// LWWRegister is a last-writer-wins register. Writes carry a timestamp
+// (virtual simulation time in this repository) and the writing replica's
+// ID; merge keeps the write with the larger timestamp, breaking ties by
+// replica ID so all replicas resolve conflicts identically.
+type LWWRegister struct {
+	value   any
+	ts      time.Duration
+	replica ReplicaID
+	set     bool
+}
+
+// Set records a write. Writes that lose to the current state (older
+// timestamp, or equal timestamp with smaller replica ID) are ignored,
+// which makes Set usable both for local writes and remote replays. It
+// reports whether the write won.
+func (l *LWWRegister) Set(value any, ts time.Duration, r ReplicaID) bool {
+	if !l.wins(ts, r) {
+		return false
+	}
+	l.value = value
+	l.ts = ts
+	l.replica = r
+	l.set = true
+	return true
+}
+
+// wins reports whether a write at (ts, r) supersedes the current state.
+func (l *LWWRegister) wins(ts time.Duration, r ReplicaID) bool {
+	if !l.set {
+		return true
+	}
+	if ts != l.ts {
+		return ts > l.ts
+	}
+	return r > l.replica
+}
+
+// Get returns the current value and whether the register was ever set.
+func (l *LWWRegister) Get() (any, bool) {
+	return l.value, l.set
+}
+
+// Timestamp returns the winning write's timestamp.
+func (l *LWWRegister) Timestamp() time.Duration { return l.ts }
+
+// Writer returns the winning write's replica.
+func (l *LWWRegister) Writer() ReplicaID { return l.replica }
+
+// Merge folds other into l.
+func (l *LWWRegister) Merge(other *LWWRegister) {
+	if other == nil || !other.set {
+		return
+	}
+	l.Set(other.value, other.ts, other.replica)
+}
+
+// Copy returns a copy. The value is shared (values must be treated as
+// immutable, like simulator messages).
+func (l *LWWRegister) Copy() *LWWRegister {
+	out := *l
+	return &out
+}

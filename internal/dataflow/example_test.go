@@ -1,0 +1,50 @@
+package dataflow_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/space"
+)
+
+// The policy engine decides every flow from the item's label and the
+// endpoints' domains: GDPR-origin sensitive data may move within the
+// jurisdiction but not out of it.
+func ExampleEngine() {
+	eu := space.Domain{ID: "hospital", Jurisdiction: space.JurisdictionGDPR, Trusted: true}
+	eu2 := space.Domain{ID: "clinic", Jurisdiction: space.JurisdictionGDPR, Trusted: true}
+	us := space.Domain{ID: "research", Jurisdiction: space.JurisdictionCCPA, Trusted: true}
+
+	vitals := dataflow.Item{
+		Key: "patient/hr",
+		Label: dataflow.Label{
+			Topic: "vitals", Sensitivity: dataflow.Sensitive,
+			Origin: eu.ID, Jurisdiction: space.JurisdictionGDPR,
+		},
+	}
+	engine := dataflow.DefaultPrivacyEngine()
+
+	within := engine.Decide(dataflow.FlowContext{Item: vitals, From: eu, To: eu2})
+	abroad := engine.Decide(dataflow.FlowContext{Item: vitals, From: eu, To: us})
+	fmt.Println("hospital → clinic:  ", within.Allowed)
+	fmt.Println("hospital → research:", abroad.Allowed, "("+abroad.Rule+")")
+
+	// Output:
+	// hospital → clinic:   true
+	// hospital → research: false (sensitive-stays-in-jurisdiction)
+}
+
+// Items carry their provenance: each store they traverse appends a hop.
+func ExampleItem_WithHop() {
+	item := dataflow.Item{Key: "temp", Value: 21.0}
+	item = item.WithHop(dataflow.Hop{Node: "sensor", At: 0, Action: "produced"})
+	item = item.WithHop(dataflow.Hop{Node: "gateway", At: 2 * time.Second, Action: "received"})
+	for _, h := range item.Lineage {
+		fmt.Printf("%s@%v: %s\n", h.Action, h.At, h.Node)
+	}
+
+	// Output:
+	// produced@0s: sensor
+	// received@2s: gateway
+}

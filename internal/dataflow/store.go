@@ -1,0 +1,261 @@
+package dataflow
+
+import (
+	"time"
+
+	"repro/internal/crdt"
+	"repro/internal/simnet"
+	"repro/internal/space"
+)
+
+// storeSyncMsg carries governed items between stores.
+type storeSyncMsg struct {
+	Entries []crdt.Entry
+}
+
+// RegisterWire registers the data plane's message and payload types
+// with a wire codec (e.g. realnet's gob transport). Applications must
+// additionally register the concrete types of their item values if
+// they are not plain Go scalars.
+func RegisterWire(register func(any)) {
+	register(storeSyncMsg{})
+	register(crdt.Entry{})
+	register(Item{})
+	register(Label{})
+	register(Hop{})
+}
+
+// Size approximates item payloads (key + value + label).
+func (m storeSyncMsg) Size() int { return 8 + 96*len(m.Entries) }
+
+// Store is a governed, replicated data store hosted by one node: local
+// writes are LWW entries whose values are Items (with labels), and
+// periodic delta synchronization to peers crosses the policy engine in
+// both directions — the sender filters its out-flow, the receiver
+// checks its in-flow (each component controls its own data in/out
+// policies, §VI).
+type Store struct {
+	port   simnet.Port
+	spaces *space.Map
+	engine *Engine
+	data   *crdt.LWWMap
+	peers  []simnet.NodeID
+
+	interval  time.Duration
+	lastSent  map[simnet.NodeID]time.Duration
+	ticker    *simnet.Ticker
+	lastWrite time.Duration
+
+	received int
+	rejected int
+	onApply  []func(Item, simnet.NodeID)
+}
+
+// StoreConfig parameterizes NewStore.
+type StoreConfig struct {
+	// Peers are the stores this one synchronizes with.
+	Peers []simnet.NodeID
+	// SyncInterval is the anti-entropy period (default 1s).
+	SyncInterval time.Duration
+	// Engine governs flows; nil means an enforcing default privacy
+	// engine.
+	Engine *Engine
+}
+
+// NewStore builds a store on port, placed in spaces (the node's own
+// entity ID must be placed there for domain lookups).
+func NewStore(port simnet.Port, spaces *space.Map, cfg StoreConfig) *Store {
+	if cfg.SyncInterval <= 0 {
+		cfg.SyncInterval = time.Second
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = DefaultPrivacyEngine()
+	}
+	s := &Store{
+		port:      port,
+		spaces:    spaces,
+		engine:    cfg.Engine,
+		data:      crdt.NewLWWMap(crdt.ReplicaID(port.ID())),
+		peers:     append([]simnet.NodeID(nil), cfg.Peers...),
+		interval:  cfg.SyncInterval,
+		lastSent:  make(map[simnet.NodeID]time.Duration),
+		lastWrite: -1,
+	}
+	for _, p := range s.peers {
+		s.lastSent[p] = -1
+	}
+	port.OnMessage(s.handle)
+	return s
+}
+
+// Start begins periodic synchronization.
+func (s *Store) Start() {
+	s.ticker = s.port.Every(s.interval, s.syncAll)
+}
+
+// Stop halts synchronization.
+func (s *Store) Stop() {
+	if s.ticker != nil {
+		s.ticker.Stop()
+		s.ticker = nil
+	}
+}
+
+// Engine returns the store's policy engine.
+func (s *Store) Engine() *Engine { return s.engine }
+
+// Handler returns the store's network message handler. NewStore
+// installs it on the port automatically; callers that need to share
+// the port with other traffic can install their own dispatcher and
+// delegate store-sync messages here.
+func (s *Store) Handler() simnet.Handler { return s.handle }
+
+// OnApply registers a callback invoked for every remote item admitted
+// and applied locally (auditing, metrics).
+func (s *Store) OnApply(fn func(Item, simnet.NodeID)) {
+	s.onApply = append(s.onApply, fn)
+}
+
+// Put writes an item locally. The item's ProducedAt defaults to now;
+// an item without lineage gains its "produced" hop here.
+func (s *Store) Put(item Item) {
+	if item.ProducedAt == 0 {
+		item.ProducedAt = s.port.Now()
+	}
+	if len(item.Lineage) == 0 {
+		item = item.WithHop(Hop{Node: string(s.port.ID()), At: s.port.Now(), Action: "produced"})
+	}
+	ts := s.port.Now()
+	if ts <= s.lastWrite {
+		ts = s.lastWrite + 1
+	}
+	s.lastWrite = ts
+	s.data.Set(item.Key, item, ts)
+}
+
+// Lineage returns the provenance chain of the item currently stored
+// under key.
+func (s *Store) Lineage(key string) []Hop {
+	item, ok := s.Get(key)
+	if !ok {
+		return nil
+	}
+	out := make([]Hop, len(item.Lineage))
+	copy(out, item.Lineage)
+	return out
+}
+
+// Get reads an item. Items past their label's TTL read as absent.
+func (s *Store) Get(key string) (Item, bool) {
+	v, ok := s.data.Get(key)
+	if !ok {
+		return Item{}, false
+	}
+	item, ok := v.(Item)
+	if !ok {
+		return Item{}, false
+	}
+	if ttl := item.Label.TTL; ttl > 0 && s.port.Now()-item.ProducedAt > ttl {
+		return Item{}, false
+	}
+	return item, true
+}
+
+// Staleness returns how old the item's payload is (now − ProducedAt).
+func (s *Store) Staleness(key string) (time.Duration, bool) {
+	item, ok := s.Get(key)
+	if !ok {
+		return 0, false
+	}
+	return s.port.Now() - item.ProducedAt, true
+}
+
+// Keys returns the live keys, sorted.
+func (s *Store) Keys() []string { return s.data.Keys() }
+
+// Received returns how many remote entries were admitted and applied.
+func (s *Store) Received() int { return s.received }
+
+// Rejected returns how many remote entries in-flow policy refused.
+func (s *Store) Rejected() int { return s.rejected }
+
+// domainOf resolves a node's administrative domain from the space map.
+func (s *Store) domainOf(node simnet.NodeID) space.Domain {
+	pl, ok := s.spaces.PlacementOf(string(node))
+	if !ok {
+		return space.Domain{}
+	}
+	d, _ := s.spaces.Domain(pl.Domain)
+	return d
+}
+
+func (s *Store) syncAll() {
+	for _, p := range s.peers {
+		s.syncTo(p)
+	}
+}
+
+// SyncNow pushes pending deltas to all peers immediately, outside the
+// periodic schedule — a counteraction a MAPE planner can take when it
+// detects stale data.
+func (s *Store) SyncNow() { s.syncAll() }
+
+func (s *Store) syncTo(peer simnet.NodeID) {
+	delta := s.data.Since(s.lastSent[peer])
+	if len(delta) == 0 {
+		return
+	}
+	from := s.domainOf(s.port.ID())
+	to := s.domainOf(peer)
+	now := s.port.Now()
+	allowed := make([]crdt.Entry, 0, len(delta))
+	for _, e := range delta {
+		item, ok := e.Value.(Item)
+		if !ok {
+			continue
+		}
+		if s.engine.Admit(FlowContext{Item: item, From: from, To: to}, now) {
+			allowed = append(allowed, e)
+		}
+	}
+	s.lastSent[peer] = s.data.MaxTimestamp() - 1
+	if len(allowed) == 0 {
+		return
+	}
+	s.port.Send(peer, storeSyncMsg{Entries: allowed})
+}
+
+func (s *Store) handle(from simnet.NodeID, msg simnet.Message) {
+	m, ok := msg.(storeSyncMsg)
+	if !ok {
+		return
+	}
+	fromDom := s.domainOf(from)
+	toDom := s.domainOf(s.port.ID())
+	now := s.port.Now()
+	admitted := make([]crdt.Entry, 0, len(m.Entries))
+	for _, e := range m.Entries {
+		item, ok := e.Value.(Item)
+		if !ok {
+			continue
+		}
+		if s.engine.Admit(FlowContext{Item: item, From: fromDom, To: toDom}, now) {
+			// Extend the provenance chain: the item has arrived here.
+			e.Value = item.WithHop(Hop{Node: string(s.port.ID()), At: now, Action: "received"})
+			admitted = append(admitted, e)
+		} else {
+			s.rejected++
+		}
+	}
+	won := s.data.Apply(admitted)
+	s.received += won
+	if len(s.onApply) > 0 {
+		for _, e := range admitted {
+			if item, ok := e.Value.(Item); ok {
+				for _, fn := range s.onApply {
+					fn(item, from)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// X2Point is one step of the cost-of-resilience experiment: the ML4
+// data plane's anti-entropy period swept against resilience and
+// traffic. The paper expects the "combined effect" of the resilience
+// mechanisms to cost something; X2 shows the knob that trades that
+// cost against freshness.
+type X2Point struct {
+	SyncInterval time.Duration
+	GoalR        float64
+	DataAvail    float64
+	StaleP95     time.Duration
+	Messages     int
+}
+
+// ExtensionCost runs ML4 under the standard disruption schedule at
+// each sync interval.
+func ExtensionCost(cfg core.ScenarioConfig, intervals []time.Duration) []X2Point {
+	out := make([]X2Point, 0, len(intervals))
+	for _, iv := range intervals {
+		c := cfg
+		c.ML4SyncInterval = iv
+		r := core.NewSystem(c, core.ML4).Run()
+		out = append(out, X2Point{
+			SyncInterval: iv,
+			GoalR:        r.GoalPersistence,
+			DataAvail:    r.DataAvailability,
+			StaleP95:     r.StalenessP95,
+			Messages:     r.Messages,
+		})
+	}
+	return out
+}
+
+// FormatCost renders the series.
+func FormatCost(points []X2Point) string {
+	rows := [][]string{{"sync_every", "R(goal)", "dataAvail", "staleP95", "msgs"}}
+	for _, p := range points {
+		rows = append(rows, []string{
+			p.SyncInterval.String(),
+			fmt.Sprintf("%.3f", p.GoalR),
+			fmt.Sprintf("%.3f", p.DataAvail),
+			p.StaleP95.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", p.Messages),
+		})
+	}
+	return formatTable(rows)
+}

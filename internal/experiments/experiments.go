@@ -1,0 +1,49 @@
+// Package experiments regenerates every evaluation artifact of the
+// paper as a measured experiment: the Table 1/2 maturity matrix and
+// one experiment per figure (F1–F5), plus two ablations (A1, A2) for
+// the roadmap's design claims. Each experiment returns typed rows and
+// a formatted table; the repository-root benchmarks and cmd/riotbench
+// drive them. Wall-clock timing is confined to this package — the
+// library itself runs purely on virtual time.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// formatTable renders rows of cells as an aligned text table with a
+// header separator.
+func formatTable(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Fig1Point is one scale step of the landscape experiment (Figure 1):
+// how large a heterogeneous IoT deployment the substrate sustains.
+type Fig1Point struct {
+	Zones      int
+	Devices    int
+	VirtualSec float64
+	WallMS     float64
+	Messages   int
+	// MsgPerWallSec is simulator throughput: delivered messages per
+	// wall-clock second.
+	MsgPerWallSec float64
+	// SpeedUp is virtual seconds simulated per wall second.
+	SpeedUp float64
+}
+
+// Figure1 runs the edge-centric archetype at growing zone counts for a
+// fixed virtual horizon and reports simulator capacity. The paper's
+// Figure 1 is the qualitative landscape; the measured counterpart
+// shows the substrate hosting thousands of heterogeneous entities.
+func Figure1(seed int64, zoneCounts []int, horizon time.Duration) []Fig1Point {
+	if horizon <= 0 {
+		horizon = time.Minute
+	}
+	out := make([]Fig1Point, 0, len(zoneCounts))
+	for _, zones := range zoneCounts {
+		cfg := core.DefaultScenario()
+		cfg.Seed = seed
+		cfg.Zones = zones
+		cfg.Duration = horizon
+		cfg.Preset = core.FaultsNone
+		sys := core.NewSystem(cfg, core.ML3)
+		start := nowWall()
+		r := sys.Run()
+		wall := nowWall().Sub(start)
+		// Per zone: TempSensorsPerZone sensors + occupancy + actuator
+		// + gateway; plus shared cloudlets and the cloud node.
+		devices := zones*(cfg.TempSensorsPerZone+3) + cfg.Cloudlets + 1
+		p := Fig1Point{
+			Zones:      zones,
+			Devices:    devices,
+			VirtualSec: horizon.Seconds(),
+			WallMS:     float64(wall.Microseconds()) / 1000,
+			Messages:   r.Messages,
+		}
+		if wall > 0 {
+			p.MsgPerWallSec = float64(r.Messages) / wall.Seconds()
+			p.SpeedUp = horizon.Seconds() / wall.Seconds()
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// FormatFigure1 renders the series.
+func FormatFigure1(points []Fig1Point) string {
+	rows := [][]string{{"zones", "devices", "virtual_s", "wall_ms", "messages", "msg/wall_s", "speedup"}}
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Zones),
+			fmt.Sprintf("%d", p.Devices),
+			fmt.Sprintf("%.0f", p.VirtualSec),
+			fmt.Sprintf("%.1f", p.WallMS),
+			fmt.Sprintf("%d", p.Messages),
+			fmt.Sprintf("%.0f", p.MsgPerWallSec),
+			fmt.Sprintf("%.0fx", p.SpeedUp),
+		})
+	}
+	return formatTable(rows)
+}

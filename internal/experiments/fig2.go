@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/verify"
+)
+
+// Fig2Point is one step of the verification experiment (Figure 2):
+// translating a system facet into an analyzable model and checking
+// resilience properties against it, at growing state-space sizes.
+type Fig2Point struct {
+	Hosts  int
+	States int
+	// BuildMS and CheckMS are wall-clock costs of model construction
+	// and CTL checking.
+	BuildMS float64
+	CheckMS float64
+	// ControlSurvives is the verdict of AG(svc:control) — control
+	// availability under the failure assumption.
+	ControlSurvives bool
+	// Recoverable is the verdict of AG(EF all-up).
+	Recoverable bool
+}
+
+// redundantConfig builds a configuration with hosts control replicas
+// and two sensing hosts.
+func redundantConfig(hosts int) *model.Configuration {
+	cfg := model.NewConfiguration()
+	for i := 0; i < 2; i++ {
+		cfg.Add(model.Component{
+			ID:   model.ComponentID(fmt.Sprintf("sense-%d", i)),
+			Host: fmt.Sprintf("s%d", i), Provides: []model.Service{"sensing"},
+		})
+	}
+	for i := 0; i < hosts; i++ {
+		cfg.Add(model.Component{
+			ID:   model.ComponentID(fmt.Sprintf("ctrl-%d", i)),
+			Host: fmt.Sprintf("e%d", i), Provides: []model.Service{"control"},
+			Requires: []model.Service{"sensing"},
+		})
+	}
+	return cfg
+}
+
+// Figure2 sweeps the number of control hosts, building the
+// bounded-failure Kripke structure (up to maxDown concurrent failures)
+// and checking the two resilience properties on it.
+func Figure2(hostCounts []int, maxDown int) []Fig2Point {
+	out := make([]Fig2Point, 0, len(hostCounts))
+	for _, hosts := range hostCounts {
+		cfg := redundantConfig(hosts)
+		t0 := nowWall()
+		k, err := model.FailureKripke(cfg, model.FailureModelOptions{MaxConcurrentFailures: maxDown})
+		if err != nil {
+			panic(err) // sweep parameters are chosen within the model's limits
+		}
+		t1 := nowWall()
+		ctrl := verify.Check(k, verify.AG(verify.AP(model.ServiceProp("control"))))
+		rec := verify.Check(k, verify.AG(verify.EF(verify.AP("all-up"))))
+		t2 := nowWall()
+		out = append(out, Fig2Point{
+			Hosts:           hosts,
+			States:          k.NumStates(),
+			BuildMS:         float64(t1.Sub(t0).Microseconds()) / 1000,
+			CheckMS:         float64(t2.Sub(t1).Microseconds()) / 1000,
+			ControlSurvives: ctrl,
+			Recoverable:     rec,
+		})
+	}
+	return out
+}
+
+// Fig2Quant is one quantitative (PCTL-style) verification point: the
+// probability that a disrupted system recovers within k steps, on a
+// failure/repair DTMC.
+type Fig2Quant struct {
+	Steps        int
+	PRecover     float64
+	SatisfiesP99 bool
+}
+
+// Figure2Quantitative analyzes a failure/repair chain (fail 0.05/step,
+// repair 0.4/step) for bounded recovery, sweeping the step bound —
+// "uncertainty quantification" in the paper's roadmap.
+func Figure2Quantitative(bounds []int) []Fig2Quant {
+	d := verify.NewDTMC()
+	up := d.AddState("up")
+	down := d.AddState("down")
+	mustProb(d, up, up, 0.95)
+	mustProb(d, up, down, 0.05)
+	mustProb(d, down, up, 0.4)
+	mustProb(d, down, down, 0.6)
+	out := make([]Fig2Quant, 0, len(bounds))
+	for _, k := range bounds {
+		p := d.ReachWithin("up", k)[down]
+		out = append(out, Fig2Quant{Steps: k, PRecover: p, SatisfiesP99: p >= 0.99})
+	}
+	return out
+}
+
+func mustProb(d *verify.DTMC, from, to int, p float64) {
+	if err := d.SetProb(from, to, p); err != nil {
+		panic(err)
+	}
+}
+
+// FormatFigure2 renders both sub-series.
+func FormatFigure2(points []Fig2Point, quants []Fig2Quant) string {
+	rows := [][]string{{"ctrl_hosts", "states", "build_ms", "check_ms", "AG(control)", "AG(EF all-up)"}}
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Hosts),
+			fmt.Sprintf("%d", p.States),
+			fmt.Sprintf("%.2f", p.BuildMS),
+			fmt.Sprintf("%.2f", p.CheckMS),
+			fmt.Sprintf("%v", p.ControlSurvives),
+			fmt.Sprintf("%v", p.Recoverable),
+		})
+	}
+	s := formatTable(rows)
+	rows = [][]string{{"bound_k", "P[F<=k up]", "P>=0.99"}}
+	for _, q := range quants {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", q.Steps),
+			fmt.Sprintf("%.4f", q.PRecover),
+			fmt.Sprintf("%v", q.SatisfiesP99),
+		})
+	}
+	return s + "\n" + formatTable(rows)
+}

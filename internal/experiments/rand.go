@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+)
+
+// newSeededRand builds a deterministic random source for experiment
+// schedules, separate from each simulation's own stream.
+func newSeededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// expDur draws an exponential duration with the given mean.
+func expDur(rng *rand.Rand, mean time.Duration) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(mean))
+}

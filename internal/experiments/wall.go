@@ -1,0 +1,10 @@
+package experiments
+
+import "time"
+
+// wallClock abstracts real time so experiment tests can run without
+// flaky wall-clock assertions. Only this package touches real time.
+var wallNow = time.Now
+
+// nowWall reads the wall clock.
+func nowWall() time.Time { return wallNow() }

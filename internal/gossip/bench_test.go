@@ -1,0 +1,44 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// BenchmarkConvergence measures how much work full membership
+// convergence takes at different cluster sizes.
+func BenchmarkConvergence(b *testing.B) {
+	for _, n := range []int{10, 50, 100} {
+		b.Run(fmt.Sprintf("nodes-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim := simnet.New(simnet.WithSeed(int64(i+1)), simnet.WithDefaultLatency(2*time.Millisecond))
+				ids := make([]simnet.NodeID, n)
+				ps := make([]*Protocol, n)
+				for j := 0; j < n; j++ {
+					ids[j] = simnet.NodeID(fmt.Sprintf("n%d", j))
+					ps[j] = New(sim.AddNode(ids[j]), Config{
+						ProbeInterval:    500 * time.Millisecond,
+						ProbeTimeout:     100 * time.Millisecond,
+						SuspicionTimeout: 2 * time.Second,
+					})
+				}
+				for j, p := range ps {
+					if j == 0 {
+						p.Start()
+					} else {
+						p.Start(ids[0])
+					}
+				}
+				sim.RunUntil(30 * time.Second)
+				for j, p := range ps {
+					if got := p.AliveCount(); got != n {
+						b.Fatalf("node %d sees %d alive, want %d", j, got, n)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,665 @@
+// Package gossip implements SWIM-style decentralized membership: a
+// randomized ping / ping-req failure detector with suspicion, refutation
+// via incarnation numbers, and epidemic dissemination of membership
+// updates piggybacked on probe traffic. The paper's roadmap makes
+// "eliminating central points of failure by component coordination" a
+// core challenge (§III) and decentralized coordination its own research
+// direction (§V); membership — who is alive, learned without any
+// central registry — is the base layer every decentralized facility in
+// this repository builds on (edge coordination, orchestration,
+// decentralized MAPE).
+package gossip
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// Status is a member's health as seen by the local failure detector.
+type Status int
+
+// Membership states, in escalation order.
+const (
+	StatusAlive Status = iota + 1
+	StatusSuspect
+	StatusDead
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusAlive:
+		return "alive"
+	case StatusSuspect:
+		return "suspect"
+	case StatusDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Member is a point-in-time view of one member.
+type Member struct {
+	ID          simnet.NodeID
+	Status      Status
+	Incarnation uint64
+}
+
+// Update is a disseminated membership claim.
+type Update Member
+
+// overrides implements SWIM's update precedence rules against the
+// currently known (status, incarnation) of the same member.
+func (u Update) overrides(cur Member) bool {
+	switch u.Status {
+	case StatusAlive:
+		return u.Incarnation > cur.Incarnation ||
+			(cur.Status == StatusDead && u.Incarnation >= cur.Incarnation)
+	case StatusSuspect:
+		if cur.Status == StatusAlive {
+			return u.Incarnation >= cur.Incarnation
+		}
+		return u.Incarnation > cur.Incarnation
+	case StatusDead:
+		return cur.Status != StatusDead && u.Incarnation >= cur.Incarnation
+	default:
+		return false
+	}
+}
+
+// Config tunes the failure detector. Zero fields take defaults.
+type Config struct {
+	// ProbeInterval is the period of the probe loop.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds the wait for a direct ack before indirect
+	// probing starts.
+	ProbeTimeout time.Duration
+	// IndirectProbes is the number of helpers asked to ping an
+	// unresponsive member.
+	IndirectProbes int
+	// SuspicionTimeout is how long a suspect has to refute before it is
+	// declared dead.
+	SuspicionTimeout time.Duration
+	// RetransmitMult scales how many times an update is piggybacked:
+	// RetransmitMult * ceil(log2(n+1)).
+	RetransmitMult int
+	// MaxPiggyback caps updates carried per message.
+	MaxPiggyback int
+	// AntiEntropyInterval is the period of full push-pull state
+	// exchange with one random known member (including dead ones, so
+	// a healed partition reconverges without external reseeding).
+	// Zero takes the default; negative disables anti-entropy.
+	AntiEntropyInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = 300 * time.Millisecond
+	}
+	if c.IndirectProbes == 0 {
+		c.IndirectProbes = 3
+	}
+	if c.SuspicionTimeout == 0 {
+		c.SuspicionTimeout = 3 * time.Second
+	}
+	if c.RetransmitMult == 0 {
+		c.RetransmitMult = 3
+	}
+	if c.MaxPiggyback == 0 {
+		c.MaxPiggyback = 6
+	}
+	if c.AntiEntropyInterval == 0 {
+		c.AntiEntropyInterval = 10 * time.Second
+	}
+	return c
+}
+
+// Wire messages. Sizes approximate a compact binary encoding.
+
+type pingMsg struct {
+	Seq     uint64
+	Updates []Update
+}
+
+type ackMsg struct {
+	Seq     uint64
+	Updates []Update
+}
+
+type pingReqMsg struct {
+	Seq     uint64
+	Origin  simnet.NodeID
+	Target  simnet.NodeID
+	Updates []Update
+}
+
+type joinMsg struct{}
+
+type joinAckMsg struct {
+	Members []Update
+}
+
+// syncMsg initiates push-pull anti-entropy: it carries the sender's
+// full membership view; the receiver merges it and replies with its
+// own full view (a joinAckMsg).
+type syncMsg struct {
+	Members []Update
+}
+
+// leaveMsg is a graceful departure announcement. Unlike ordinary
+// traffic it must not count as evidence of life.
+type leaveMsg struct {
+	Update Update
+}
+
+// RegisterWire registers the protocol's message types with a wire
+// codec (e.g. realnet's gob transport). Call once before starting
+// nodes that communicate over a real network.
+func RegisterWire(register func(any)) {
+	register(pingMsg{})
+	register(ackMsg{})
+	register(pingReqMsg{})
+	register(joinMsg{})
+	register(joinAckMsg{})
+	register(syncMsg{})
+	register(leaveMsg{})
+}
+
+func updatesSize(us []Update) int { return 24 * len(us) }
+
+func (m pingMsg) Size() int    { return 16 + updatesSize(m.Updates) }
+func (m ackMsg) Size() int     { return 16 + updatesSize(m.Updates) }
+func (m pingReqMsg) Size() int { return 48 + updatesSize(m.Updates) }
+func (m joinMsg) Size() int    { return 8 }
+func (m joinAckMsg) Size() int { return 8 + updatesSize(m.Members) }
+func (m syncMsg) Size() int    { return 8 + updatesSize(m.Members) }
+func (m leaveMsg) Size() int   { return 32 }
+
+// memberState is the local bookkeeping for one member.
+type memberState struct {
+	Member
+	suspectTimer *simnet.Timer
+}
+
+// broadcast is an update queued for piggybacking.
+type broadcast struct {
+	update    Update
+	transmits int
+}
+
+// Protocol is one node's SWIM instance. Construct with New and call
+// Start (optionally with seeds to join through).
+type Protocol struct {
+	ep  simnet.Port
+	cfg Config
+
+	incarnation uint64
+	members     map[simnet.NodeID]*memberState
+	queue       []*broadcast
+	probeOrder  []simnet.NodeID
+	probeIdx    int
+	seqCounter  uint64
+	// pending acks: seq → callback(acked bool) resolution state
+	acked    map[uint64]*simnet.Timer
+	relaySeq map[uint64]relay // indirect probe relays
+	onChange []func(Member)
+	ticker   *simnet.Ticker
+	aeTicker *simnet.Ticker
+	started  bool
+	left     bool
+	seeds    []simnet.NodeID
+}
+
+// relay remembers where to forward an indirect ack.
+type relay struct {
+	origin simnet.NodeID
+	seq    uint64
+}
+
+// New constructs a protocol instance bound to ep. The instance starts
+// knowing only itself.
+func New(ep simnet.Port, cfg Config) *Protocol {
+	p := &Protocol{
+		ep:       ep,
+		cfg:      cfg.withDefaults(),
+		members:  make(map[simnet.NodeID]*memberState),
+		acked:    make(map[uint64]*simnet.Timer),
+		relaySeq: make(map[uint64]relay),
+	}
+	p.members[ep.ID()] = &memberState{Member: Member{ID: ep.ID(), Status: StatusAlive}}
+	ep.OnMessage(p.handle)
+	ep.OnUp(p.onRecover)
+	return p
+}
+
+// OnChange registers a callback invoked whenever a member's status
+// changes (including first discovery).
+func (p *Protocol) OnChange(fn func(Member)) {
+	p.onChange = append(p.onChange, fn)
+}
+
+// Start begins probing. Seeds, if any, are adopted as initial members
+// and contacted for a full state exchange. Adopting them up front
+// matters on real networks: if the join datagram is lost, the probe
+// loop and anti-entropy still reach the seed, so a cold-start race
+// cannot isolate the node permanently.
+func (p *Protocol) Start(seeds ...simnet.NodeID) {
+	p.seeds = append([]simnet.NodeID(nil), seeds...)
+	p.started = true
+	for _, s := range p.seeds {
+		if s != p.ep.ID() {
+			p.applyUpdate(Update{ID: s, Status: StatusAlive})
+			p.ep.Send(s, joinMsg{})
+		}
+	}
+	p.ticker = p.ep.Every(p.cfg.ProbeInterval, p.probe)
+	if p.cfg.AntiEntropyInterval > 0 {
+		p.aeTicker = p.ep.Every(p.cfg.AntiEntropyInterval, p.antiEntropy)
+	}
+}
+
+// Leave announces this node's departure before stopping: a dead claim
+// about itself at the current incarnation is broadcast directly to all
+// known alive members, so peers remove it immediately instead of
+// paying the probe + suspicion timeout. The graceful counterpart of a
+// crash.
+func (p *Protocol) Leave() {
+	dead := Update{ID: p.ep.ID(), Status: StatusDead, Incarnation: p.incarnation}
+	msg := leaveMsg{Update: dead}
+	for id, ms := range p.members {
+		if id != p.ep.ID() && ms.Status == StatusAlive {
+			p.ep.Send(id, msg)
+		}
+	}
+	self := p.members[p.ep.ID()]
+	self.Status = StatusDead
+	p.left = true
+	p.Stop()
+}
+
+// Stop halts the probe loop. The instance keeps answering pings (a
+// stopped detector is still a reachable node) until its node goes down.
+func (p *Protocol) Stop() {
+	if p.ticker != nil {
+		p.ticker.Stop()
+		p.ticker = nil
+	}
+	if p.aeTicker != nil {
+		p.aeTicker.Stop()
+		p.aeTicker = nil
+	}
+}
+
+// antiEntropy runs one push-pull exchange with a random known member.
+// Dead members are eligible targets on purpose: a member wrongly
+// declared dead during a partition answers the sync after the heal,
+// and the refutation machinery reconverges both sides without any
+// external reseeding.
+func (p *Protocol) antiEntropy() {
+	var pool []simnet.NodeID
+	for id := range p.members {
+		if id != p.ep.ID() {
+			pool = append(pool, id)
+		}
+	}
+	if len(pool) == 0 {
+		return
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+	target := pool[p.ep.Rand().Intn(len(pool))]
+	p.ep.Send(target, syncMsg{Members: p.fullState()})
+}
+
+// onRecover runs when the underlying node comes back up after a crash:
+// volatile protocol state is gone, the incarnation advances so stale
+// death claims can be refuted, and the node rejoins through its seeds.
+func (p *Protocol) onRecover() {
+	if !p.started {
+		return
+	}
+	p.left = false // a restarted node rejoins deliberately
+	p.incarnation++
+	for id, ms := range p.members {
+		if id != p.ep.ID() {
+			stopSuspect(ms)
+			delete(p.members, id)
+		}
+	}
+	self := p.members[p.ep.ID()]
+	self.Status = StatusAlive
+	self.Incarnation = p.incarnation
+	p.queue = nil
+	p.probeOrder = nil
+	p.probeIdx = 0
+	p.enqueue(Update{ID: p.ep.ID(), Status: StatusAlive, Incarnation: p.incarnation})
+	for _, s := range p.seeds {
+		if s != p.ep.ID() {
+			p.applyUpdate(Update{ID: s, Status: StatusAlive})
+			p.ep.Send(s, joinMsg{})
+		}
+	}
+}
+
+func stopSuspect(ms *memberState) {
+	if ms.suspectTimer != nil {
+		ms.suspectTimer.Stop()
+		ms.suspectTimer = nil
+	}
+}
+
+// Members returns a snapshot of all known members (including self),
+// sorted by ID.
+func (p *Protocol) Members() []Member {
+	out := make([]Member, 0, len(p.members))
+	for _, ms := range p.members {
+		out = append(out, ms.Member)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Alive returns the IDs of members currently believed alive (including
+// self), sorted.
+func (p *Protocol) Alive() []simnet.NodeID {
+	var out []simnet.NodeID
+	for id, ms := range p.members {
+		if ms.Status == StatusAlive {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AliveCount returns the number of members believed alive.
+func (p *Protocol) AliveCount() int {
+	n := 0
+	for _, ms := range p.members {
+		if ms.Status == StatusAlive {
+			n++
+		}
+	}
+	return n
+}
+
+// --- probing ---
+
+func (p *Protocol) probe() {
+	target, ok := p.nextProbeTarget()
+	if !ok {
+		return
+	}
+	seq := p.nextSeq()
+	p.ep.Send(target, pingMsg{Seq: seq, Updates: p.takePiggyback()})
+	p.acked[seq] = p.ep.After(p.cfg.ProbeTimeout, func() {
+		delete(p.acked, seq)
+		p.indirectProbe(target)
+	})
+}
+
+func (p *Protocol) indirectProbe(target simnet.NodeID) {
+	helpers := p.randomAliveExcept(p.cfg.IndirectProbes, target)
+	seq := p.nextSeq()
+	for _, h := range helpers {
+		p.ep.Send(h, pingReqMsg{Seq: seq, Origin: p.ep.ID(), Target: target, Updates: p.takePiggyback()})
+	}
+	remaining := p.cfg.ProbeInterval - p.cfg.ProbeTimeout
+	if remaining <= 0 {
+		remaining = p.cfg.ProbeTimeout
+	}
+	p.acked[seq] = p.ep.After(remaining, func() {
+		delete(p.acked, seq)
+		p.suspect(target)
+	})
+}
+
+func (p *Protocol) nextProbeTarget() (simnet.NodeID, bool) {
+	candidates := 0
+	for id, ms := range p.members {
+		if id != p.ep.ID() && ms.Status != StatusDead {
+			candidates++
+		}
+	}
+	if candidates == 0 {
+		return "", false
+	}
+	for tries := 0; tries < len(p.members)+1; tries++ {
+		if p.probeIdx >= len(p.probeOrder) {
+			p.reshuffleProbeOrder()
+			if len(p.probeOrder) == 0 {
+				return "", false
+			}
+		}
+		id := p.probeOrder[p.probeIdx]
+		p.probeIdx++
+		if ms, ok := p.members[id]; ok && ms.Status != StatusDead && id != p.ep.ID() {
+			return id, true
+		}
+	}
+	return "", false
+}
+
+func (p *Protocol) reshuffleProbeOrder() {
+	p.probeOrder = p.probeOrder[:0]
+	for id, ms := range p.members {
+		if id != p.ep.ID() && ms.Status != StatusDead {
+			p.probeOrder = append(p.probeOrder, id)
+		}
+	}
+	sort.Slice(p.probeOrder, func(i, j int) bool { return p.probeOrder[i] < p.probeOrder[j] })
+	p.ep.Rand().Shuffle(len(p.probeOrder), func(i, j int) {
+		p.probeOrder[i], p.probeOrder[j] = p.probeOrder[j], p.probeOrder[i]
+	})
+	p.probeIdx = 0
+}
+
+func (p *Protocol) randomAliveExcept(n int, except simnet.NodeID) []simnet.NodeID {
+	var pool []simnet.NodeID
+	for id, ms := range p.members {
+		if id != p.ep.ID() && id != except && ms.Status == StatusAlive {
+			pool = append(pool, id)
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+	p.ep.Rand().Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if len(pool) > n {
+		pool = pool[:n]
+	}
+	return pool
+}
+
+func (p *Protocol) nextSeq() uint64 {
+	p.seqCounter++
+	return p.seqCounter
+}
+
+// --- state transitions ---
+
+func (p *Protocol) suspect(id simnet.NodeID) {
+	ms, ok := p.members[id]
+	if !ok || ms.Status != StatusAlive {
+		return
+	}
+	p.applyUpdate(Update{ID: id, Status: StatusSuspect, Incarnation: ms.Incarnation})
+}
+
+func (p *Protocol) notify(m Member) {
+	for _, fn := range p.onChange {
+		fn(m)
+	}
+}
+
+func (p *Protocol) enqueue(u Update) {
+	// Replace any queued update for the same member: the newest claim
+	// supersedes older ones.
+	for i, b := range p.queue {
+		if b.update.ID == u.ID {
+			p.queue[i] = &broadcast{update: u}
+			return
+		}
+	}
+	p.queue = append(p.queue, &broadcast{update: u})
+}
+
+func (p *Protocol) retransmitLimit() int {
+	n := len(p.members)
+	return p.cfg.RetransmitMult * int(math.Ceil(math.Log2(float64(n+1))))
+}
+
+// takePiggyback selects up to MaxPiggyback least-transmitted updates and
+// accounts the transmission.
+func (p *Protocol) takePiggyback() []Update {
+	if len(p.queue) == 0 {
+		return nil
+	}
+	sort.SliceStable(p.queue, func(i, j int) bool { return p.queue[i].transmits < p.queue[j].transmits })
+	limit := p.retransmitLimit()
+	var out []Update
+	kept := p.queue[:0]
+	for _, b := range p.queue {
+		if len(out) < p.cfg.MaxPiggyback {
+			out = append(out, b.update)
+			b.transmits++
+		}
+		if b.transmits < limit {
+			kept = append(kept, b)
+		}
+	}
+	p.queue = kept
+	return out
+}
+
+// applyUpdate merges a membership claim into local state, refuting
+// claims about self and disseminating accepted changes.
+func (p *Protocol) applyUpdate(u Update) {
+	if u.ID == p.ep.ID() {
+		// Self-refutation: someone thinks we are suspect/dead. A node
+		// that deliberately left does not refute its own death claim.
+		if p.left {
+			return
+		}
+		if u.Status != StatusAlive && u.Incarnation >= p.incarnation {
+			p.incarnation = u.Incarnation + 1
+			self := p.members[p.ep.ID()]
+			self.Incarnation = p.incarnation
+			self.Status = StatusAlive
+			p.enqueue(Update{ID: p.ep.ID(), Status: StatusAlive, Incarnation: p.incarnation})
+		}
+		return
+	}
+	ms, known := p.members[u.ID]
+	if !known {
+		if u.Status == StatusDead {
+			return // don't learn already-dead strangers
+		}
+		ms = &memberState{Member: Member{ID: u.ID, Status: u.Status, Incarnation: u.Incarnation}}
+		p.members[u.ID] = ms
+		p.enqueue(u)
+		if u.Status == StatusSuspect {
+			p.armSuspicion(ms)
+		}
+		p.notify(ms.Member)
+		return
+	}
+	if !u.overrides(ms.Member) {
+		return
+	}
+	prev := ms.Status
+	ms.Status = u.Status
+	ms.Incarnation = u.Incarnation
+	switch u.Status {
+	case StatusAlive:
+		stopSuspect(ms)
+	case StatusSuspect:
+		if prev != StatusSuspect {
+			p.armSuspicion(ms)
+		}
+	case StatusDead:
+		stopSuspect(ms)
+	}
+	p.enqueue(u)
+	if prev != u.Status {
+		p.notify(ms.Member)
+	}
+}
+
+func (p *Protocol) armSuspicion(ms *memberState) {
+	stopSuspect(ms)
+	id, inc := ms.ID, ms.Incarnation
+	ms.suspectTimer = p.ep.After(p.cfg.SuspicionTimeout, func() {
+		cur, ok := p.members[id]
+		if !ok || cur.Status != StatusSuspect || cur.Incarnation != inc {
+			return
+		}
+		p.applyUpdate(Update{ID: id, Status: StatusDead, Incarnation: inc})
+	})
+}
+
+// --- message handling ---
+
+func (p *Protocol) handle(from simnet.NodeID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case pingMsg:
+		p.applyAll(m.Updates)
+		// Seeing traffic from a member is evidence of life.
+		p.applyUpdate(Update{ID: from, Status: StatusAlive, Incarnation: incOf(p, from)})
+		p.ep.Send(from, ackMsg{Seq: m.Seq, Updates: p.takePiggyback()})
+	case ackMsg:
+		p.applyAll(m.Updates)
+		p.applyUpdate(Update{ID: from, Status: StatusAlive, Incarnation: incOf(p, from)})
+		if t, ok := p.acked[m.Seq]; ok {
+			t.Stop()
+			delete(p.acked, m.Seq)
+		}
+		if r, ok := p.relaySeq[m.Seq]; ok {
+			delete(p.relaySeq, m.Seq)
+			p.ep.Send(r.origin, ackMsg{Seq: r.seq, Updates: p.takePiggyback()})
+		}
+	case pingReqMsg:
+		p.applyAll(m.Updates)
+		seq := p.nextSeq()
+		p.relaySeq[seq] = relay{origin: m.Origin, seq: m.Seq}
+		p.ep.Send(m.Target, pingMsg{Seq: seq, Updates: p.takePiggyback()})
+		// Garbage-collect the relay slot if the target never acks.
+		p.ep.After(p.cfg.ProbeInterval, func() { delete(p.relaySeq, seq) })
+	case joinMsg:
+		p.applyUpdate(Update{ID: from, Status: StatusAlive, Incarnation: 0})
+		p.ep.Send(from, joinAckMsg{Members: p.fullState()})
+	case joinAckMsg:
+		p.applyAll(m.Members)
+	case syncMsg:
+		p.applyAll(m.Members)
+		p.ep.Send(from, joinAckMsg{Members: p.fullState()})
+	case leaveMsg:
+		p.applyUpdate(m.Update)
+	}
+}
+
+func incOf(p *Protocol, id simnet.NodeID) uint64 {
+	if ms, ok := p.members[id]; ok {
+		return ms.Incarnation
+	}
+	return 0
+}
+
+func (p *Protocol) applyAll(us []Update) {
+	for _, u := range us {
+		p.applyUpdate(u)
+	}
+}
+
+func (p *Protocol) fullState() []Update {
+	out := make([]Update, 0, len(p.members))
+	for _, ms := range p.members {
+		out = append(out, Update(ms.Member))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

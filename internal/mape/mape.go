@@ -1,0 +1,303 @@
+// Package mape implements the MAPE-K autonomic loop the paper places at
+// the heart of runtime self-adaptation (§VII, Fig 5): Monitor gathers
+// observations into a Knowledge base, Analyze evaluates requirement
+// satisfaction (instantaneous propositions plus LTL3 runtime monitors
+// from the verify package), Plan derives counteractions, and Execute
+// applies them. The Knowledge base is a CRDT map, so loops can share
+// knowledge epidemically (the "information sharing" decentralization
+// pattern) and keep planning through partitions — analysis and planning
+// placed on edge components, exactly as Figure 5 prescribes.
+package mape
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/crdt"
+	"repro/internal/model"
+	"repro/internal/verify"
+)
+
+// Knowledge is the K of MAPE-K: a replicated fact store plus derived
+// propositions. Facts are timestamped LWW entries, so merging knowledge
+// from other loops is conflict-free.
+type Knowledge struct {
+	data *crdt.LWWMap
+	now  func() time.Duration
+	// lastWrite implements a hybrid clock: writes are stamped with
+	// max(now, lastWrite+1ns) so that a same-tick overwrite by the
+	// local replica still wins under LWW resolution.
+	lastWrite time.Duration
+}
+
+// NewKnowledge creates a knowledge base owned by the given replica,
+// reading time from now.
+func NewKnowledge(replica crdt.ReplicaID, now func() time.Duration) *Knowledge {
+	return &Knowledge{data: crdt.NewLWWMap(replica), now: now, lastWrite: -1}
+}
+
+// Put stores a fact at the current time (advanced by at least 1ns per
+// write, so successive writes within one simulation instant keep their
+// order).
+func (k *Knowledge) Put(key string, value any) {
+	ts := k.now()
+	if ts <= k.lastWrite {
+		ts = k.lastWrite + 1
+	}
+	k.lastWrite = ts
+	k.data.Set(key, value, ts)
+}
+
+// Get reads a fact.
+func (k *Knowledge) Get(key string) (any, bool) {
+	return k.data.Get(key)
+}
+
+// GetFloat reads a numeric fact, converting common numeric types.
+func (k *Knowledge) GetFloat(key string) (float64, bool) {
+	v, ok := k.data.Get(key)
+	if !ok {
+		return 0, false
+	}
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case uint64:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}
+
+// Age returns how long ago the fact was last written.
+func (k *Knowledge) Age(key string) (time.Duration, bool) {
+	ts, ok := k.data.Timestamp(key)
+	if !ok {
+		return 0, false
+	}
+	return k.now() - ts, true
+}
+
+// Keys returns the live fact keys, sorted.
+func (k *Knowledge) Keys() []string { return k.data.Keys() }
+
+// Delta exports facts newer than ts for knowledge sharing.
+func (k *Knowledge) Delta(ts time.Duration) []crdt.Entry { return k.data.Since(ts) }
+
+// MaxTimestamp returns the newest fact's write time.
+func (k *Knowledge) MaxTimestamp() time.Duration { return k.data.MaxTimestamp() }
+
+// Absorb merges exported entries from another loop's knowledge.
+func (k *Knowledge) Absorb(entries []crdt.Entry) int { return k.data.Apply(entries) }
+
+// PropRule derives an atomic proposition from knowledge each cycle.
+type PropRule struct {
+	Prop verify.Prop
+	Eval func(k *Knowledge) bool
+}
+
+// Issue is an analysis finding: a requirement currently violated.
+type Issue struct {
+	Requirement model.RequirementID
+	Prop        verify.Prop
+	// MonitorVerdict carries the LTL3 verdict of the requirement's
+	// runtime monitor at detection time.
+	MonitorVerdict verify.Verdict
+}
+
+// Action is a planned counteraction, interpreted by the executor.
+type Action struct {
+	Name   string
+	Target string
+	Value  any
+}
+
+// MonitorFunc feeds fresh observations into knowledge (the M phase).
+type MonitorFunc func(k *Knowledge)
+
+// PlanFunc maps issues to counteractions (the P phase).
+type PlanFunc func(k *Knowledge, issues []Issue) []Action
+
+// ExecuteFunc applies one action (the E phase). Returning false marks
+// the action as failed in the loop's stats.
+type ExecuteFunc func(k *Knowledge, a Action) bool
+
+// Stats aggregates loop activity.
+type Stats struct {
+	Cycles          int
+	IssuesDetected  int
+	ActionsExecuted int
+	ActionsFailed   int
+	// Recoveries counts requirement violations that were later
+	// observed satisfied again; TotalRecovery accumulates the time
+	// from first violation to recovery (MTTR = TotalRecovery /
+	// Recoveries).
+	Recoveries    int
+	TotalRecovery time.Duration
+}
+
+// MTTR returns the mean time to recovery over observed recoveries.
+func (s Stats) MTTR() time.Duration {
+	if s.Recoveries == 0 {
+		return 0
+	}
+	return s.TotalRecovery / time.Duration(s.Recoveries)
+}
+
+// Loop is one MAPE-K loop instance. Construct with NewLoop, register
+// monitors/rules/requirements, then drive it with Cycle (typically from
+// a simnet ticker owned by the hosting node).
+type Loop struct {
+	knowledge *Knowledge
+	now       func() time.Duration
+
+	monitors []MonitorFunc
+	rules    []PropRule
+	reqs     []*model.Requirement
+	runtime  map[model.RequirementID]*verify.Monitor
+	plan     PlanFunc
+	execute  ExecuteFunc
+
+	violatedSince map[model.RequirementID]time.Duration
+	lastObs       map[verify.Prop]bool
+	stats         Stats
+	onCycle       []func(obs map[verify.Prop]bool, issues []Issue, actions []Action)
+}
+
+// NewLoop builds a loop around an existing knowledge base.
+func NewLoop(k *Knowledge, now func() time.Duration) *Loop {
+	return &Loop{
+		knowledge:     k,
+		now:           now,
+		runtime:       make(map[model.RequirementID]*verify.Monitor),
+		violatedSince: make(map[model.RequirementID]time.Duration),
+	}
+}
+
+// Knowledge returns the loop's knowledge base.
+func (l *Loop) Knowledge() *Knowledge { return l.knowledge }
+
+// AddMonitor registers an M-phase observation source.
+func (l *Loop) AddMonitor(m MonitorFunc) { l.monitors = append(l.monitors, m) }
+
+// AddRule registers a proposition deriver.
+func (l *Loop) AddRule(r PropRule) { l.rules = append(l.rules, r) }
+
+// AddRequirement registers a requirement to analyze; its runtime LTL
+// property gets a dedicated three-valued monitor.
+func (l *Loop) AddRequirement(r *model.Requirement) {
+	l.reqs = append(l.reqs, r)
+	l.runtime[r.ID] = verify.NewMonitor(r.RuntimeProperty())
+}
+
+// SetPlanner installs the P phase.
+func (l *Loop) SetPlanner(p PlanFunc) { l.plan = p }
+
+// SetExecutor installs the E phase.
+func (l *Loop) SetExecutor(e ExecuteFunc) { l.execute = e }
+
+// OnCycle registers an observer invoked after every cycle.
+func (l *Loop) OnCycle(fn func(obs map[verify.Prop]bool, issues []Issue, actions []Action)) {
+	l.onCycle = append(l.onCycle, fn)
+}
+
+// Stats returns a copy of the loop's counters.
+func (l *Loop) Stats() Stats { return l.stats }
+
+// Observations returns the propositions derived in the last cycle.
+func (l *Loop) Observations() map[verify.Prop]bool {
+	out := make(map[verify.Prop]bool, len(l.lastObs))
+	for p, v := range l.lastObs {
+		out[p] = v
+	}
+	return out
+}
+
+// Satisfaction returns per-requirement instantaneous satisfaction from
+// the last cycle, for goal-model evaluation.
+func (l *Loop) Satisfaction() map[model.RequirementID]bool {
+	out := make(map[model.RequirementID]bool, len(l.reqs))
+	for _, r := range l.reqs {
+		out[r.ID] = l.lastObs[r.Prop]
+	}
+	return out
+}
+
+// Verdict returns the runtime-monitor verdict for a requirement, or
+// VerdictUnknown for requirements the loop does not track.
+func (l *Loop) Verdict(id model.RequirementID) verify.Verdict {
+	m, ok := l.runtime[id]
+	if !ok {
+		return verify.VerdictUnknown
+	}
+	return m.Verdict()
+}
+
+// Cycle runs one full Monitor→Analyze→Plan→Execute pass.
+func (l *Loop) Cycle() {
+	l.stats.Cycles++
+
+	// Monitor.
+	for _, m := range l.monitors {
+		m(l.knowledge)
+	}
+
+	// Analyze: derive propositions, step runtime monitors, find issues.
+	obs := make(map[verify.Prop]bool, len(l.rules))
+	for _, r := range l.rules {
+		obs[r.Prop] = r.Eval(l.knowledge)
+	}
+	l.lastObs = obs
+	var issues []Issue
+	for _, r := range l.reqs {
+		mon := l.runtime[r.ID]
+		mon.Step(obs)
+		// Issues track *instantaneous* satisfaction: resilience is the
+		// persistence of satisfaction, so a violated-then-recovered
+		// requirement stops being an issue even though its invariant
+		// monitor verdict latched false (the verdict is carried in the
+		// Issue for diagnosis while violated).
+		satisfied := obs[r.Prop]
+		if satisfied {
+			if since, was := l.violatedSince[r.ID]; was {
+				l.stats.Recoveries++
+				l.stats.TotalRecovery += l.now() - since
+				delete(l.violatedSince, r.ID)
+			}
+			continue
+		}
+		if _, already := l.violatedSince[r.ID]; !already {
+			l.violatedSince[r.ID] = l.now()
+		}
+		l.stats.IssuesDetected++
+		issues = append(issues, Issue{Requirement: r.ID, Prop: r.Prop, MonitorVerdict: mon.Verdict()})
+	}
+	sort.Slice(issues, func(i, j int) bool { return issues[i].Requirement < issues[j].Requirement })
+
+	// Plan.
+	var actions []Action
+	if l.plan != nil && len(issues) > 0 {
+		actions = l.plan(l.knowledge, issues)
+	}
+
+	// Execute.
+	if l.execute != nil {
+		for _, a := range actions {
+			if l.execute(l.knowledge, a) {
+				l.stats.ActionsExecuted++
+			} else {
+				l.stats.ActionsFailed++
+			}
+		}
+	}
+
+	for _, fn := range l.onCycle {
+		fn(obs, issues, actions)
+	}
+}

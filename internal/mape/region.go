@@ -1,0 +1,153 @@
+package mape
+
+import (
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/verify"
+)
+
+// Region implements the paper's "regional planning" decentralization
+// pattern (§V): each member runs its own local MAPE loop (monitoring
+// and analyzing its scope), while planning for cross-member concerns
+// is lifted to a regional planner that sees every member's issues at
+// once — e.g. an edge node coordinating the zones in its vicinity, as
+// in Figure 3. Execution is delegated back to per-member executors,
+// keeping actuation local.
+type Region struct {
+	members map[string]*Loop
+	order   []string
+	latest  map[string][]Issue
+	plan    RegionalPlanFunc
+	execute RegionalExecuteFunc
+
+	cycles   int
+	executed int
+	failed   int
+}
+
+// MemberIssue pairs an issue with the member that reported it.
+type MemberIssue struct {
+	Member string
+	Issue  Issue
+}
+
+// RegionalAction is a counteraction targeted at one member.
+type RegionalAction struct {
+	Member string
+	Action Action
+}
+
+// RegionalPlanFunc plans counteractions from the region-wide issue
+// snapshot.
+type RegionalPlanFunc func(issues []MemberIssue) []RegionalAction
+
+// RegionalExecuteFunc applies one action at one member. Returning
+// false marks it failed.
+type RegionalExecuteFunc func(member string, a Action) bool
+
+// NewRegion creates an empty region.
+func NewRegion() *Region {
+	return &Region{
+		members: make(map[string]*Loop),
+		latest:  make(map[string][]Issue),
+	}
+}
+
+// AddMember registers a local loop under the region. The region
+// observes the loop's cycles; the loop keeps running independently
+// (local planning, if any, still applies — regional planning is
+// additive).
+func (r *Region) AddMember(name string, loop *Loop) {
+	if _, dup := r.members[name]; !dup {
+		r.order = append(r.order, name)
+	}
+	r.members[name] = loop
+	loop.OnCycle(func(_ map[verify.Prop]bool, issues []Issue, _ []Action) {
+		snapshot := make([]Issue, len(issues))
+		copy(snapshot, issues)
+		r.latest[name] = snapshot
+	})
+}
+
+// SetPlanner installs the regional planner.
+func (r *Region) SetPlanner(p RegionalPlanFunc) { r.plan = p }
+
+// SetExecutor installs the regional executor.
+func (r *Region) SetExecutor(e RegionalExecuteFunc) { r.execute = e }
+
+// Members returns the member names in registration order.
+func (r *Region) Members() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Issues returns the most recent issue snapshot across members,
+// ordered by member name then requirement.
+func (r *Region) Issues() []MemberIssue {
+	var out []MemberIssue
+	for _, name := range r.order {
+		for _, is := range r.latest[name] {
+			out = append(out, MemberIssue{Member: name, Issue: is})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Member != out[j].Member {
+			return out[i].Member < out[j].Member
+		}
+		return out[i].Issue.Requirement < out[j].Issue.Requirement
+	})
+	return out
+}
+
+// Cycle runs one regional plan/execute pass over the latest member
+// issues. Member loops must have cycled since the relevant change for
+// their issues to be visible (drive members and the region from the
+// same scheduler).
+func (r *Region) Cycle() {
+	r.cycles++
+	if r.plan == nil {
+		return
+	}
+	issues := r.Issues()
+	if len(issues) == 0 {
+		return
+	}
+	for _, ra := range r.plan(issues) {
+		if r.execute == nil {
+			continue
+		}
+		if r.execute(ra.Member, ra.Action) {
+			r.executed++
+		} else {
+			r.failed++
+		}
+	}
+}
+
+// Executed returns how many regional actions succeeded.
+func (r *Region) Executed() int { return r.executed }
+
+// Failed returns how many regional actions failed.
+func (r *Region) Failed() int { return r.failed }
+
+// Cycles returns how many regional cycles ran.
+func (r *Region) Cycles() int { return r.cycles }
+
+// Satisfaction aggregates instantaneous requirement satisfaction
+// across all members (a requirement is satisfied region-wide if every
+// member tracking it reports it satisfied).
+func (r *Region) Satisfaction() map[model.RequirementID]bool {
+	out := make(map[model.RequirementID]bool)
+	for _, name := range r.order {
+		for id, ok := range r.members[name].Satisfaction() {
+			if cur, seen := out[id]; seen {
+				out[id] = cur && ok
+			} else {
+				out[id] = ok
+			}
+		}
+	}
+	return out
+}

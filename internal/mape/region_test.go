@@ -1,0 +1,138 @@
+package mape
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/crdt"
+	"repro/internal/model"
+	"repro/internal/verify"
+)
+
+// regionRig builds two member loops whose "load" facts drive a shared
+// capacity requirement, plus a region that can shift capacity between
+// them.
+func regionRig(t *testing.T) (*Region, map[string]*Loop, map[string]float64, *time.Duration) {
+	t.Helper()
+	var now time.Duration
+	clock := func() time.Duration { return now }
+	capacity := map[string]float64{"z1": 10, "z2": 10}
+	loops := make(map[string]*Loop)
+	region := NewRegion()
+	for _, name := range []string{"z1", "z2"} {
+		name := name
+		k := NewKnowledge(crdt.ReplicaID("k-"+name), clock)
+		l := NewLoop(k, clock)
+		l.AddRule(PropRule{Prop: prop(name), Eval: func(k *Knowledge) bool {
+			load, ok := k.GetFloat("load")
+			return ok && load <= capacity[name]
+		}})
+		l.AddRequirement(&model.Requirement{ID: model.RequirementID("R-" + name), Prop: prop(name)})
+		loops[name] = l
+		region.AddMember(name, l)
+	}
+	return region, loops, capacity, &now
+}
+
+func prop(name string) verify.Prop { return verify.Prop(name + ":within-capacity") }
+
+func TestRegionAggregatesIssues(t *testing.T) {
+	region, loops, _, _ := regionRig(t)
+	loops["z1"].Knowledge().Put("load", 15.0) // over capacity
+	loops["z2"].Knowledge().Put("load", 5.0)
+	loops["z1"].Cycle()
+	loops["z2"].Cycle()
+
+	issues := region.Issues()
+	if len(issues) != 1 || issues[0].Member != "z1" {
+		t.Fatalf("issues = %+v", issues)
+	}
+	if got := region.Members(); len(got) != 2 || got[0] != "z1" {
+		t.Fatalf("members = %v", got)
+	}
+}
+
+func TestRegionalPlanningShiftsCapacity(t *testing.T) {
+	region, loops, capacity, _ := regionRig(t)
+	// Regional planner: when a member is over capacity, borrow from
+	// the spare member.
+	region.SetPlanner(func(issues []MemberIssue) []RegionalAction {
+		var out []RegionalAction
+		for _, mi := range issues {
+			out = append(out, RegionalAction{
+				Member: mi.Member,
+				Action: Action{Name: "grant-capacity", Value: 10.0},
+			})
+		}
+		return out
+	})
+	region.SetExecutor(func(member string, a Action) bool {
+		if a.Name != "grant-capacity" {
+			return false
+		}
+		capacity[member] += a.Value.(float64)
+		return true
+	})
+
+	loops["z1"].Knowledge().Put("load", 15.0)
+	loops["z2"].Knowledge().Put("load", 5.0)
+	loops["z1"].Cycle()
+	loops["z2"].Cycle()
+	region.Cycle() // plans and grants capacity to z1
+
+	loops["z1"].Cycle() // re-analyze with new capacity
+	if !loops["z1"].Satisfaction()["R-z1"] {
+		t.Fatal("regional action did not resolve the issue")
+	}
+	if region.Executed() != 1 || region.Failed() != 0 || region.Cycles() != 1 {
+		t.Fatalf("stats = %d/%d/%d", region.Executed(), region.Failed(), region.Cycles())
+	}
+}
+
+func TestRegionWithoutPlannerIsInert(t *testing.T) {
+	region, loops, _, _ := regionRig(t)
+	loops["z1"].Knowledge().Put("load", 99.0)
+	loops["z1"].Cycle()
+	region.Cycle()
+	if region.Executed() != 0 {
+		t.Fatal("executed without a planner")
+	}
+}
+
+func TestRegionFailedActionsCounted(t *testing.T) {
+	region, loops, _, _ := regionRig(t)
+	region.SetPlanner(func(issues []MemberIssue) []RegionalAction {
+		return []RegionalAction{{Member: "z1", Action: Action{Name: "nope"}}}
+	})
+	region.SetExecutor(func(string, Action) bool { return false })
+	loops["z1"].Knowledge().Put("load", 99.0)
+	loops["z1"].Cycle()
+	region.Cycle()
+	if region.Failed() != 1 {
+		t.Fatalf("failed = %d", region.Failed())
+	}
+}
+
+func TestRegionSatisfactionConjunction(t *testing.T) {
+	region, loops, _, _ := regionRig(t)
+	loops["z1"].Knowledge().Put("load", 5.0)
+	loops["z2"].Knowledge().Put("load", 99.0)
+	loops["z1"].Cycle()
+	loops["z2"].Cycle()
+	sat := region.Satisfaction()
+	if !sat["R-z1"] || sat["R-z2"] {
+		t.Fatalf("satisfaction = %v", sat)
+	}
+}
+
+func TestRegionIssuesSorted(t *testing.T) {
+	region, loops, _, _ := regionRig(t)
+	loops["z2"].Knowledge().Put("load", 99.0)
+	loops["z1"].Knowledge().Put("load", 99.0)
+	loops["z2"].Cycle()
+	loops["z1"].Cycle()
+	issues := region.Issues()
+	if len(issues) != 2 || issues[0].Member != "z1" || issues[1].Member != "z2" {
+		t.Fatalf("issues = %+v", issues)
+	}
+}

@@ -1,0 +1,92 @@
+package mape
+
+import (
+	"time"
+
+	"repro/internal/crdt"
+	"repro/internal/simnet"
+)
+
+// syncMsg carries a knowledge delta between loops.
+type syncMsg struct {
+	Entries []crdt.Entry
+}
+
+// Size approximates a compact encoding: per-entry key + value + clock.
+func (m syncMsg) Size() int { return 8 + 48*len(m.Entries) }
+
+// Syncer implements the paper's "information sharing" decentralization
+// pattern (§V): each MAPE loop self-adapts locally but periodically
+// shares its knowledge with peer loops, so that analysis and planning
+// at the edge can use system-wide context without any central
+// knowledge store. Deltas ride on the CRDT merge semantics of the
+// knowledge base, so sharing is safe under partitions, message loss and
+// re-delivery.
+type Syncer struct {
+	port     simnet.Port
+	loop     *Loop
+	peers    []simnet.NodeID
+	interval time.Duration
+	lastSent time.Duration
+	ticker   *simnet.Ticker
+	absorbed int
+}
+
+// NewSyncer wires knowledge sharing for loop over port with the given
+// peers.
+func NewSyncer(port simnet.Port, loop *Loop, peers []simnet.NodeID, interval time.Duration) *Syncer {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := &Syncer{
+		port:     port,
+		loop:     loop,
+		peers:    append([]simnet.NodeID(nil), peers...),
+		interval: interval,
+		lastSent: -1, // ship everything on the first round, including t=0 writes
+	}
+	port.OnMessage(s.handle)
+	return s
+}
+
+// Start begins periodic delta exchange.
+func (s *Syncer) Start() {
+	s.ticker = s.port.Every(s.interval, s.share)
+}
+
+// Stop halts sharing.
+func (s *Syncer) Stop() {
+	if s.ticker != nil {
+		s.ticker.Stop()
+		s.ticker = nil
+	}
+}
+
+// Absorbed returns how many remote entries won locally — a measure of
+// how much context arrived from peers.
+func (s *Syncer) Absorbed() int { return s.absorbed }
+
+func (s *Syncer) share() {
+	delta := s.loop.Knowledge().Delta(s.lastSent)
+	if len(delta) == 0 {
+		return
+	}
+	// Advance the watermark to just below the newest shipped entry:
+	// boundary entries are re-sent once next round, which the CRDT
+	// merge absorbs idempotently, and nothing written at the same
+	// instant after this share can be skipped.
+	s.lastSent = s.loop.Knowledge().MaxTimestamp() - 1
+	for _, p := range s.peers {
+		if p != s.port.ID() {
+			s.port.Send(p, syncMsg{Entries: delta})
+		}
+	}
+}
+
+func (s *Syncer) handle(_ simnet.NodeID, msg simnet.Message) {
+	m, ok := msg.(syncMsg)
+	if !ok {
+		return
+	}
+	s.absorbed += s.loop.Knowledge().Absorb(m.Entries)
+}

@@ -1,0 +1,216 @@
+// Package model provides the analyzable system representations of the
+// paper's modeling roadmap (§IV): a goal model with AND/OR refinement
+// (requirements engineering), requirements that carry their own formal
+// properties (design-time CTL, runtime LTL), a software configuration
+// graph (components, services, hosts), and a translation of
+// configurations into Kripke structures under a bounded-failure
+// assumption — the concrete "IoT system model facet → verification"
+// pipeline of Figure 2. Requirements as first-class objects are what
+// make resilience *native*: the same Requirement drives design-time
+// checking, runtime monitoring and the persistence metric.
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/verify"
+)
+
+// RequirementID names a requirement.
+type RequirementID string
+
+// Requirement is a first-class requirement: a human description plus
+// the formal artifacts used to validate it at design time and monitor
+// it at runtime.
+type Requirement struct {
+	ID          RequirementID
+	Description string
+	// Prop is the atomic proposition whose truth encodes instantaneous
+	// satisfaction; the runtime knowledge base publishes it each tick.
+	Prop verify.Prop
+	// Temporal is the runtime property monitored over the trace of
+	// observations. When nil, it defaults to G(Prop) — an invariant.
+	Temporal verify.LTLFormula
+	// Design is an optional design-time CTL property checked against a
+	// Kripke model of the configuration.
+	Design verify.CTLFormula
+	// Critical requirements gate the system's top-level goal even under
+	// OR refinement alternatives elsewhere.
+	Critical bool
+}
+
+// RuntimeProperty returns the LTL property to monitor (the explicit
+// Temporal formula, or the default invariant G(Prop)).
+func (r *Requirement) RuntimeProperty() verify.LTLFormula {
+	if r.Temporal != nil {
+		return r.Temporal
+	}
+	return verify.LGlobally(verify.LAP(r.Prop))
+}
+
+// GoalID names a goal.
+type GoalID string
+
+// Refinement is the decomposition mode of a goal's children.
+type Refinement int
+
+// Refinement modes.
+const (
+	// RefinementAND requires all children satisfied.
+	RefinementAND Refinement = iota + 1
+	// RefinementOR requires at least one child satisfied.
+	RefinementOR
+)
+
+func (r Refinement) String() string {
+	switch r {
+	case RefinementAND:
+		return "AND"
+	case RefinementOR:
+		return "OR"
+	default:
+		return fmt.Sprintf("refinement(%d)", int(r))
+	}
+}
+
+// Goal is a node in the goal tree. A leaf goal is satisfied when all of
+// its Requirements are; an inner goal per its Refinement over Subgoals.
+type Goal struct {
+	ID           GoalID
+	Description  string
+	Refinement   Refinement
+	Subgoals     []*Goal
+	Requirements []RequirementID
+}
+
+// GoalModel is a requirements goal tree with its requirement registry.
+type GoalModel struct {
+	root *Goal
+	reqs map[RequirementID]*Requirement
+}
+
+// NewGoalModel builds a model rooted at root with the given
+// requirements. Validate before use.
+func NewGoalModel(root *Goal, reqs []*Requirement) *GoalModel {
+	m := &GoalModel{root: root, reqs: make(map[RequirementID]*Requirement, len(reqs))}
+	for _, r := range reqs {
+		m.reqs[r.ID] = r
+	}
+	return m
+}
+
+// Root returns the root goal.
+func (m *GoalModel) Root() *Goal { return m.root }
+
+// Requirement returns a requirement by ID.
+func (m *GoalModel) Requirement(id RequirementID) (*Requirement, bool) {
+	r, ok := m.reqs[id]
+	return r, ok
+}
+
+// Requirements returns all requirements sorted by ID.
+func (m *GoalModel) Requirements() []*Requirement {
+	out := make([]*Requirement, 0, len(m.reqs))
+	for _, r := range m.reqs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Validate checks structural sanity: a root exists, goal IDs are
+// unique, every referenced requirement is registered, inner goals have
+// children and leaves have requirements.
+func (m *GoalModel) Validate() error {
+	if m.root == nil {
+		return fmt.Errorf("model: goal model has no root")
+	}
+	seen := make(map[GoalID]bool)
+	var walk func(g *Goal) error
+	walk = func(g *Goal) error {
+		if seen[g.ID] {
+			return fmt.Errorf("model: duplicate goal %q", g.ID)
+		}
+		seen[g.ID] = true
+		if len(g.Subgoals) == 0 && len(g.Requirements) == 0 {
+			return fmt.Errorf("model: goal %q has neither subgoals nor requirements", g.ID)
+		}
+		if len(g.Subgoals) > 0 && g.Refinement != RefinementAND && g.Refinement != RefinementOR {
+			return fmt.Errorf("model: goal %q has children but no refinement mode", g.ID)
+		}
+		for _, rid := range g.Requirements {
+			if _, ok := m.reqs[rid]; !ok {
+				return fmt.Errorf("model: goal %q references unknown requirement %q", g.ID, rid)
+			}
+		}
+		for _, c := range g.Subgoals {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(m.root)
+}
+
+// Satisfied evaluates the goal tree given per-requirement satisfaction.
+// Requirements absent from sat count as unsatisfied. A critical
+// requirement that is unsatisfied fails the whole tree regardless of OR
+// alternatives.
+func (m *GoalModel) Satisfied(sat map[RequirementID]bool) bool {
+	for id, r := range m.reqs {
+		if r.Critical && !sat[id] {
+			return false
+		}
+	}
+	return m.goalSatisfied(m.root, sat)
+}
+
+// SinglePointsOfFailure returns the requirements whose individual
+// unsatisfaction — with everything else satisfied — breaks the root
+// goal. OR-refined alternatives mask their members; AND paths and
+// critical requirements surface here. This is the design-time "where
+// does redundancy end" analysis the goal model enables.
+func (m *GoalModel) SinglePointsOfFailure() []RequirementID {
+	all := make(map[RequirementID]bool, len(m.reqs))
+	for id := range m.reqs {
+		all[id] = true
+	}
+	var out []RequirementID
+	for _, r := range m.Requirements() {
+		all[r.ID] = false
+		if !m.Satisfied(all) {
+			out = append(out, r.ID)
+		}
+		all[r.ID] = true
+	}
+	return out
+}
+
+func (m *GoalModel) goalSatisfied(g *Goal, sat map[RequirementID]bool) bool {
+	for _, rid := range g.Requirements {
+		if !sat[rid] {
+			return false
+		}
+	}
+	if len(g.Subgoals) == 0 {
+		return true
+	}
+	switch g.Refinement {
+	case RefinementOR:
+		for _, c := range g.Subgoals {
+			if m.goalSatisfied(c, sat) {
+				return true
+			}
+		}
+		return false
+	default: // AND
+		for _, c := range g.Subgoals {
+			if !m.goalSatisfied(c, sat) {
+				return false
+			}
+		}
+		return true
+	}
+}

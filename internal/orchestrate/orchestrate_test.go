@@ -1,0 +1,367 @@
+package orchestrate
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/env"
+	"repro/internal/space"
+)
+
+// pool: one gateway (edge), one cloudlet (edge, bigger), one cloud VM.
+func pool(t *testing.T, alive func(device.ID) bool) *Orchestrator {
+	t.Helper()
+	m := space.NewMap()
+	m.AddDomain(space.Domain{ID: "d", Trusted: true})
+	if err := m.AddZone(space.Zone{ID: "z1", Max: space.Point{X: 10, Y: 10}, DomainID: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	m.Place("gw", space.Point{X: 5, Y: 5}, "d")
+	m.Place("cl", space.Point{X: 50, Y: 50}, "d")
+	m.Place("cloud", space.Point{X: 100, Y: 100}, "d")
+
+	o := New(m, alive)
+	o.RegisterHost(device.New("gw", device.Config{Class: device.ClassGateway}))
+	o.RegisterHost(device.New("cl", device.Config{Class: device.ClassCloudlet}))
+	o.RegisterHost(device.New("cloud", device.Config{Class: device.ClassCloudVM}))
+	return o
+}
+
+func alwaysAlive(device.ID) bool { return true }
+
+func TestDeployPrefersEdge(t *testing.T) {
+	o := pool(t, alwaysAlive)
+	host, err := o.Deploy(Function{Name: "analytics", Requires: []device.Capability{device.CapCompute},
+		CPUMIPS: 100, MemMB: 64, PreferEdge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host == "cloud" {
+		t.Fatalf("placed on cloud despite PreferEdge: %s", host)
+	}
+	if !o.Operational("analytics") {
+		t.Fatal("not operational after deploy")
+	}
+}
+
+func TestDeployWithoutPreferenceUsesLeastLoaded(t *testing.T) {
+	o := pool(t, alwaysAlive)
+	// Saturate relative load on the cloudlet and gateway by deploying
+	// large functions, then check the next goes to the emptiest host.
+	if _, err := o.Deploy(Function{Name: "f1", CPUMIPS: 1800, MemMB: 1}); err != nil {
+		t.Fatal(err) // lands somewhere
+	}
+	host2, err := o.Deploy(Function{Name: "f2", CPUMIPS: 100, MemMB: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := o.HostOf("f1")
+	if host2 == h1 {
+		t.Fatalf("both functions on %s; expected spreading", h1)
+	}
+}
+
+func TestCapabilityConstraints(t *testing.T) {
+	o := pool(t, alwaysAlive)
+	// No host senses temperature.
+	if _, err := o.Deploy(Function{Name: "sense", Requires: []device.Capability{device.SenseCap(env.Temperature)}}); err == nil {
+		t.Fatal("deploy with unsatisfiable capability succeeded")
+	}
+	if st := o.Stats(); st.FailedDeploys != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Register a sensor host: still fails (sensor nodes don't get
+	// CapCompute, but the function only asks for sensing — so it works).
+	o.RegisterHost(device.New("s1", device.Config{
+		Class:        device.ClassSensorNode,
+		Capabilities: []device.Capability{device.SenseCap(env.Temperature)},
+	}))
+	host, err := o.Deploy(Function{Name: "sense", Requires: []device.Capability{device.SenseCap(env.Temperature)}})
+	if err != nil || host != "s1" {
+		t.Fatalf("host = %v, err = %v", host, err)
+	}
+}
+
+func TestCapacityAccounting(t *testing.T) {
+	o := New(nil, alwaysAlive)
+	o.RegisterHost(device.New("gw", device.Config{Class: device.ClassGateway})) // 2000 MIPS, 1024 MB
+	if _, err := o.Deploy(Function{Name: "a", CPUMIPS: 1500, MemMB: 512}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Deploy(Function{Name: "b", CPUMIPS: 600, MemMB: 128}); err == nil {
+		t.Fatal("over-CPU deploy succeeded")
+	}
+	if _, err := o.Deploy(Function{Name: "c", CPUMIPS: 100, MemMB: 600}); err == nil {
+		t.Fatal("over-memory deploy succeeded")
+	}
+	if _, err := o.Deploy(Function{Name: "d", CPUMIPS: 100, MemMB: 100}); err != nil {
+		t.Fatal("fitting deploy failed:", err)
+	}
+	// Undeploy releases capacity.
+	o.Undeploy("a")
+	if _, err := o.Deploy(Function{Name: "e", CPUMIPS: 1500, MemMB: 500}); err != nil {
+		t.Fatal("capacity not released:", err)
+	}
+}
+
+func TestZoneConstraint(t *testing.T) {
+	o := pool(t, alwaysAlive)
+	host, err := o.Deploy(Function{Name: "local", Zone: "z1", CPUMIPS: 10, MemMB: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host != "gw" {
+		t.Fatalf("host = %s, want gw (only host in z1)", host)
+	}
+	// A zone nobody is in.
+	if _, err := o.Deploy(Function{Name: "nowhere", Zone: "ghost"}); err == nil {
+		t.Fatal("deploy into empty zone succeeded")
+	}
+}
+
+func TestZoneConstraintWithoutSpaces(t *testing.T) {
+	o := New(nil, alwaysAlive)
+	o.RegisterHost(device.New("gw", device.Config{Class: device.ClassGateway}))
+	if _, err := o.Deploy(Function{Name: "f", Zone: "z1"}); err == nil {
+		t.Fatal("zone-constrained deploy without a space map succeeded")
+	}
+}
+
+func TestHealHostMigrates(t *testing.T) {
+	down := map[device.ID]bool{}
+	o := pool(t, func(id device.ID) bool { return !down[id] })
+	host, err := o.Deploy(Function{Name: "ctrl", CPUMIPS: 100, MemMB: 64, PreferEdge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	down[host] = true
+	if o.Operational("ctrl") {
+		t.Fatal("operational on dead host")
+	}
+	migrated := o.HealHost(host)
+	if len(migrated) != 1 || migrated[0] != "ctrl" {
+		t.Fatalf("migrated = %v", migrated)
+	}
+	newHost, _ := o.HostOf("ctrl")
+	if newHost == host {
+		t.Fatal("function still on failed host")
+	}
+	if !o.Operational("ctrl") {
+		t.Fatal("not operational after heal")
+	}
+	if st := o.Stats(); st.Migrations != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHealScansAllPlacements(t *testing.T) {
+	down := map[device.ID]bool{}
+	o := pool(t, func(id device.ID) bool { return !down[id] })
+	o.Deploy(Function{Name: "f1", CPUMIPS: 10, MemMB: 1, PreferEdge: true})
+	o.Deploy(Function{Name: "f2", CPUMIPS: 10, MemMB: 1, PreferEdge: true})
+	h1, _ := o.HostOf("f1")
+	h2, _ := o.HostOf("f2")
+	down[h1] = true
+	down[h2] = true
+	n := o.Heal()
+	if n != 2 {
+		t.Fatalf("healed %d, want 2", n)
+	}
+	if !o.Operational("f1") || !o.Operational("f2") {
+		t.Fatal("functions not operational after Heal")
+	}
+}
+
+func TestHealFailsWhenNoHostFeasible(t *testing.T) {
+	down := map[device.ID]bool{}
+	o := New(nil, func(id device.ID) bool { return !down[id] })
+	o.RegisterHost(device.New("only", device.Config{Class: device.ClassGateway}))
+	o.Deploy(Function{Name: "f", CPUMIPS: 10, MemMB: 1})
+	down["only"] = true
+	if n := o.Heal(); n != 0 {
+		t.Fatalf("healed %d with no feasible host", n)
+	}
+	if st := o.Stats(); st.FailedMigrations != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The placement is kept (non-operational) so later heals retry.
+	if _, ok := o.HostOf("f"); !ok {
+		t.Fatal("failed migration dropped the placement entirely")
+	}
+	if o.Operational("f") {
+		t.Fatal("function operational on a dead host")
+	}
+	// Recovery: host comes back; the placement is operational again
+	// without any migration.
+	down["only"] = false
+	if !o.Operational("f") {
+		t.Fatal("function not operational after host recovery")
+	}
+	if n := o.Heal(); n != 0 {
+		t.Fatalf("heal migrated %d although nothing is broken", n)
+	}
+}
+
+func TestDrainedHostInfeasible(t *testing.T) {
+	o := New(nil, alwaysAlive)
+	d := device.New("bat", device.Config{Class: device.ClassMobile,
+		Resources: &device.Resources{CPUMIPS: 1000, MemMB: 1000, BatterymAh: 0.001}, IdleDrawmAhPerSec: 1})
+	o.RegisterHost(d)
+	if _, err := o.Deploy(Function{Name: "f", CPUMIPS: 1, MemMB: 1}); err != nil {
+		t.Fatal(err)
+	}
+	d.Idle(10) // drains (10ns of idle at 1 mAh/s is still 0; use seconds)
+	if !d.Drained() {
+		d.Idle(1e9) // 1 second
+	}
+	if o.Operational("f") {
+		t.Fatal("operational on drained host")
+	}
+}
+
+func TestRedeployReleasesOldPlacement(t *testing.T) {
+	o := New(nil, alwaysAlive)
+	o.RegisterHost(device.New("gw", device.Config{Class: device.ClassGateway}))
+	o.Deploy(Function{Name: "f", CPUMIPS: 1500, MemMB: 512})
+	// Re-deploy same function with smaller demand must not double-count.
+	if _, err := o.Deploy(Function{Name: "f", CPUMIPS: 1500, MemMB: 512}); err != nil {
+		t.Fatal("redeploy failed:", err)
+	}
+	if got := len(o.Placements()); got != 1 {
+		t.Fatalf("placements = %d", got)
+	}
+}
+
+func TestDeployReplicatedAntiAffinity(t *testing.T) {
+	o := pool(t, alwaysAlive)
+	hosts, err := o.DeployReplicated(Function{Name: "svc", CPUMIPS: 10, MemMB: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[device.ID]bool{}
+	for _, h := range hosts {
+		if seen[h] {
+			t.Fatalf("replicas share host %s", h)
+		}
+		seen[h] = true
+	}
+	if len(o.Placements()) != 3 {
+		t.Fatalf("placements = %d", len(o.Placements()))
+	}
+	if h, ok := o.HostOf("svc#1"); !ok || h == "" {
+		t.Fatal("replica name not placed")
+	}
+}
+
+func TestDeployReplicatedAllOrNothing(t *testing.T) {
+	o := pool(t, alwaysAlive) // 3 hosts
+	if _, err := o.DeployReplicated(Function{Name: "svc", CPUMIPS: 10, MemMB: 1}, 4); err == nil {
+		t.Fatal("4 replicas on 3 hosts accepted")
+	}
+	if len(o.Placements()) != 0 {
+		t.Fatalf("partial placement left behind: %v", o.Placements())
+	}
+	if st := o.Stats(); st.FailedDeploys != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDeployReplicatedRedeployReleasesOldGeneration(t *testing.T) {
+	o := pool(t, alwaysAlive)
+	if _, err := o.DeployReplicated(Function{Name: "svc", CPUMIPS: 700, MemMB: 256}, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Same function again: old generation must be released first or
+	// capacity would be double-counted.
+	if _, err := o.DeployReplicated(Function{Name: "svc", CPUMIPS: 700, MemMB: 256}, 3); err != nil {
+		t.Fatal("redeploy failed:", err)
+	}
+	if len(o.Placements()) != 3 {
+		t.Fatalf("placements = %d", len(o.Placements()))
+	}
+}
+
+func TestDeployReplicatedInvalidCount(t *testing.T) {
+	o := pool(t, alwaysAlive)
+	if _, err := o.DeployReplicated(Function{Name: "svc"}, 0); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+}
+
+func TestReplicatedSurvivesSingleHostFailure(t *testing.T) {
+	down := map[device.ID]bool{}
+	o := pool(t, func(id device.ID) bool { return !down[id] })
+	hosts, err := o.DeployReplicated(Function{Name: "svc", CPUMIPS: 10, MemMB: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down[hosts[0]] = true
+	alive := 0
+	for i := 0; i < 2; i++ {
+		if o.Operational(replicaName("svc", i)) {
+			alive++
+		}
+	}
+	if alive != 1 {
+		t.Fatalf("alive replicas = %d, want 1", alive)
+	}
+	// Heal migrates the dead replica to the remaining distinct host.
+	if n := o.Heal(); n != 1 {
+		t.Fatalf("healed %d, want 1", n)
+	}
+}
+
+func TestHealPreservesAntiAffinity(t *testing.T) {
+	// 3 hosts, 3 replicas: when one host dies there is no distinct
+	// host left, so the heal must fail that replica rather than stack
+	// two replicas on one host.
+	down := map[device.ID]bool{}
+	o := pool(t, func(id device.ID) bool { return !down[id] })
+	hosts, err := o.DeployReplicated(Function{Name: "svc", CPUMIPS: 10, MemMB: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down[hosts[0]] = true
+	if n := o.Heal(); n != 0 {
+		t.Fatalf("healed %d; stacking replicas violates anti-affinity", n)
+	}
+	// With a 4th host available the heal succeeds onto it.
+	o.RegisterHost(device.New("extra", device.Config{Class: device.ClassGateway}))
+	if n := o.Heal(); n != 1 {
+		t.Fatalf("healed %d onto the new host, want 1", n)
+	}
+	counts := map[device.ID]int{}
+	for _, p := range o.Placements() {
+		counts[p.Host]++
+	}
+	for h, n := range counts {
+		if n > 1 {
+			t.Fatalf("host %s runs %d replicas", h, n)
+		}
+	}
+}
+
+func TestReplicaGroup(t *testing.T) {
+	if replicaGroup("svc#2") != "svc" || replicaGroup("plain") != "" || replicaGroup("a#b#1") != "a#b" {
+		t.Fatal("replicaGroup parsing wrong")
+	}
+}
+
+func TestPlacementsSortedAndHosts(t *testing.T) {
+	o := pool(t, alwaysAlive)
+	o.Deploy(Function{Name: "b", CPUMIPS: 1, MemMB: 1})
+	o.Deploy(Function{Name: "a", CPUMIPS: 1, MemMB: 1})
+	ps := o.Placements()
+	if len(ps) != 2 || ps[0].Function.Name != "a" {
+		t.Fatalf("placements = %v", ps)
+	}
+	if len(o.Hosts()) != 3 {
+		t.Fatalf("hosts = %v", o.Hosts())
+	}
+	if _, ok := o.HostOf("ghost"); ok {
+		t.Fatal("ghost function placed")
+	}
+	if o.Operational("ghost") {
+		t.Fatal("ghost function operational")
+	}
+}

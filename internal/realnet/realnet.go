@@ -1,0 +1,292 @@
+// Package realnet runs the repository's protocol implementations over
+// a real network: a Node is a simnet.Port backed by a UDP socket and
+// the wall clock instead of the simulator. Protocol state machines are
+// written single-threaded; realnet preserves that contract by
+// funneling every event — incoming datagram, timer fire, tick —
+// through one event-loop goroutine, so the exact same gossip,
+// consensus and data-plane code that runs deterministically in the
+// simulator also runs on real infrastructure.
+//
+// Wire format: gob. Protocol packages register their message types via
+// their RegisterWire functions before nodes start.
+package realnet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// wireEnvelope frames one datagram.
+type wireEnvelope struct {
+	From    simnet.NodeID
+	Payload any
+}
+
+// RegisterWireType makes a message type encodable. Call once per
+// concrete message type before any node starts (protocol packages
+// export RegisterWire helpers that do this for their types).
+func RegisterWireType(value any) {
+	gob.Register(value)
+}
+
+// maxDatagram bounds encoded message size.
+const maxDatagram = 64 * 1024
+
+// Node is one real-network protocol host. Construct with NewNode, add
+// peers, install protocols (they call OnMessage/Every through the Port
+// interface), then Run. Close stops the event loop and the socket.
+type Node struct {
+	id    simnet.NodeID
+	conn  *net.UDPConn
+	rng   *rand.Rand
+	start time.Time
+
+	mu      sync.Mutex
+	peers   map[simnet.NodeID]*net.UDPAddr
+	handler simnet.Handler
+	closed  bool
+
+	events chan func()
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+var _ simnet.Port = (*Node)(nil)
+
+// NewNode binds a UDP socket. bind may be ":0" for an ephemeral port;
+// Addr reports the actual address.
+func NewNode(id simnet.NodeID, bind string) (*Node, error) {
+	addr, err := net.ResolveUDPAddr("udp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("realnet: resolve %q: %w", bind, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("realnet: listen %q: %w", bind, err)
+	}
+	return &Node{
+		id:     id,
+		conn:   conn,
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		start:  time.Now(),
+		peers:  make(map[simnet.NodeID]*net.UDPAddr),
+		events: make(chan func(), 1024),
+		done:   make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the bound UDP address.
+func (n *Node) Addr() string { return n.conn.LocalAddr().String() }
+
+// AddPeer registers a peer's address.
+func (n *Node) AddPeer(id simnet.NodeID, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("realnet: resolve peer %q: %w", addr, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[id] = ua
+	return nil
+}
+
+// Run starts the reader and event-loop goroutines. Call after the
+// protocols are installed.
+func (n *Node) Run() {
+	n.wg.Add(2)
+	go n.readLoop()
+	go n.eventLoop()
+}
+
+// Close shuts the node down and waits for its goroutines to exit.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
+	close(n.done)
+	_ = n.conn.Close()
+	n.wg.Wait()
+}
+
+func (n *Node) readLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		sz, _, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		var env wireEnvelope
+		if err := gob.NewDecoder(bytes.NewReader(buf[:sz])).Decode(&env); err != nil {
+			continue // malformed datagram
+		}
+		n.post(func() {
+			n.mu.Lock()
+			h := n.handler
+			n.mu.Unlock()
+			if h != nil {
+				h(env.From, env.Payload)
+			}
+		})
+	}
+}
+
+func (n *Node) eventLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case fn := <-n.events:
+			fn()
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// post enqueues a callback onto the event loop; events arriving after
+// shutdown are dropped.
+func (n *Node) post(fn func()) {
+	select {
+	case n.events <- fn:
+	case <-n.done:
+	}
+}
+
+// Do runs fn on the event loop and waits for it to finish — the safe
+// way for external goroutines (tests, operator tooling) to inspect
+// protocol state owned by the loop. It reports false if the node shut
+// down before fn could run.
+func (n *Node) Do(fn func()) bool {
+	done := make(chan struct{})
+	select {
+	case n.events <- func() { fn(); close(done) }:
+	case <-n.done:
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	case <-n.done:
+		return false
+	}
+}
+
+// --- simnet.Port ---
+
+// ID returns the node identifier.
+func (n *Node) ID() simnet.NodeID { return n.id }
+
+// Now returns the wall-clock time since the node was created.
+func (n *Node) Now() time.Duration { return time.Since(n.start) }
+
+// Rand returns the node's random source. It must only be used from
+// protocol callbacks (the event loop), which is how protocols written
+// against simnet.Port behave.
+func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// Up reports whether the node is open.
+func (n *Node) Up() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.closed
+}
+
+// OnMessage installs the datagram handler.
+func (n *Node) OnMessage(h simnet.Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handler = h
+}
+
+// OnUp registers a recovery callback. Real nodes do not crash-recover
+// in place; the callback is retained for interface compatibility but
+// never invoked.
+func (n *Node) OnUp(func()) {}
+
+// OnDown registers a crash callback; never invoked (see OnUp).
+func (n *Node) OnDown(func()) {}
+
+// Send encodes and transmits msg to the peer. Unknown peers and
+// encoding failures report false.
+func (n *Node) Send(to simnet.NodeID, msg simnet.Message) bool {
+	n.mu.Lock()
+	addr, ok := n.peers[to]
+	closed := n.closed
+	n.mu.Unlock()
+	if !ok || closed {
+		return false
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wireEnvelope{From: n.id, Payload: msg}); err != nil {
+		return false
+	}
+	if buf.Len() > maxDatagram {
+		return false
+	}
+	_, err := n.conn.WriteToUDP(buf.Bytes(), addr)
+	return err == nil
+}
+
+// After schedules fn on the event loop d from now.
+func (n *Node) After(d time.Duration, fn func()) *simnet.Timer {
+	var fired sync.Once
+	stopped := false
+	var mu sync.Mutex
+	t := time.AfterFunc(d, func() {
+		n.post(func() {
+			mu.Lock()
+			s := stopped
+			mu.Unlock()
+			if s {
+				return
+			}
+			fired.Do(fn)
+		})
+	})
+	return simnet.NewExternalTimer(func() bool {
+		mu.Lock()
+		already := stopped
+		stopped = true
+		mu.Unlock()
+		return t.Stop() && !already
+	})
+}
+
+// Every runs fn on the event loop at the given period until stopped or
+// the node closes.
+func (n *Node) Every(interval time.Duration, fn func()) *simnet.Ticker {
+	ticker := time.NewTicker(interval)
+	stop := make(chan struct{})
+	var once sync.Once
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			select {
+			case <-ticker.C:
+				n.post(fn)
+			case <-stop:
+				return
+			case <-n.done:
+				return
+			}
+		}
+	}()
+	return simnet.NewExternalTicker(func() {
+		once.Do(func() {
+			ticker.Stop()
+			close(stop)
+		})
+	})
+}

@@ -1,0 +1,111 @@
+package simnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Endpoint is a node's interface to the simulated network. Protocol state
+// machines hold an Endpoint and register a message handler; they schedule
+// their periodic work through the endpoint so that timers are silenced
+// while the node is down (a crashed device does not run its timers).
+type Endpoint struct {
+	sim  *Sim
+	node *node
+}
+
+var _ Clock = (*Endpoint)(nil)
+
+// ID returns the node's identifier.
+func (e *Endpoint) ID() NodeID { return e.node.id }
+
+// Sim returns the underlying simulator.
+func (e *Endpoint) Sim() *Sim { return e.sim }
+
+// Now returns the current virtual time.
+func (e *Endpoint) Now() time.Duration { return e.sim.Now() }
+
+// Rand returns the simulation's deterministic random source.
+func (e *Endpoint) Rand() *rand.Rand { return e.sim.Rand() }
+
+// Up reports whether the node is currently up.
+func (e *Endpoint) Up() bool { return !e.node.down }
+
+// OnMessage installs the handler invoked for every message delivered to
+// this node. Only one handler is active; protocols that multiplex install
+// a dispatching handler.
+func (e *Endpoint) OnMessage(h Handler) { e.node.handler = h }
+
+// OnDown registers a callback invoked synchronously when the node
+// transitions to down.
+func (e *Endpoint) OnDown(fn func()) { e.node.onDown = append(e.node.onDown, fn) }
+
+// OnUp registers a callback invoked synchronously when the node
+// transitions back to up. Protocols typically reset volatile state and
+// re-arm their timers here.
+func (e *Endpoint) OnUp(fn func()) { e.node.onUp = append(e.node.onUp, fn) }
+
+// Send transmits msg to the destination node, subject to the network's
+// latency, loss, partition and liveness state. It reports whether the
+// message entered the network (a true result does not imply delivery).
+func (e *Endpoint) Send(to NodeID, msg Message) bool {
+	return e.sim.send(e.node.id, to, msg)
+}
+
+// After schedules fn to run once, d from now, unless the node is down at
+// that moment. The callback is skipped (not deferred) if the node is down
+// when the timer fires.
+func (e *Endpoint) After(d time.Duration, fn func()) *Timer {
+	return e.sim.After(d, func() {
+		if e.node.down {
+			return
+		}
+		fn()
+	})
+}
+
+// Ticker is a periodic node-scoped timer.
+type Ticker struct {
+	stopped  bool
+	timer    *Timer
+	external func()
+}
+
+// NewExternalTicker wraps an external cancel function in a Ticker for
+// alternative Port implementations.
+func NewExternalTicker(stop func()) *Ticker {
+	return &Ticker{external: stop}
+}
+
+// Stop permanently cancels the ticker.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.external != nil {
+		t.external()
+		return
+	}
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}
+
+// Every runs fn every interval, starting one interval from now. Ticks
+// that occur while the node is down are skipped, but the ticker keeps
+// re-arming, so it resumes automatically when the node comes back up.
+func (e *Endpoint) Every(interval time.Duration, fn func()) *Ticker {
+	t := &Ticker{}
+	var arm func()
+	arm = func() {
+		t.timer = e.sim.After(interval, func() {
+			if t.stopped {
+				return
+			}
+			if !e.node.down {
+				fn()
+			}
+			arm()
+		})
+	}
+	arm()
+	return t
+}

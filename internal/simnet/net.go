@@ -1,0 +1,264 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// NodeID identifies a node in the simulated network.
+type NodeID string
+
+// Message is the payload carried between nodes. Messages are delivered by
+// reference; senders and receivers must treat them as immutable after
+// Send. A message may implement Sized to contribute a realistic byte size
+// to traffic statistics.
+type Message any
+
+// Sized is implemented by messages that know their encoded size in bytes.
+type Sized interface {
+	Size() int
+}
+
+// defaultMessageSize is attributed to messages that do not implement
+// Sized. It approximates a small protocol datagram.
+const defaultMessageSize = 100
+
+// MessageTap observes every delivered message. Taps run at delivery time,
+// after the receiving handler is selected but before it runs.
+type MessageTap func(from, to NodeID, msg Message)
+
+// Handler consumes messages arriving at an endpoint.
+type Handler func(from NodeID, msg Message)
+
+// node is the simulator-internal state of a registered node.
+type node struct {
+	id      NodeID
+	down    bool
+	handler Handler
+	onUp    []func()
+	onDown  []func()
+}
+
+// linkKey identifies a directed link override.
+type linkKey struct {
+	from, to NodeID
+}
+
+// linkOverride carries per-link latency/loss settings.
+type linkOverride struct {
+	latency time.Duration
+	loss    float64
+}
+
+// netState models connectivity: partitions and per-link overrides.
+type netState struct {
+	// group maps a node to its partition group. Nodes in different
+	// groups cannot exchange messages. Nodes absent from the map are in
+	// the implicit group "".
+	group map[NodeID]string
+	links map[linkKey]linkOverride
+	cut   map[linkKey]bool
+}
+
+func (n *netState) init() {
+	n.group = make(map[NodeID]string)
+	n.links = make(map[linkKey]linkOverride)
+	n.cut = make(map[linkKey]bool)
+}
+
+// Stats aggregates traffic counters for the whole simulation.
+type Stats struct {
+	Sent      int
+	Delivered int
+	Dropped   int // lost to link loss, cuts, partitions or down nodes
+	Bytes     int // bytes of delivered messages
+}
+
+// AddNode registers a node and returns its endpoint. Registering the same
+// ID twice panics: scenarios construct their topology once, up front, and
+// a duplicate ID is a scenario-construction bug.
+func (s *Sim) AddNode(id NodeID) *Endpoint {
+	if _, ok := s.nodes[id]; ok {
+		panic(fmt.Sprintf("simnet: duplicate node %q", id))
+	}
+	n := &node{id: id}
+	s.nodes[id] = n
+	return &Endpoint{sim: s, node: n}
+}
+
+// Node reports whether id is registered and currently up.
+func (s *Sim) NodeUp(id NodeID) bool {
+	n, ok := s.nodes[id]
+	return ok && !n.down
+}
+
+// SetDown marks a node down (crashed) or back up. Transitions invoke the
+// endpoint's OnDown/OnUp callbacks synchronously. Setting the current
+// state again is a no-op.
+func (s *Sim) SetDown(id NodeID, down bool) {
+	n, ok := s.nodes[id]
+	if !ok || n.down == down {
+		return
+	}
+	n.down = down
+	if down {
+		for _, fn := range n.onDown {
+			fn()
+		}
+		return
+	}
+	for _, fn := range n.onUp {
+		fn()
+	}
+}
+
+// Partition splits the network into the given groups. A node listed in
+// group i can only communicate with nodes in group i. Nodes not listed in
+// any group form one extra implicit group together. Calling Partition
+// replaces any previous partition.
+func (s *Sim) Partition(groups ...[]NodeID) {
+	s.net.group = make(map[NodeID]string)
+	for i, g := range groups {
+		name := fmt.Sprintf("g%d", i)
+		for _, id := range g {
+			s.net.group[id] = name
+		}
+	}
+}
+
+// HealPartition removes all partition groups.
+func (s *Sim) HealPartition() {
+	s.net.group = make(map[NodeID]string)
+}
+
+// SetLink overrides latency and loss for the directed link from→to.
+func (s *Sim) SetLink(from, to NodeID, latency time.Duration, loss float64) {
+	s.net.links[linkKey{from, to}] = linkOverride{latency: latency, loss: loss}
+}
+
+// SetLinkBidirectional overrides both directions of a link.
+func (s *Sim) SetLinkBidirectional(a, b NodeID, latency time.Duration, loss float64) {
+	s.SetLink(a, b, latency, loss)
+	s.SetLink(b, a, latency, loss)
+}
+
+// ClearLink removes any override for the directed link from→to.
+func (s *Sim) ClearLink(from, to NodeID) {
+	delete(s.net.links, linkKey{from, to})
+}
+
+// CutLink blocks all traffic from→to (both directions must be cut
+// separately; see CutLinkBidirectional).
+func (s *Sim) CutLink(from, to NodeID) {
+	s.net.cut[linkKey{from, to}] = true
+}
+
+// CutLinkBidirectional blocks traffic in both directions between a and b.
+func (s *Sim) CutLinkBidirectional(a, b NodeID) {
+	s.CutLink(a, b)
+	s.CutLink(b, a)
+}
+
+// RestoreLink unblocks traffic from→to.
+func (s *Sim) RestoreLink(from, to NodeID) {
+	delete(s.net.cut, linkKey{from, to})
+}
+
+// RestoreLinkBidirectional unblocks both directions between a and b.
+func (s *Sim) RestoreLinkBidirectional(a, b NodeID) {
+	s.RestoreLink(a, b)
+	s.RestoreLink(b, a)
+}
+
+// Tap registers a delivery observer.
+func (s *Sim) Tap(t MessageTap) {
+	s.taps = append(s.taps, t)
+}
+
+// Stats returns a copy of the traffic counters.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// Reachable reports whether traffic from→to would currently traverse
+// the network (no cut link, same partition group), ignoring loss and
+// node liveness. Combine with NodeUp for end-to-end reachability.
+func (s *Sim) Reachable(from, to NodeID) bool {
+	return s.reachable(from, to)
+}
+
+// reachable reports whether a message from→to would currently traverse
+// the network (ignoring loss).
+func (s *Sim) reachable(from, to NodeID) bool {
+	if s.net.cut[linkKey{from, to}] {
+		return false
+	}
+	return s.net.group[from] == s.net.group[to]
+}
+
+// linkParams resolves latency and loss for from→to.
+func (s *Sim) linkParams(from, to NodeID) (time.Duration, float64) {
+	if ov, ok := s.net.links[linkKey{from, to}]; ok {
+		return ov.latency, ov.loss
+	}
+	return s.defLat, s.defLoss
+}
+
+// send implements message transfer with loss, partitions and down-node
+// semantics. Partition and down state are evaluated both at send and at
+// delivery time, mirroring how a real datagram can be lost by a failure
+// occurring while it is in flight.
+func (s *Sim) send(from, to NodeID, msg Message) bool {
+	src, ok := s.nodes[from]
+	if !ok || src.down {
+		return false
+	}
+	s.stats.Sent++
+	dst, ok := s.nodes[to]
+	if !ok {
+		s.stats.Dropped++
+		return false
+	}
+	if !s.reachable(from, to) {
+		s.stats.Dropped++
+		return false
+	}
+	latency, loss := s.linkParams(from, to)
+	if loss > 0 && s.rng.Float64() < loss {
+		s.stats.Dropped++
+		return false
+	}
+	// Jitter up to 10% keeps simultaneous broadcasts from arriving in
+	// pathological lockstep while staying deterministic under the seed.
+	if latency > 0 {
+		latency += time.Duration(s.rng.Int63n(int64(latency)/10 + 1))
+	}
+	deliveries := 1
+	if s.defDup > 0 && s.rng.Float64() < s.defDup {
+		deliveries = 2
+	}
+	for i := 0; i < deliveries; i++ {
+		// A duplicate trails the original by up to one latency.
+		delay := latency + time.Duration(i)*latency
+		s.After(delay, func() {
+			if dst.down || !s.reachable(from, to) {
+				s.stats.Dropped++
+				return
+			}
+			s.stats.Delivered++
+			s.stats.Bytes += messageSize(msg)
+			for _, tap := range s.taps {
+				tap(from, to, msg)
+			}
+			if dst.handler != nil {
+				dst.handler(from, msg)
+			}
+		})
+	}
+	return true
+}
+
+func messageSize(msg Message) int {
+	if sz, ok := msg.(Sized); ok {
+		return sz.Size()
+	}
+	return defaultMessageSize
+}

@@ -1,0 +1,262 @@
+// Package simnet provides a deterministic discrete-event network simulator.
+//
+// All higher-level substrates (gossip membership, consensus, MAPE loops,
+// data-flow sessions) run as event-driven state machines on a single
+// virtual clock. Determinism comes from a seeded random source and a
+// strictly ordered event queue: two runs with the same seed and the same
+// scenario produce identical traces.
+//
+// The simulator models nodes connected by links with configurable latency
+// and loss, supports network partitions, and exposes per-node endpoints
+// whose timers are automatically silenced while the node is down. This is
+// the substitute for the heterogeneous physical IoT infrastructure of the
+// paper: disruptions (crashes, partitions, latency spikes) are injected
+// reproducibly instead of occurring in the wild.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Clock is the read/schedule surface of the simulator that protocol code
+// is written against. Production code must never call time.Now; it asks
+// its Clock instead so that simulation time is the only time.
+type Clock interface {
+	// Now returns the current virtual time, measured from the start of
+	// the simulation.
+	Now() time.Duration
+	// After schedules fn to run once, d from now. It returns a Timer
+	// that may be stopped before it fires.
+	After(d time.Duration, fn func()) *Timer
+	// Rand returns the simulation's deterministic random source.
+	Rand() *rand.Rand
+}
+
+// event is a scheduled callback in the simulator's queue.
+type event struct {
+	at    time.Duration
+	seq   uint64 // tie-breaker for identical timestamps: FIFO order
+	fn    func()
+	index int // heap index
+	dead  bool
+}
+
+// eventQueue is a min-heap of events ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer struct {
+	sim      *Sim
+	ev       *event
+	external func() bool
+}
+
+// NewExternalTimer wraps an external cancel function in a Timer so
+// that alternative Port implementations (e.g. a real-network adapter)
+// can satisfy the Port interface. stop must report whether it
+// prevented the callback from firing.
+func NewExternalTimer(stop func() bool) *Timer {
+	return &Timer{external: stop}
+}
+
+// Stop cancels the timer if it has not fired yet. It reports whether the
+// call prevented the timer from firing.
+func (t *Timer) Stop() bool {
+	if t == nil {
+		return false
+	}
+	if t.external != nil {
+		return t.external()
+	}
+	if t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	t.ev.fn = nil
+	return true
+}
+
+// Sim is a deterministic discrete-event simulator. The zero value is not
+// usable; construct with New.
+type Sim struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	nodes   map[NodeID]*node
+	net     netState
+	stats   Stats
+	taps    []MessageTap
+	defLat  time.Duration
+	defLoss float64
+	defDup  float64
+}
+
+// Option configures a Sim at construction time.
+type Option func(*Sim)
+
+// WithSeed sets the seed of the simulation's random source. The default
+// seed is 1.
+func WithSeed(seed int64) Option {
+	return func(s *Sim) { s.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithDefaultLatency sets the one-way delivery latency used for links that
+// have no explicit override. The default is 5ms.
+func WithDefaultLatency(d time.Duration) Option {
+	return func(s *Sim) { s.defLat = d }
+}
+
+// WithDefaultLoss sets the message loss probability in [0,1] for links
+// without an explicit override. The default is 0.
+func WithDefaultLoss(p float64) Option {
+	return func(s *Sim) { s.defLoss = p }
+}
+
+// WithDuplicateProb sets the probability in [0,1] that a delivered
+// message is delivered a second time shortly after (datagram
+// duplication). Protocols must be idempotent to survive it; the CRDT
+// data plane is, by construction. The default is 0.
+func WithDuplicateProb(p float64) Option {
+	return func(s *Sim) { s.defDup = p }
+}
+
+// New constructs a simulator.
+func New(opts ...Option) *Sim {
+	s := &Sim{
+		rng:    rand.New(rand.NewSource(1)),
+		nodes:  make(map[NodeID]*node),
+		defLat: 5 * time.Millisecond,
+	}
+	s.net.init()
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+var _ Clock = (*Sim)(nil)
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past is an
+// error in the caller; the event is clamped to now to keep the clock
+// monotonic.
+func (s *Sim) At(t time.Duration, fn func()) *Timer {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, ev)
+	return &Timer{sim: s, ev: ev}
+}
+
+// After schedules fn to run d from now.
+func (s *Sim) After(d time.Duration, fn func()) *Timer {
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the next pending event. It reports whether an event was
+// executed.
+func (s *Sim) Step() bool {
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the queue is exhausted or the
+// next event is later than t. The clock is left at min(t, last event time)
+// advanced to exactly t if the horizon is reached.
+func (s *Sim) RunUntil(t time.Duration) {
+	for {
+		ev := s.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Run executes all pending events until the queue is exhausted. Periodic
+// tickers re-arm themselves, so Run on a simulation with tickers will not
+// terminate; use RunUntil with a horizon instead.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+func (s *Sim) peek() *event {
+	for s.queue.Len() > 0 {
+		if s.queue[0].dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0]
+	}
+	return nil
+}
+
+// Pending returns the number of live scheduled events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// String summarizes the simulator state, mainly for debugging.
+func (s *Sim) String() string {
+	return fmt.Sprintf("simnet: t=%v nodes=%d pending=%d", s.now, len(s.nodes), s.Pending())
+}

@@ -1,0 +1,311 @@
+// Package space models the physical and administrative space an IoT
+// system is deployed in: locations, zones, administrative domains and
+// legal jurisdictions. The paper identifies locality as a key contextual
+// characteristic of IoT (§IV, §VII): devices are spatially distributed,
+// belong to administrative domains, and data is subject to the
+// jurisdiction it is produced in. This package gives those concepts an
+// analyzable representation and derives network latency from distance,
+// so that "the edge is close" is a measured property rather than an
+// assumption.
+package space
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Point is a position in a 2-D deployment plane, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance between two points in meters.
+func (p Point) Distance(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Jurisdiction is a legal data-protection regime, e.g. GDPR or CCPA.
+// Privacy policies in the data plane reference jurisdictions.
+type Jurisdiction string
+
+// Common jurisdictions used throughout examples and experiments.
+const (
+	JurisdictionNone Jurisdiction = ""
+	JurisdictionGDPR Jurisdiction = "GDPR"
+	JurisdictionCCPA Jurisdiction = "CCPA"
+)
+
+// DomainID identifies an administrative domain (an owner/operator scope).
+type DomainID string
+
+// Domain is an administrative domain: a set of devices under one
+// operational authority, within one legal jurisdiction and one level of
+// trust. Transfer of a device across domains is one of the paper's
+// disruption classes.
+type Domain struct {
+	ID           DomainID
+	Jurisdiction Jurisdiction
+	// Trusted reports whether components in this domain are trusted by
+	// the system operator. Data policies typically forbid sensitive
+	// flows into untrusted domains.
+	Trusted bool
+}
+
+// ZoneID identifies a spatial zone.
+type ZoneID string
+
+// Zone is a rectangular region of the deployment plane, e.g. a building
+// floor, a street block, or a hospital ward. Zones scope edge
+// responsibility: an edge node manages the devices inside its zone.
+type Zone struct {
+	ID       ZoneID
+	Min, Max Point
+	DomainID DomainID
+}
+
+// Contains reports whether p lies inside the zone (inclusive bounds).
+func (z Zone) Contains(p Point) bool {
+	return p.X >= z.Min.X && p.X <= z.Max.X && p.Y >= z.Min.Y && p.Y <= z.Max.Y
+}
+
+// Placement records where an entity is and which domain currently owns
+// it. Ownership can diverge from the zone's domain after a transfer.
+type Placement struct {
+	Position Point
+	Domain   DomainID
+}
+
+// Map is the spatial model: zones, domains and entity placements. The
+// zero value is not usable; construct with NewMap.
+type Map struct {
+	domains    map[DomainID]Domain
+	zones      map[ZoneID]Zone
+	placements map[string]Placement
+	zoneOrder  []ZoneID // deterministic iteration
+}
+
+// NewMap constructs an empty spatial model.
+func NewMap() *Map {
+	return &Map{
+		domains:    make(map[DomainID]Domain),
+		zones:      make(map[ZoneID]Zone),
+		placements: make(map[string]Placement),
+	}
+}
+
+// AddDomain registers an administrative domain.
+func (m *Map) AddDomain(d Domain) {
+	m.domains[d.ID] = d
+}
+
+// Domain returns the domain with the given ID.
+func (m *Map) Domain(id DomainID) (Domain, bool) {
+	d, ok := m.domains[id]
+	return d, ok
+}
+
+// AddZone registers a zone. The zone's domain must already exist.
+func (m *Map) AddZone(z Zone) error {
+	if _, ok := m.domains[z.DomainID]; !ok && z.DomainID != "" {
+		return fmt.Errorf("space: zone %q references unknown domain %q", z.ID, z.DomainID)
+	}
+	if _, dup := m.zones[z.ID]; !dup {
+		m.zoneOrder = append(m.zoneOrder, z.ID)
+	}
+	m.zones[z.ID] = z
+	return nil
+}
+
+// Zone returns the zone with the given ID.
+func (m *Map) Zone(id ZoneID) (Zone, bool) {
+	z, ok := m.zones[id]
+	return z, ok
+}
+
+// Zones returns all zones in registration order. The returned slice is a
+// copy.
+func (m *Map) Zones() []Zone {
+	out := make([]Zone, 0, len(m.zoneOrder))
+	for _, id := range m.zoneOrder {
+		out = append(out, m.zones[id])
+	}
+	return out
+}
+
+// Place positions an entity and assigns its owning domain.
+func (m *Map) Place(entity string, p Point, domain DomainID) {
+	m.placements[entity] = Placement{Position: p, Domain: domain}
+}
+
+// Move updates an entity's position, keeping its domain.
+func (m *Map) Move(entity string, p Point) error {
+	pl, ok := m.placements[entity]
+	if !ok {
+		return fmt.Errorf("space: unknown entity %q", entity)
+	}
+	pl.Position = p
+	m.placements[entity] = pl
+	return nil
+}
+
+// Transfer moves an entity to a different administrative domain. This is
+// the "transfer of administrative domains" disruption from the paper.
+func (m *Map) Transfer(entity string, to DomainID) error {
+	pl, ok := m.placements[entity]
+	if !ok {
+		return fmt.Errorf("space: unknown entity %q", entity)
+	}
+	if _, ok := m.domains[to]; !ok {
+		return fmt.Errorf("space: unknown domain %q", to)
+	}
+	pl.Domain = to
+	m.placements[entity] = pl
+	return nil
+}
+
+// PlacementOf returns an entity's placement.
+func (m *Map) PlacementOf(entity string) (Placement, bool) {
+	pl, ok := m.placements[entity]
+	return pl, ok
+}
+
+// ZoneOf returns the first zone (in registration order) containing the
+// entity's position.
+func (m *Map) ZoneOf(entity string) (Zone, bool) {
+	pl, ok := m.placements[entity]
+	if !ok {
+		return Zone{}, false
+	}
+	for _, id := range m.zoneOrder {
+		if z := m.zones[id]; z.Contains(pl.Position) {
+			return z, true
+		}
+	}
+	return Zone{}, false
+}
+
+// JurisdictionOf returns the jurisdiction of the entity's owning domain.
+func (m *Map) JurisdictionOf(entity string) Jurisdiction {
+	pl, ok := m.placements[entity]
+	if !ok {
+		return JurisdictionNone
+	}
+	d, ok := m.domains[pl.Domain]
+	if !ok {
+		return JurisdictionNone
+	}
+	return d.Jurisdiction
+}
+
+// SameDomain reports whether two entities are owned by the same domain.
+func (m *Map) SameDomain(a, b string) bool {
+	pa, oka := m.placements[a]
+	pb, okb := m.placements[b]
+	return oka && okb && pa.Domain == pb.Domain
+}
+
+// Distance returns the Euclidean distance between two placed entities in
+// meters, and false if either is unplaced.
+func (m *Map) Distance(a, b string) (float64, bool) {
+	pa, oka := m.placements[a]
+	pb, okb := m.placements[b]
+	if !oka || !okb {
+		return 0, false
+	}
+	return pa.Position.Distance(pb.Position), true
+}
+
+// Nearest returns, among candidates, the entity closest to the given
+// entity, preferring earlier candidates on ties. It returns false if the
+// entity or all candidates are unplaced.
+func (m *Map) Nearest(entity string, candidates []string) (string, bool) {
+	pl, ok := m.placements[entity]
+	if !ok {
+		return "", false
+	}
+	best, bestDist := "", math.Inf(1)
+	for _, c := range candidates {
+		pc, ok := m.placements[c]
+		if !ok {
+			continue
+		}
+		if d := pl.Position.Distance(pc.Position); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best, best != ""
+}
+
+// NearestOrder returns the placed candidates ordered by ascending
+// distance from the entity (ties broken by candidate order); unplaced
+// candidates are dropped. If the entity itself is unplaced, the
+// candidates are returned in their given order.
+func (m *Map) NearestOrder(entity string, candidates []string) []string {
+	var placed []string
+	for _, c := range candidates {
+		if _, ok := m.placements[c]; ok {
+			placed = append(placed, c)
+		}
+	}
+	pl, ok := m.placements[entity]
+	if !ok {
+		return placed
+	}
+	sort.SliceStable(placed, func(i, j int) bool {
+		di := pl.Position.Distance(m.placements[placed[i]].Position)
+		dj := pl.Position.Distance(m.placements[placed[j]].Position)
+		return di < dj
+	})
+	return placed
+}
+
+// Entities returns the IDs of all placed entities, sorted.
+func (m *Map) Entities() []string {
+	out := make([]string, 0, len(m.placements))
+	for id := range m.placements {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LatencyModel derives one-way network latency from spatial distance:
+// a base propagation/processing delay plus a per-meter term, with an
+// extra WAN penalty for links that cross domains (traffic between
+// domains transits the public internet in our model). This replaces the
+// paper's implicit assumption that "the edge is close and the cloud is
+// far" with a measurable model.
+type LatencyModel struct {
+	Base       time.Duration // fixed per-hop cost
+	PerMeter   time.Duration // distance-proportional cost
+	CrossWAN   time.Duration // added when endpoints are in different domains
+	DefaultLat time.Duration // used when an entity is unplaced
+}
+
+// DefaultLatencyModel returns parameters giving ≈1–2ms within a zone,
+// ≈5–10ms across a site and ≈40ms+ across domains — the shape of real
+// LAN/MAN/WAN deployments.
+func DefaultLatencyModel() LatencyModel {
+	return LatencyModel{
+		Base:       500 * time.Microsecond,
+		PerMeter:   3 * time.Microsecond,
+		CrossWAN:   40 * time.Millisecond,
+		DefaultLat: 5 * time.Millisecond,
+	}
+}
+
+// Latency computes the one-way latency between two placed entities.
+func (lm LatencyModel) Latency(m *Map, a, b string) time.Duration {
+	d, ok := m.Distance(a, b)
+	if !ok {
+		return lm.DefaultLat
+	}
+	lat := lm.Base + time.Duration(d*float64(lm.PerMeter))
+	if !m.SameDomain(a, b) {
+		lat += lm.CrossWAN
+	}
+	return lat
+}

@@ -1,0 +1,238 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CTLFormula is a computation-tree-logic formula. Construct with the
+// package-level constructors (AP, Not, And, EX, EU, EG, …); the derived
+// operators (AX, AF, AG, EF, AU, Implies) are provided as constructors
+// that expand into the minimal basis {EX, EU, EG, ¬, ∧}.
+type CTLFormula interface {
+	// eval returns the set of states satisfying the formula.
+	eval(k *Kripke, pred [][]int) StateSet
+	String() string
+}
+
+// --- basis formula types ---
+
+type ctlTrue struct{}
+
+type ctlAP struct{ p Prop }
+
+type ctlNot struct{ f CTLFormula }
+
+type ctlAnd struct{ fs []CTLFormula }
+
+type ctlEX struct{ f CTLFormula }
+
+type ctlEU struct{ a, b CTLFormula }
+
+type ctlEG struct{ f CTLFormula }
+
+// True is the formula satisfied by every state.
+func True() CTLFormula { return ctlTrue{} }
+
+// AP is satisfied by states labeled with p.
+func AP(p Prop) CTLFormula { return ctlAP{p: p} }
+
+// Not negates f.
+func Not(f CTLFormula) CTLFormula { return ctlNot{f: f} }
+
+// And is the conjunction of fs (True when empty).
+func And(fs ...CTLFormula) CTLFormula { return ctlAnd{fs: fs} }
+
+// Or is the disjunction of fs.
+func Or(fs ...CTLFormula) CTLFormula {
+	neg := make([]CTLFormula, len(fs))
+	for i, f := range fs {
+		neg[i] = Not(f)
+	}
+	return Not(And(neg...))
+}
+
+// Implies is material implication a→b.
+func Implies(a, b CTLFormula) CTLFormula { return Or(Not(a), b) }
+
+// EX: some successor satisfies f.
+func EX(f CTLFormula) CTLFormula { return ctlEX{f: f} }
+
+// AX: all successors satisfy f.
+func AX(f CTLFormula) CTLFormula { return Not(EX(Not(f))) }
+
+// EU: along some path, a holds until b.
+func EU(a, b CTLFormula) CTLFormula { return ctlEU{a: a, b: b} }
+
+// EF: some path eventually reaches f.
+func EF(f CTLFormula) CTLFormula { return EU(True(), f) }
+
+// EG: some path satisfies f forever.
+func EG(f CTLFormula) CTLFormula { return ctlEG{f: f} }
+
+// AF: every path eventually reaches f.
+func AF(f CTLFormula) CTLFormula { return Not(EG(Not(f))) }
+
+// AG: f holds on every reachable state of every path.
+func AG(f CTLFormula) CTLFormula { return Not(EF(Not(f))) }
+
+// AU: along every path, a holds until b (strong until).
+// A[a U b] ≡ ¬( E[¬b U (¬a ∧ ¬b)] ∨ EG ¬b ).
+func AU(a, b CTLFormula) CTLFormula {
+	return Not(Or(EU(Not(b), And(Not(a), Not(b))), EG(Not(b))))
+}
+
+// --- evaluation ---
+
+func (ctlTrue) eval(k *Kripke, _ [][]int) StateSet {
+	out := make(StateSet, k.NumStates())
+	for s := 0; s < k.NumStates(); s++ {
+		out[s] = true
+	}
+	return out
+}
+
+func (f ctlAP) eval(k *Kripke, _ [][]int) StateSet {
+	out := make(StateSet)
+	for s := 0; s < k.NumStates(); s++ {
+		if k.Holds(s, f.p) {
+			out[s] = true
+		}
+	}
+	return out
+}
+
+func (f ctlNot) eval(k *Kripke, pred [][]int) StateSet {
+	inner := f.f.eval(k, pred)
+	out := make(StateSet)
+	for s := 0; s < k.NumStates(); s++ {
+		if !inner[s] {
+			out[s] = true
+		}
+	}
+	return out
+}
+
+func (f ctlAnd) eval(k *Kripke, pred [][]int) StateSet {
+	if len(f.fs) == 0 {
+		return ctlTrue{}.eval(k, pred)
+	}
+	out := f.fs[0].eval(k, pred)
+	for _, g := range f.fs[1:] {
+		gs := g.eval(k, pred)
+		for s := range out {
+			if !gs[s] {
+				delete(out, s)
+			}
+		}
+	}
+	return out
+}
+
+func (f ctlEX) eval(k *Kripke, pred [][]int) StateSet {
+	inner := f.f.eval(k, pred)
+	out := make(StateSet)
+	for s := 0; s < k.NumStates(); s++ {
+		for _, t := range k.Successors(s) {
+			if inner[t] {
+				out[s] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// eval computes the least fixpoint of E[a U b]: start from b, add states
+// in a with a successor already in the set.
+func (f ctlEU) eval(k *Kripke, pred [][]int) StateSet {
+	aSet := f.a.eval(k, pred)
+	out := f.b.eval(k, pred)
+	work := out.Sorted()
+	for len(work) > 0 {
+		t := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range pred[t] {
+			if !out[s] && aSet[s] {
+				out[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return out
+}
+
+// eval computes the greatest fixpoint of EG f: start from f-states,
+// repeatedly remove states with no successor inside the set.
+func (f ctlEG) eval(k *Kripke, pred [][]int) StateSet {
+	out := f.f.eval(k, pred)
+	changed := true
+	for changed {
+		changed = false
+		for s := range out {
+			ok := false
+			for _, t := range k.Successors(s) {
+				if out[t] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				delete(out, s)
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+// --- strings ---
+
+func (ctlTrue) String() string  { return "true" }
+func (f ctlAP) String() string  { return string(f.p) }
+func (f ctlNot) String() string { return "!" + f.f.String() }
+
+func (f ctlAnd) String() string {
+	if len(f.fs) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(f.fs))
+	for i, g := range f.fs {
+		parts[i] = g.String()
+	}
+	return "(" + strings.Join(parts, " & ") + ")"
+}
+
+func (f ctlEX) String() string { return "EX " + f.f.String() }
+func (f ctlEU) String() string { return fmt.Sprintf("E[%s U %s]", f.a, f.b) }
+func (f ctlEG) String() string { return "EG " + f.f.String() }
+
+// CheckCTL returns the set of states satisfying f.
+func CheckCTL(k *Kripke, f CTLFormula) StateSet {
+	return f.eval(k, k.predecessors())
+}
+
+// Check reports whether every initial state satisfies f. A structure
+// with no initial states vacuously satisfies everything; callers should
+// set initial states.
+func Check(k *Kripke, f CTLFormula) bool {
+	sat := CheckCTL(k, f)
+	for _, s := range k.initial {
+		if !sat[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counterexamples returns the initial states violating f, sorted.
+func Counterexamples(k *Kripke, f CTLFormula) []int {
+	sat := CheckCTL(k, f)
+	var out []int
+	for _, s := range k.initial {
+		if !sat[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

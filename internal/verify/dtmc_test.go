@@ -1,0 +1,175 @@
+package verify
+
+import (
+	"math"
+	"testing"
+)
+
+func mustProb(t *testing.T, d *DTMC, from, to int, p float64) {
+	t.Helper()
+	if err := d.SetProb(from, to, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// repairChain models up →(0.1) down →(0.5) up: a two-state
+// failure/repair process with known closed-form behavior.
+func repairChain(t *testing.T) (*DTMC, int, int) {
+	t.Helper()
+	d := NewDTMC()
+	up := d.AddState("up")
+	down := d.AddState("down")
+	mustProb(t, d, up, up, 0.9)
+	mustProb(t, d, up, down, 0.1)
+	mustProb(t, d, down, up, 0.5)
+	mustProb(t, d, down, down, 0.5)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d, up, down
+}
+
+func TestSetProbErrors(t *testing.T) {
+	d := NewDTMC()
+	d.AddState()
+	if err := d.SetProb(0, 3, 0.5); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	if err := d.SetProb(0, 0, 1.5); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	if err := d.SetProb(0, 0, -0.1); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+}
+
+func TestValidateDetectsBadRow(t *testing.T) {
+	d := NewDTMC()
+	a := d.AddState()
+	b := d.AddState()
+	mustProb(t, d, a, b, 0.6) // row sums to 0.6
+	if err := d.Validate(); err == nil {
+		t.Fatal("row not summing to 1 accepted")
+	}
+}
+
+func TestSetProbZeroRemovesEdge(t *testing.T) {
+	d := NewDTMC()
+	a := d.AddState()
+	b := d.AddState()
+	mustProb(t, d, a, b, 1)
+	mustProb(t, d, a, b, 0)
+	if err := d.Validate(); err != nil {
+		t.Fatal("removing edge left invalid row:", err)
+	}
+}
+
+func TestReachWithinRepairChain(t *testing.T) {
+	d, _, down := repairChain(t)
+	// From down, P(reach up within 1 step) = 0.5;
+	// within 2 steps = 0.5 + 0.5*0.5 = 0.75.
+	p1 := d.ReachWithin("up", 1)
+	if math.Abs(p1[down]-0.5) > 1e-12 {
+		t.Fatalf("P = %v, want 0.5", p1[down])
+	}
+	p2 := d.ReachWithin("up", 2)
+	if math.Abs(p2[down]-0.75) > 1e-12 {
+		t.Fatalf("P = %v, want 0.75", p2[down])
+	}
+	// Target states have probability 1 at any bound.
+	if p1[0] != 1 {
+		t.Fatalf("target state P = %v", p1[0])
+	}
+	// k=0: only target states count.
+	p0 := d.ReachWithin("up", 0)
+	if p0[down] != 0 {
+		t.Fatalf("k=0 P = %v, want 0", p0[down])
+	}
+}
+
+func TestReachUnbounded(t *testing.T) {
+	d, _, down := repairChain(t)
+	p := d.Reach("up", 1e-12, 0)
+	if math.Abs(p[down]-1) > 1e-9 {
+		t.Fatalf("P = %v, want →1 (repair always eventually succeeds)", p[down])
+	}
+}
+
+func TestReachWithAbsorbingFailure(t *testing.T) {
+	// ok →0.5 ok, →0.3 goal, →0.2 dead (absorbing).
+	d := NewDTMC()
+	ok := d.AddState("ok")
+	goal := d.AddState("goal")
+	dead := d.AddState("dead")
+	mustProb(t, d, ok, ok, 0.5)
+	mustProb(t, d, ok, goal, 0.3)
+	mustProb(t, d, ok, dead, 0.2)
+	mustProb(t, d, goal, goal, 1)
+	mustProb(t, d, dead, dead, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := d.Reach("goal", 1e-12, 0)
+	// P = 0.3 / (1 - 0.5) = 0.6
+	if math.Abs(p[ok]-0.6) > 1e-9 {
+		t.Fatalf("P = %v, want 0.6", p[ok])
+	}
+	if p[dead] != 0 {
+		t.Fatalf("absorbing failure P = %v, want 0", p[dead])
+	}
+}
+
+func TestBoundedUntil(t *testing.T) {
+	// a-states must persist until b; passing through a non-a state
+	// zeroes the probability.
+	d := NewDTMC()
+	s0 := d.AddState("a")
+	bad := d.AddState() // not a, not b
+	s2 := d.AddState("a")
+	tgt := d.AddState("b")
+	mustProb(t, d, s0, bad, 0.5)
+	mustProb(t, d, s0, s2, 0.5)
+	mustProb(t, d, bad, tgt, 1)
+	mustProb(t, d, s2, tgt, 1)
+	mustProb(t, d, tgt, tgt, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := d.BoundedUntil("a", "b", 5)
+	// Only the path through s2 counts: 0.5.
+	if math.Abs(p[s0]-0.5) > 1e-12 {
+		t.Fatalf("P[a U<=5 b] = %v, want 0.5", p[s0])
+	}
+	// Compare: plain reachability counts both paths.
+	r := d.ReachWithin("b", 5)
+	if math.Abs(r[s0]-1) > 1e-12 {
+		t.Fatalf("P[F<=5 b] = %v, want 1", r[s0])
+	}
+}
+
+func TestSteadyStateRepairChain(t *testing.T) {
+	d, up, down := repairChain(t)
+	pi := d.SteadyState(10000)
+	// Stationary: pi_down = 0.1/(0.1+0.5) = 1/6, pi_up = 5/6.
+	if math.Abs(pi[up]-5.0/6) > 1e-6 || math.Abs(pi[down]-1.0/6) > 1e-6 {
+		t.Fatalf("steady state = %v, want [5/6 1/6]", pi)
+	}
+}
+
+func TestSteadyStateEmpty(t *testing.T) {
+	d := NewDTMC()
+	if got := d.SteadyState(10); got != nil {
+		t.Fatalf("SteadyState on empty chain = %v", got)
+	}
+}
+
+func TestHolds(t *testing.T) {
+	d := NewDTMC()
+	s := d.AddState("x")
+	if !d.Holds(s, "x") || d.Holds(s, "y") || d.Holds(5, "x") {
+		t.Fatal("Holds wrong")
+	}
+	if d.NumStates() != 1 {
+		t.Fatal("NumStates wrong")
+	}
+}

@@ -1,0 +1,61 @@
+package verify
+
+import "testing"
+
+// FuzzParseCTL checks the parser never panics and that accepted
+// formulas render and re-parse stably (parse∘print is a fixpoint).
+func FuzzParseCTL(f *testing.F) {
+	for _, seed := range []string{
+		"AG(svc:control -> EF all-up)",
+		"E[a U b] & !c",
+		"A[true U x] | EX y",
+		"((((p))))",
+		"!!p",
+		"AG EF AG EF q",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		formula, err := ParseCTL(input)
+		if err != nil {
+			return
+		}
+		rendered := formula.String()
+		again, err := ParseCTL(rendered)
+		if err != nil {
+			t.Fatalf("rendered form %q of %q does not re-parse: %v", rendered, input, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("print∘parse not stable: %q → %q", rendered, again.String())
+		}
+	})
+}
+
+// FuzzParseLTL mirrors FuzzParseCTL for the linear logic, and also
+// runs every accepted formula through a short monitor to check
+// progression never panics.
+func FuzzParseLTL(f *testing.F) {
+	for _, seed := range []string{
+		"G(alarm -> F<=3 handled)",
+		"p U (q U r)",
+		"X X X p",
+		"F<=0 p & G<=0 q",
+		"!F !G p",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		formula, err := ParseLTL(input)
+		if err != nil {
+			return
+		}
+		rendered := formula.String()
+		if _, err := ParseLTL(rendered); err != nil {
+			t.Fatalf("rendered form %q of %q does not re-parse: %v", rendered, input, err)
+		}
+		m := NewMonitor(formula)
+		m.Step(map[Prop]bool{"p": true, "alarm": true})
+		m.Step(map[Prop]bool{"q": true})
+		m.Step(nil)
+	})
+}

@@ -1,0 +1,188 @@
+package verify
+
+import (
+	"testing"
+)
+
+func TestParseCTLRoundTrips(t *testing.T) {
+	tests := []struct {
+		input string
+		want  string // String() of the parsed formula
+	}{
+		{"p", "p"},
+		{"true", "true"},
+		{"!p", "!p"},
+		{"p & q", "(p & q)"},
+		{"AG p", "!E[true U !p]"},
+		{"EF p", "E[true U p]"},
+		{"EX p", "EX p"},
+		{"EG p", "EG p"},
+		{"E[p U q]", "E[p U q]"},
+		{"svc:control", "svc:control"},
+		{"z0:temp_ok", "z0:temp_ok"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.input, func(t *testing.T) {
+			f, err := ParseCTL(tt.input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.String() != tt.want {
+				t.Fatalf("parsed %q, want %q", f.String(), tt.want)
+			}
+		})
+	}
+}
+
+func TestParseCTLSemantics(t *testing.T) {
+	// Parse and check on the branch structure: s0 → {a-loop, b-loop}.
+	k := branchKS(t)
+	tests := []struct {
+		input string
+		want  bool
+	}{
+		{"a", true},
+		{"AG (a | b)", true},
+		{"AF b", false},
+		{"EF b", true},
+		{"EG a", true},
+		{"E[a U b]", true},
+		{"A[a U b]", false},
+		{"a -> EF b", true},
+		{"!b", true},
+		{"false", false},
+		{"AG(a -> (EF b | EG a))", true},
+		{"AX a | AX b", false},
+		{"EX a & EX b", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.input, func(t *testing.T) {
+			f, err := ParseCTL(tt.input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := Check(k, f); got != tt.want {
+				t.Fatalf("Check(%q) = %v, want %v", tt.input, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseCTLErrors(t *testing.T) {
+	bad := []string{
+		"", "(p", "p)", "p &", "AG", "A[p q]", "E[p U q", "p q",
+		"& p", "A[", "->", "p -> ",
+	}
+	for _, input := range bad {
+		if _, err := ParseCTL(input); err == nil {
+			t.Errorf("ParseCTL(%q) accepted", input)
+		}
+	}
+}
+
+func TestParseLTLRoundTrips(t *testing.T) {
+	tests := []struct {
+		input string
+		want  string
+	}{
+		{"G p", "G p"},
+		{"F p", "F p"},
+		{"X p", "X p"},
+		{"p U q", "(p U q)"},
+		{"F<=3 p", "F<=3 p"},
+		{"G<=2 p", "G<=2 p"},
+		{"G(alarm -> F<=3 handled)", "G (!alarm | F<=3 handled)"},
+		{"!p & q", "(!p & q)"},
+		{"true", "true"},
+		{"false", "false"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.input, func(t *testing.T) {
+			f, err := ParseLTL(tt.input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.String() != tt.want {
+				t.Fatalf("parsed %q, want %q", f.String(), tt.want)
+			}
+		})
+	}
+}
+
+func TestParseLTLSemantics(t *testing.T) {
+	trace := []map[Prop]bool{obs("a"), obs("a"), obs("a", "b")}
+	tests := []struct {
+		input string
+		want  bool
+	}{
+		{"G a", true},
+		{"F b", true},
+		{"a U b", true},
+		{"F c", false},
+		{"F<=1 b", false},
+		{"F<=2 b", true},
+		{"G<=1 a", true},
+		{"X X b", true},    // b holds at the third observation
+		{"X X X b", false}, // past end of trace
+	}
+	for _, tt := range tests {
+		t.Run(tt.input, func(t *testing.T) {
+			f, err := ParseLTL(tt.input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := EvalTrace(f, trace); got != tt.want {
+				t.Fatalf("EvalTrace(%q) = %v, want %v", tt.input, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseLTLErrors(t *testing.T) {
+	bad := []string{
+		"", "G", "F<= p", "F<=x p", "F<=-1 p", "(p U", "p |",
+	}
+	for _, input := range bad {
+		if _, err := ParseLTL(input); err == nil {
+			t.Errorf("ParseLTL(%q) accepted", input)
+		}
+	}
+}
+
+func TestLexer(t *testing.T) {
+	toks := lex("AG(svc:control -> EF all-up)")
+	want := []string{"AG", "(", "svc:control", "->", "EF", "all-up", ")"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q", i, toks[i], want[i])
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// "a & b | c" parses as (a&b) | c.
+	f, err := ParseCTL("a & b | c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKripke()
+	s := k.AddState("c")
+	if err := k.AddTransition(s, s); err != nil {
+		t.Fatal(err)
+	}
+	k.SetInitial(s)
+	if !Check(k, f) {
+		t.Fatal("c alone should satisfy (a&b)|c")
+	}
+	// "a -> b -> c" is right associative: a -> (b -> c).
+	f2, err := ParseCTL("a -> b -> c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Check(k, f2) {
+		t.Fatal("vacuous implication should hold")
+	}
+}
