@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz experiments examples clean
+.PHONY: all build test race cover bench fuzz experiments examples obs-demo clean
 
 all: build test
 
@@ -44,6 +44,10 @@ examples:
 	$(GO) run ./examples/energygrid
 	$(GO) run ./examples/udpgossip
 	$(GO) run ./examples/smartcity
+
+# Short traced smart-city run; open trace.json at chrome://tracing.
+obs-demo:
+	$(GO) run ./cmd/riotsim -arch ML4 -zones 4 -duration 2m -trace trace.json
 
 # Record the outputs checked into the repository root.
 record:

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // BenchmarkTable1MaturityMatrix regenerates Tables 1 and 2: the full
@@ -180,4 +181,30 @@ func BenchmarkAblationDecentralization(b *testing.B) {
 		b.ReportMetric(v.Report.GoalPersistence, "R_"+v.Name)
 	}
 	b.Logf("\n%s", experiments.FormatA2(variants))
+}
+
+// BenchmarkObsOverhead prices the observability layer: the same
+// disrupted ML4 run with the bus idle (no subscribers — the fast
+// path every production run takes) versus with a trace collector
+// attached. The delta is the full cost of capturing every event.
+func BenchmarkObsOverhead(b *testing.B) {
+	cfg := core.DefaultScenario()
+	cfg.Duration = 5 * time.Minute
+	b.Run("zero-subscribers", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys := core.NewSystem(cfg, core.ML4)
+			sys.Run()
+		}
+	})
+	b.Run("trace-subscriber", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys := core.NewSystem(cfg, core.ML4)
+			tc := obs.Collect(sys.Bus())
+			sys.Run()
+			tc.Close()
+			if tc.Len() == 0 {
+				b.Fatal("trace collector saw no events")
+			}
+		}
+	})
 }

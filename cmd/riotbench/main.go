@@ -6,6 +6,12 @@
 //	riotbench             # all experiments, paper-scale parameters
 //	riotbench -quick      # shortened parameters for a fast look
 //	riotbench -only f3    # one experiment: table12, f1..f5, a1, a2
+//
+// With -trace a dedicated short ML4 run is traced and written as
+// Chrome trace-event JSON (riotbench -trace out.json -only none skips
+// the experiments and writes only the trace):
+//
+//	riotbench -trace out.json
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -32,6 +39,7 @@ func run(args []string, out io.Writer) error {
 	only := fs.String("only", "", "run a single experiment: table12, f1, f2, f3, f4, f5, a1, a2, x1")
 	seed := fs.Int64("seed", 1, "experiment seed")
 	seedRuns := fs.Int("seeds", 1, "number of seeds for the table12 aggregate (>1 adds mean/min/max rows)")
+	trace := fs.String("trace", "", "additionally trace a short ML4 run into this Chrome trace JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,8 +112,28 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out)
 		ran++
 	}
-	if ran == 0 {
+	if ran == 0 && *trace == "" {
 		return fmt.Errorf("unknown experiment %q", *only)
 	}
+	if *trace != "" {
+		if err := writeTrace(cfg, *trace, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTrace runs a short disrupted ML4 scenario with a trace
+// collector attached and writes the Chrome trace-event JSON.
+func writeTrace(cfg core.ScenarioConfig, path string, out io.Writer) error {
+	cfg.Duration = 5 * time.Minute
+	sys := core.NewSystem(cfg, core.ML4)
+	tc := obs.Collect(sys.Bus())
+	sys.Run()
+	tc.Close()
+	if err := tc.WriteChromeTraceFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trace: %d events from a 5m ML4 run written to %s\n", tc.Len(), path)
 	return nil
 }

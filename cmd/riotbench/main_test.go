@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -36,5 +39,31 @@ func TestRunQuickTable12(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "ML4-resilient") {
 		t.Fatalf("output missing matrix:\n%s", out.String())
+	}
+}
+
+// TestRunTraceOnly writes a Chrome trace without running experiments
+// and round-trips it through encoding/json.
+func TestRunTraceOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out strings.Builder
+	if err := run([]string{"-trace", path, "-only", "none"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trace:") {
+		t.Fatalf("output = %q", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
 	}
 }

@@ -10,12 +10,21 @@
 //
 // Each node prints its membership view and store contents once per
 // second. Stop with ^C (or -duration for a bounded run).
+//
+// With -metrics-addr the node serves Prometheus-format metrics at
+// /metrics and a liveness probe at /healthz (use :0 for an ephemeral
+// port; the chosen address is printed on startup):
+//
+//	riotnode -id a -bind 127.0.0.1:7946 -metrics-addr 127.0.0.1:9100
+//	curl http://127.0.0.1:9100/metrics
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -24,6 +33,7 @@ import (
 
 	"repro/internal/dataflow"
 	"repro/internal/gossip"
+	"repro/internal/obs"
 	"repro/internal/realnet"
 	"repro/internal/simnet"
 	"repro/internal/space"
@@ -38,13 +48,14 @@ func main() {
 
 // config is the parsed command line.
 type config struct {
-	id       simnet.NodeID
-	bind     string
-	peers    map[simnet.NodeID]string
-	seeds    []simnet.NodeID
-	puts     map[string]float64
-	duration time.Duration
-	interval time.Duration
+	id          simnet.NodeID
+	bind        string
+	peers       map[simnet.NodeID]string
+	seeds       []simnet.NodeID
+	puts        map[string]float64
+	duration    time.Duration
+	interval    time.Duration
+	metricsAddr string
 }
 
 func parseArgs(args []string) (config, error) {
@@ -56,6 +67,7 @@ func parseArgs(args []string) (config, error) {
 	putFlag := fs.String("put", "", "comma-separated key=value data to publish")
 	duration := fs.Duration("duration", 0, "run time; 0 runs until interrupted")
 	interval := fs.Duration("interval", time.Second, "status print interval")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -63,12 +75,13 @@ func parseArgs(args []string) (config, error) {
 		return config{}, fmt.Errorf("-id is required")
 	}
 	cfg := config{
-		id:       simnet.NodeID(*id),
-		bind:     *bind,
-		peers:    make(map[simnet.NodeID]string),
-		puts:     make(map[string]float64),
-		duration: *duration,
-		interval: *interval,
+		id:          simnet.NodeID(*id),
+		bind:        *bind,
+		peers:       make(map[simnet.NodeID]string),
+		puts:        make(map[string]float64),
+		duration:    *duration,
+		interval:    *interval,
+		metricsAddr: *metricsAddr,
 	}
 	if *peersFlag != "" {
 		for _, kv := range strings.Split(*peersFlag, ",") {
@@ -142,6 +155,27 @@ func run(args []string, out io.Writer) error {
 		ProbeTimeout:     150 * time.Millisecond,
 		SuspicionTimeout: 2 * time.Second,
 	})
+
+	// Observability: the bus reads the node's wall clock; the registry
+	// counts bus events and serves scrape endpoints when enabled.
+	bus := obs.NewBus(node.Now)
+	members.SetBus(bus)
+	var reg *obs.Registry
+	var aliveGauge, keysGauge *obs.Gauge
+	if cfg.metricsAddr != "" {
+		reg = obs.NewRegistry()
+		reg.WatchBus(bus)
+		aliveGauge = reg.Gauge("riot_members_alive", "members this node believes alive")
+		keysGauge = reg.Gauge("riot_store_keys", "keys in the local replicated store")
+		ln, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		srv := &http.Server{Handler: obs.Handler(reg, node.Up)}
+		defer srv.Close()
+		go func() { _ = srv.Serve(ln) }()
+		fmt.Fprintf(out, "metrics: http://%s/metrics\n", ln.Addr())
+	}
 	store := dataflow.NewStore(mux.Port("store"), world, dataflow.StoreConfig{
 		Peers: peerIDs, SyncInterval: time.Second,
 	})
@@ -168,6 +202,12 @@ func run(args []string, out io.Writer) error {
 	for {
 		time.Sleep(cfg.interval)
 		printStatus(out, node, members, store)
+		if aliveGauge != nil {
+			node.Do(func() {
+				aliveGauge.Set(float64(members.AliveCount()))
+				keysGauge.Set(float64(len(store.Keys())))
+			})
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return nil
 		}

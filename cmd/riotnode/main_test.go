@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
@@ -92,6 +94,70 @@ func TestRunTwoNodesConverge(t *testing.T) {
 	if !strings.Contains(s, "shared/key=7") {
 		t.Fatalf("node a never received the shared datum:\n%s", s)
 	}
+}
+
+// TestMetricsEndpoint starts a node with -metrics-addr, scrapes the
+// printed ephemeral address while the node runs, and checks both the
+// Prometheus exposition and the health probe.
+func TestMetricsEndpoint(t *testing.T) {
+	out := &syncWriter{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-id", "scraped", "-bind", "127.0.0.1:0",
+			"-metrics-addr", "127.0.0.1:0", "-put", "k=3",
+			"-duration", "3s", "-interval", "100ms"}, out)
+	}()
+
+	var base string
+	deadline := time.Now().Add(2 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics address never printed; output: %q", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(line, "metrics: ") {
+				base = strings.TrimSuffix(strings.TrimPrefix(line, "metrics: "), "/metrics")
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Give the gauges one status interval to be set.
+	time.Sleep(300 * time.Millisecond)
+	body := httpGet(t, base+"/metrics")
+	for _, want := range []string{
+		"# TYPE riot_members_alive gauge",
+		"riot_members_alive 1",
+		"riot_store_keys 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if health := httpGet(t, base+"/healthz"); health != "ok\n" {
+		t.Fatalf("/healthz = %q", health)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
 }
 
 // syncWriter is a strings.Builder safe for cross-goroutine use.

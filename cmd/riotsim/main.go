@@ -4,6 +4,13 @@
 // Usage:
 //
 //	riotsim -arch ML4 -zones 4 -duration 20m -seed 1 -preset standard
+//
+// With -trace the full observability event stream (faults, causal
+// violation/recovery spans, gossip, Raft, MAPE cycles, actuations) is
+// written as Chrome trace-event JSON, viewable in chrome://tracing or
+// https://ui.perfetto.dev:
+//
+//	riotsim -arch ML4 -duration 5m -trace run.json
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -33,6 +41,7 @@ func run(args []string, out io.Writer) error {
 	preset := fs.String("preset", "standard", "fault preset: standard, none or heavy")
 	matrix := fs.Bool("matrix", false, "run all four archetypes (Tables 1/2)")
 	events := fs.Bool("events", false, "print the run journal (faults, placements, violations, alerts)")
+	trace := fs.String("trace", "", "write a Chrome trace-event JSON file of the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +62,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *matrix {
+		if *trace != "" {
+			return fmt.Errorf("-trace needs a single run; drop -matrix")
+		}
 		reports := core.RunMatrix(cfg)
 		fmt.Fprint(out, core.FormatReports(reports))
 		return nil
@@ -63,11 +75,22 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	sys := core.NewSystem(cfg, arch)
+	var tc *obs.TraceCollector
+	if *trace != "" {
+		tc = obs.Collect(sys.Bus())
+	}
 	report := sys.Run()
 	fmt.Fprint(out, report.String())
 	if *events {
 		fmt.Fprintf(out, "\nrun journal (%d events):\n", len(sys.Journal()))
 		fmt.Fprint(out, core.FormatJournal(sys.Journal()))
+	}
+	if tc != nil {
+		tc.Close()
+		if err := tc.WriteChromeTraceFile(*trace); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\ntrace: %d events written to %s\n", tc.Len(), *trace)
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -183,6 +184,12 @@ type Node struct {
 	started       bool
 
 	onLeaderChange []func(leader simnet.NodeID)
+
+	bus *obs.Bus
+	// proposedAt tracks when each still-uncommitted proposal was
+	// accepted, populated only while the bus has subscribers, so commit
+	// latency can be published when advanceCommit passes the index.
+	proposedAt map[uint64]time.Duration
 }
 
 // New constructs a Raft node over ep, coordinating with peers (which
@@ -243,6 +250,12 @@ func (n *Node) OnLeaderChange(fn func(leader simnet.NodeID)) {
 	n.onLeaderChange = append(n.onLeaderChange, fn)
 }
 
+// SetBus attaches an observability bus. Elections are published as
+// "raft.election", leadership wins as "raft.leader", and per-proposal
+// commit latency as "raft.commit" spans. A nil bus keeps the node
+// silent.
+func (n *Node) SetBus(bus *obs.Bus) { n.bus = bus }
+
 // Propose appends a command if this node is the leader. It returns the
 // assigned log index and true, or 0 and false when not leader (callers
 // should redirect to Leader()).
@@ -252,6 +265,12 @@ func (n *Node) Propose(cmd Command) (uint64, bool) {
 	}
 	n.log = append(n.log, entry{Term: n.currentTerm, Cmd: cmd})
 	idx := n.lastLogIndex()
+	if n.bus.Active() {
+		if n.proposedAt == nil {
+			n.proposedAt = make(map[uint64]time.Duration)
+		}
+		n.proposedAt[idx] = n.bus.Now()
+	}
 	n.matchIndex[n.ep.ID()] = idx
 	n.broadcastAppend()
 	// Single-node groups commit immediately.
@@ -296,6 +315,7 @@ func (n *Node) becomeFollower(term uint64, leader simnet.NodeID) {
 	n.role = Follower
 	n.leaderID = leader
 	n.preVotes = nil
+	n.proposedAt = nil // commit latency is a leader-side measurement
 	if n.heartbeat != nil {
 		n.heartbeat.Stop()
 		n.heartbeat = nil
@@ -357,6 +377,7 @@ func (n *Node) maybeStartRealElection() {
 
 func (n *Node) startElection() {
 	n.currentTerm++
+	n.bus.Emit("raft.election", string(n.ep.ID()), 0, 0, "candidate at term %d", n.currentTerm)
 	n.role = Candidate
 	n.votedFor = n.ep.ID()
 	n.leaderID = ""
@@ -396,6 +417,7 @@ func (n *Node) maybeWin() {
 	}
 	n.broadcastAppend()
 	n.heartbeat = n.ep.Every(n.cfg.HeartbeatInterval, n.broadcastAppend)
+	n.bus.Emit("raft.leader", string(n.ep.ID()), 0, 0, "won term %d", n.currentTerm)
 	n.notifyLeader(n.ep.ID())
 }
 
@@ -456,7 +478,18 @@ func (n *Node) advanceCommit() {
 	sort.Slice(matches, func(i, j int) bool { return matches[i] > matches[j] })
 	candidate := matches[n.quorum()-1]
 	if candidate > n.commitIndex && n.log[candidate].Term == n.currentTerm {
+		prev := n.commitIndex
 		n.commitIndex = candidate
+		for i := prev + 1; i <= candidate; i++ {
+			if at, ok := n.proposedAt[i]; ok {
+				delete(n.proposedAt, i)
+				n.bus.Publish(obs.Event{
+					At: at, Dur: n.bus.Now() - at,
+					Kind: "raft.commit", Node: string(n.ep.ID()),
+					Detail: fmt.Sprintf("index %d term %d", i, n.currentTerm),
+				})
+			}
+		}
 		n.applyCommitted()
 	}
 }

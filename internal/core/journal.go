@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // RunEvent is one entry of a system run's journal: faults as they are
@@ -28,10 +30,24 @@ const (
 
 // record appends one journal entry at the current virtual time.
 func (sys *System) record(kind, format string, args ...any) {
+	sys.recordSpan(kind, 0, 0, format, args...)
+}
+
+// recordSpan appends one journal entry and mirrors it onto the
+// observability bus as a "core.<kind>" event carrying the given causal
+// span IDs. The journal is written directly — not via a bus
+// subscription — so it stays an always-on view while the bus keeps its
+// zero-subscriber fast path.
+func (sys *System) recordSpan(kind string, span, parent uint64, format string, args ...any) {
+	detail := fmt.Sprintf(format, args...)
 	sys.journal = append(sys.journal, RunEvent{
 		At:     sys.sim.Now(),
 		Kind:   kind,
-		Detail: fmt.Sprintf(format, args...),
+		Detail: detail,
+	})
+	sys.bus.Publish(obs.Event{
+		At: sys.sim.Now(), Kind: "core." + kind,
+		Span: span, Parent: parent, Detail: detail,
 	})
 }
 

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestBusMirrorsJournalWithCausalSpans runs a disrupted ML4 scenario
+// with a trace collector attached and checks that (a) every journal
+// entry appears on the bus as a core.* event, (b) violations are
+// parented on a fault span, and (c) recoveries reuse their violation's
+// span ID — the fault → violation → recovery causal chain the
+// observability layer exists to expose.
+func TestBusMirrorsJournalWithCausalSpans(t *testing.T) {
+	cfg := quickCfg(FaultsStandard)
+	sys := NewSystem(cfg, ML4)
+	tc := obs.Collect(sys.Bus())
+	sys.Run()
+	tc.Close()
+
+	journal := sys.Journal()
+	events := tc.Events()
+	coreEvents := map[string]int{}
+	faultSpans := map[uint64]bool{}
+	violations := map[uint64]obs.Event{}
+	recoveredViolations := 0
+	subsystems := map[string]bool{}
+	for _, ev := range events {
+		subsystems[ev.Kind] = true
+		switch ev.Kind {
+		case "core." + EventFault:
+			coreEvents[EventFault]++
+			if ev.Span == 0 {
+				t.Fatalf("fault without span: %+v", ev)
+			}
+			faultSpans[ev.Span] = true
+		case "core." + EventViolation:
+			coreEvents[EventViolation]++
+			if ev.Span == 0 {
+				t.Fatalf("violation without span: %+v", ev)
+			}
+			if ev.Parent != 0 && !faultSpans[ev.Parent] {
+				t.Fatalf("violation parented on unknown span: %+v", ev)
+			}
+			violations[ev.Span] = ev
+		case "core." + EventRecovery:
+			coreEvents[EventRecovery]++
+			if _, ok := violations[ev.Span]; ok {
+				recoveredViolations++
+			}
+		case "core." + EventPlacement:
+			coreEvents[EventPlacement]++
+		}
+	}
+
+	journalCore := map[string]int{}
+	for _, ev := range journal {
+		journalCore[ev.Kind]++
+	}
+	for _, kind := range []string{EventFault, EventViolation, EventRecovery, EventPlacement} {
+		if coreEvents[kind] != journalCore[kind] {
+			t.Fatalf("bus saw %d %s events, journal has %d", coreEvents[kind], kind, journalCore[kind])
+		}
+	}
+	if coreEvents[EventViolation] == 0 {
+		t.Fatal("disrupted run produced no violations")
+	}
+	if recoveredViolations == 0 {
+		t.Fatal("no recovery reused its violation's span ID")
+	}
+
+	// The instrumented subsystems must all have spoken.
+	for _, kind := range []string{"gossip.probe", "raft.leader", "mape.cycle", "sensor.report", "control.actuate"} {
+		if !subsystems[kind] {
+			t.Fatalf("no %q events on the bus (kinds seen: %v)", kind, keysOf(subsystems))
+		}
+	}
+}
+
+func keysOf(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestBusInactiveWithoutSubscribers confirms the no-subscriber fast
+// path: a plain run allocates span IDs for the journal's causal chain
+// but the bus itself reports inactive throughout.
+func TestBusInactiveWithoutSubscribers(t *testing.T) {
+	cfg := quickCfg(FaultsNone)
+	sys := NewSystem(cfg, ML4)
+	if sys.Bus().Active() {
+		t.Fatal("fresh system's bus has subscribers")
+	}
+	sys.Run()
+	if sys.Bus().Active() {
+		t.Fatal("bus became active during an unobserved run")
+	}
+	if len(sys.Journal()) == 0 && sys.arch == ML4 {
+		t.Fatal("journal should still record (always-on view)")
+	}
+}

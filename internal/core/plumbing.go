@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/dataflow"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -63,6 +64,7 @@ type reporter struct {
 	misses     int
 	seq        uint64
 	pending    map[uint64]*simnet.Timer
+	bus        *obs.Bus
 }
 
 // newReporter wires a reporter onto port. The port's message handler is
@@ -105,6 +107,7 @@ func (r *reporter) send(item dataflow.Item) {
 	r.seq++
 	seq := r.seq
 	r.port.Send(r.target(), readingMsg{Seq: seq, Item: item})
+	r.bus.Emit("sensor.report", string(r.port.ID()), 0, 0, "%s → %s", item.Key, r.target())
 	r.pending[seq] = r.port.After(ackTimeout, func() {
 		if _, still := r.pending[seq]; !still {
 			return

@@ -145,6 +145,8 @@ func (sys *System) measure() {
 	if sys.prevTempOK == nil {
 		sys.prevTempOK = make([]bool, sys.cfg.Zones)
 		sys.prevFresh = make([]bool, sys.cfg.Zones)
+		sys.tempViolSpan = make([]uint64, sys.cfg.Zones)
+		sys.freshViolSpan = make([]uint64, sys.cfg.Zones)
 		for z := range sys.prevTempOK {
 			sys.prevTempOK[z] = true
 			sys.prevFresh[z] = true
@@ -159,9 +161,13 @@ func (sys *System) measure() {
 		sat[sys.reqTemp[z]] = tempOK
 		if tempOK != sys.prevTempOK[z] {
 			if tempOK {
-				sys.record(EventRecovery, "zone %d temperature back in band (%.1f°)", z, temp)
+				sys.recordSpan(EventRecovery, sys.tempViolSpan[z], sys.lastFaultSpan,
+					"zone %d temperature back in band (%.1f°)", z, temp)
+				sys.tempViolSpan[z] = 0
 			} else {
-				sys.record(EventViolation, "zone %d temperature out of band (%.1f°)", z, temp)
+				sys.tempViolSpan[z] = sys.bus.NewSpanID()
+				sys.recordSpan(EventViolation, sys.tempViolSpan[z], sys.lastFaultSpan,
+					"zone %d temperature out of band (%.1f°)", z, temp)
 			}
 			sys.prevTempOK[z] = tempOK
 		}
@@ -178,9 +184,13 @@ func (sys *System) measure() {
 		sat[sys.reqFresh[z]] = freshOK
 		if freshOK != sys.prevFresh[z] {
 			if freshOK {
-				sys.record(EventRecovery, "zone %d data fresh at controller again", z)
+				sys.recordSpan(EventRecovery, sys.freshViolSpan[z], sys.lastFaultSpan,
+					"zone %d data fresh at controller again", z)
+				sys.freshViolSpan[z] = 0
 			} else {
-				sys.record(EventViolation, "zone %d data stale at controller", z)
+				sys.freshViolSpan[z] = sys.bus.NewSpanID()
+				sys.recordSpan(EventViolation, sys.freshViolSpan[z], sys.lastFaultSpan,
+					"zone %d data stale at controller", z)
 			}
 			sys.prevFresh[z] = freshOK
 		}

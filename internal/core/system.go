@@ -14,6 +14,7 @@ import (
 	"repro/internal/mape"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/orchestrate"
 	"repro/internal/pubsub"
 	"repro/internal/simnet"
@@ -122,6 +123,14 @@ type System struct {
 	journal    []RunEvent
 	prevTempOK []bool
 	prevFresh  []bool
+
+	// Observability: every subsystem publishes onto one bus reading
+	// virtual time. Causal chaining state links each violation and
+	// recovery back to the most recent injected fault.
+	bus           *obs.Bus
+	lastFaultSpan uint64
+	tempViolSpan  []uint64
+	freshViolSpan []uint64
 }
 
 // NewSystem builds the scenario at the given maturity level.
@@ -140,6 +149,7 @@ func NewSystem(cfg ScenarioConfig, arch Archetype) *System {
 		staleness:    &metrics.LatencyRecorder{},
 		designPassed: true,
 	}
+	sys.bus = obs.NewBus(sys.sim.Now)
 	sys.injector = fault.NewInjector(sys.sim)
 	sys.buildWorld()
 	sys.buildRequirements()
@@ -158,10 +168,19 @@ func NewSystem(cfg ScenarioConfig, arch Archetype) *System {
 	sys.injector.Arm(buildFaults(cfg))
 	sys.injector.Subscribe(sys.onFault)
 	sys.injector.Subscribe(func(ev fault.Event) {
-		sys.record(EventFault, "%s%s", ev.Kind, faultDetail(ev))
+		// Each fault roots a causal chain: the violations it provokes
+		// and the recoveries that resolve them are parented on its span.
+		span := sys.bus.NewSpanID()
+		sys.lastFaultSpan = span
+		sys.recordSpan(EventFault, span, 0, "%s%s", ev.Kind, faultDetail(ev))
 	})
 	return sys
 }
+
+// Bus returns the system's observability bus. Attach subscribers (a
+// trace collector, a metrics registry) before Run; with none attached
+// the instrumentation is near-free.
+func (sys *System) Bus() *obs.Bus { return sys.bus }
 
 // faultDetail renders the target of a fault event for the journal.
 func faultDetail(ev fault.Event) string {

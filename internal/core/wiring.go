@@ -36,6 +36,7 @@ func (sys *System) startSensorsWithReporter(candidates func(*sensorRig) []simnet
 	for _, rig := range sys.sensors {
 		rig := rig
 		rig.reporter = newReporter(rig.mux.Port("data"), candidates(rig))
+		rig.reporter.bus = sys.bus
 		rig.ep.Every(sys.cfg.SampleInterval, func() {
 			val, ok := rig.sensor.Sample(sys.envm, sys.sim.Rand().NormFloat64())
 			if !ok {
@@ -107,6 +108,7 @@ func (sys *System) controlTick(st *edgeStack, controls func(z int) bool, sendAct
 			}
 			st.desired[z] = engage
 			sendAct(z, engage)
+			sys.bus.Emit("control.actuate", string(st.id), 0, 0, "zone %d engage=%v", z, engage)
 			sys.lastControlOK[z] = sys.sim.Now()
 		}
 	}
@@ -146,6 +148,7 @@ func (sys *System) installLoop(st *edgeStack, zones []int) {
 		sys.runtimeMonitored += 2
 	}
 	st.loop = loop
+	loop.SetBus(sys.bus, string(st.id))
 	st.ep.Every(cfg.ControlInterval, loop.Cycle)
 }
 
@@ -191,6 +194,7 @@ func (sys *System) wireML2() {
 	cloud.table = newItemTable()
 	cloud.view = cloud.table.get
 	sys.broker = pubsub.NewBroker(cloud.mux.Port("pubsub"))
+	sys.broker.SetBus(sys.bus)
 	sys.broker.SubscribeLocal(readingsTopic, func(_ string, payload any) {
 		if item, ok := payload.(dataflow.Item); ok {
 			cloud.table.put(item)
@@ -211,6 +215,7 @@ func (sys *System) wireML2() {
 			RetryInterval: sys.cfg.SampleInterval / 4,
 			MaxRetries:    3,
 		})
+		rig.client.SetBus(sys.bus)
 		rig.ep.Every(sys.cfg.SampleInterval, func() {
 			val, ok := rig.sensor.Sample(sys.envm, sys.sim.Rand().NormFloat64())
 			if !ok {
@@ -228,6 +233,7 @@ func (sys *System) wireML2() {
 	for _, rig := range sys.actuators {
 		rig := rig
 		client := pubsub.NewClient(rig.mux.Port("pubsub"), cloudID, pubsub.ClientConfig{})
+		client.SetBus(sys.bus)
 		handler := func(_ string, payload any) {
 			if m, ok := payload.(actuateMsg); ok && m.Zone == rig.zone {
 				rig.lastCmd = sys.sim.Now()
@@ -382,6 +388,7 @@ func (sys *System) wireML4() {
 			ProbeTimeout:     200 * time.Millisecond,
 			SuspicionTimeout: 3 * time.Second,
 		})
+		st.gossip.SetBus(sys.bus)
 		st.gossip.Start(seeds...)
 	}
 
@@ -411,6 +418,7 @@ func (sys *System) wireML4() {
 				st.applied[z] = host
 			}
 		})
+		st.raft.SetBus(sys.bus)
 		st.raft.Start()
 		if sys.cfg.ML4Ablation == "no-replan" {
 			// Ablation A2: one initial placement, never revisited.
@@ -548,7 +556,8 @@ func (sys *System) ml4Replan(st *edgeStack) {
 	}
 	if !placementsEqual(desired, st.applied) {
 		st.raft.Propose(placementCmd{Assignments: desired})
-		sys.record(EventPlacement, "leader %s proposes %s", st.id, formatPlacements(desired))
+		sys.recordSpan(EventPlacement, 0, sys.lastFaultSpan,
+			"leader %s proposes %s", st.id, formatPlacements(desired))
 	}
 
 	// models@runtime (roadmap, validation vector): re-verify the

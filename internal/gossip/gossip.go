@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -215,6 +216,16 @@ type Protocol struct {
 	started  bool
 	left     bool
 	seeds    []simnet.NodeID
+
+	bus *obs.Bus
+	// probeSent tracks direct-probe departure times by seq, populated
+	// only while the bus has subscribers so idle runs pay nothing.
+	probeSent map[uint64]probeInfo
+}
+
+type probeInfo struct {
+	target simnet.NodeID
+	at     time.Duration
 }
 
 // relay remembers where to forward an indirect ack.
@@ -244,6 +255,12 @@ func New(ep simnet.Port, cfg Config) *Protocol {
 func (p *Protocol) OnChange(fn func(Member)) {
 	p.onChange = append(p.onChange, fn)
 }
+
+// SetBus attaches an observability bus. Probe round-trips are published
+// as "gossip.probe" spans, status transitions as "gossip.<status>"
+// instants, and graceful departures as "gossip.leave". A nil bus (the
+// default) keeps the protocol silent.
+func (p *Protocol) SetBus(bus *obs.Bus) { p.bus = bus }
 
 // Start begins probing. Seeds, if any, are adopted as initial members
 // and contacted for a full state exchange. Adopting them up front
@@ -281,6 +298,7 @@ func (p *Protocol) Leave() {
 	self := p.members[p.ep.ID()]
 	self.Status = StatusDead
 	p.left = true
+	p.bus.Emit("gossip.leave", string(p.ep.ID()), 0, 0, "graceful leave at incarnation %d", p.incarnation)
 	p.Stop()
 }
 
@@ -398,8 +416,15 @@ func (p *Protocol) probe() {
 	}
 	seq := p.nextSeq()
 	p.ep.Send(target, pingMsg{Seq: seq, Updates: p.takePiggyback()})
+	if p.bus.Active() {
+		if p.probeSent == nil {
+			p.probeSent = make(map[uint64]probeInfo)
+		}
+		p.probeSent[seq] = probeInfo{target: target, at: p.bus.Now()}
+	}
 	p.acked[seq] = p.ep.After(p.cfg.ProbeTimeout, func() {
 		delete(p.acked, seq)
+		delete(p.probeSent, seq)
 		p.indirectProbe(target)
 	})
 }
@@ -491,6 +516,8 @@ func (p *Protocol) suspect(id simnet.NodeID) {
 }
 
 func (p *Protocol) notify(m Member) {
+	p.bus.Emit("gossip."+m.Status.String(), string(p.ep.ID()), 0, 0,
+		"member %s incarnation %d", m.ID, m.Incarnation)
 	for _, fn := range p.onChange {
 		fn(m)
 	}
@@ -605,6 +632,12 @@ func (p *Protocol) armSuspicion(ms *memberState) {
 // --- message handling ---
 
 func (p *Protocol) handle(from simnet.NodeID, msg simnet.Message) {
+	// A node that left gracefully goes silent: answering pings or syncs
+	// would count as evidence of life on peers and resurrect the dead
+	// claim it just broadcast. (A restart clears left via onRecover.)
+	if p.left {
+		return
+	}
 	switch m := msg.(type) {
 	case pingMsg:
 		p.applyAll(m.Updates)
@@ -617,6 +650,14 @@ func (p *Protocol) handle(from simnet.NodeID, msg simnet.Message) {
 		if t, ok := p.acked[m.Seq]; ok {
 			t.Stop()
 			delete(p.acked, m.Seq)
+		}
+		if info, ok := p.probeSent[m.Seq]; ok {
+			delete(p.probeSent, m.Seq)
+			p.bus.Publish(obs.Event{
+				At: info.at, Dur: p.bus.Now() - info.at,
+				Kind: "gossip.probe", Node: string(p.ep.ID()),
+				Detail: "probe " + string(info.target),
+			})
 		}
 		if r, ok := p.relaySeq[m.Seq]; ok {
 			delete(p.relaySeq, m.Seq)

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -359,5 +360,48 @@ func TestMessageSizes(t *testing.T) {
 	}
 	if (pingReqMsg{}).Size() != 48 {
 		t.Fatalf("pingReq size = %d", (pingReqMsg{}).Size())
+	}
+}
+
+// TestBusInstrumentation checks that an attached obs bus sees probe
+// round-trip spans, suspicion transitions, and graceful leaves.
+func TestBusInstrumentation(t *testing.T) {
+	sim := simnet.New(simnet.WithSeed(21), simnet.WithDefaultLatency(2*time.Millisecond))
+	ps := cluster(t, sim, 3, fastCfg())
+	bus := obs.NewBus(sim.Now)
+	for _, p := range ps {
+		p.SetBus(bus)
+	}
+	sub := bus.Subscribe(4096)
+	defer sub.Close()
+
+	sim.RunUntil(5 * time.Second)
+	sim.SetDown("n2", true)
+	sim.RunUntil(10 * time.Second)
+	ps[1].Leave()
+	sim.RunUntil(11 * time.Second)
+
+	kinds := map[string]int{}
+	probeRTT := time.Duration(0)
+	for _, ev := range sub.Events() {
+		kinds[ev.Kind]++
+		if ev.Kind == "gossip.probe" {
+			if ev.Dur <= 0 {
+				t.Fatalf("probe span without duration: %+v", ev)
+			}
+			probeRTT = ev.Dur
+		}
+	}
+	if kinds["gossip.probe"] == 0 {
+		t.Fatal("no probe round-trip spans observed")
+	}
+	if probeRTT <= 0 || probeRTT > time.Second {
+		t.Fatalf("implausible probe RTT %v", probeRTT)
+	}
+	if kinds["gossip.suspect"] == 0 || kinds["gossip.dead"] == 0 {
+		t.Fatalf("missing suspicion transitions: %v", kinds)
+	}
+	if kinds["gossip.leave"] != 1 {
+		t.Fatalf("leave events = %d, want 1", kinds["gossip.leave"])
 	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/crdt"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/verify"
 )
 
@@ -168,6 +169,9 @@ type Loop struct {
 	lastObs       map[verify.Prop]bool
 	stats         Stats
 	onCycle       []func(obs map[verify.Prop]bool, issues []Issue, actions []Action)
+
+	bus     *obs.Bus
+	busNode string
 }
 
 // NewLoop builds a loop around an existing knowledge base.
@@ -178,6 +182,16 @@ func NewLoop(k *Knowledge, now func() time.Duration) *Loop {
 		runtime:       make(map[model.RequirementID]*verify.Monitor),
 		violatedSince: make(map[model.RequirementID]time.Duration),
 	}
+}
+
+// SetBus attaches an observability bus. Every Cycle is published as a
+// "mape.cycle" span; detected issues ("mape.issue") and executed
+// actions ("mape.execute") are parented on the cycle's span, so a
+// trace shows which cycle found and fixed what. node labels the
+// emitting loop (typically the hosting gateway/cloud node ID).
+func (l *Loop) SetBus(bus *obs.Bus, node string) {
+	l.bus = bus
+	l.busNode = node
 }
 
 // Knowledge returns the loop's knowledge base.
@@ -242,6 +256,7 @@ func (l *Loop) Verdict(id model.RequirementID) verify.Verdict {
 // Cycle runs one full Monitor→Analyze→Plan→Execute pass.
 func (l *Loop) Cycle() {
 	l.stats.Cycles++
+	span := l.bus.StartSpan("mape.cycle", l.busNode, 0)
 
 	// Monitor.
 	for _, m := range l.monitors {
@@ -276,6 +291,7 @@ func (l *Loop) Cycle() {
 			l.violatedSince[r.ID] = l.now()
 		}
 		l.stats.IssuesDetected++
+		l.bus.Emit("mape.issue", l.busNode, 0, span.ID, "%s violated (monitor %s)", r.ID, mon.Verdict())
 		issues = append(issues, Issue{Requirement: r.ID, Prop: r.Prop, MonitorVerdict: mon.Verdict()})
 	}
 	sort.Slice(issues, func(i, j int) bool { return issues[i].Requirement < issues[j].Requirement })
@@ -289,15 +305,18 @@ func (l *Loop) Cycle() {
 	// Execute.
 	if l.execute != nil {
 		for _, a := range actions {
-			if l.execute(l.knowledge, a) {
+			ok := l.execute(l.knowledge, a)
+			if ok {
 				l.stats.ActionsExecuted++
 			} else {
 				l.stats.ActionsFailed++
 			}
+			l.bus.Emit("mape.execute", l.busNode, 0, span.ID, "%s target=%s ok=%v", a.Name, a.Target, ok)
 		}
 	}
 
 	for _, fn := range l.onCycle {
 		fn(obs, issues, actions)
 	}
+	span.End("issues=%d actions=%d", len(issues), len(actions))
 }

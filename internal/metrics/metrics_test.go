@@ -211,3 +211,70 @@ func TestTimeWeightedAlternating(t *testing.T) {
 		t.Fatalf("R = %v, want %v", got, want)
 	}
 }
+
+func TestMTBFWithoutOutages(t *testing.T) {
+	tr := &SatisfactionTrace{}
+	for i := 0; i < 5; i++ {
+		tr.Record(sec(i*10), true)
+	}
+	if tr.MTBF() != 0 {
+		t.Fatalf("MTBF with zero outages = %v, want 0", tr.MTBF())
+	}
+	if tr.Outages() != 0 {
+		t.Fatalf("Outages = %d, want 0", tr.Outages())
+	}
+}
+
+func TestTimeWeightedPersistenceEndAtFirstSample(t *testing.T) {
+	tr := &SatisfactionTrace{}
+	tr.Record(sec(10), true)
+	tr.Record(sec(20), false)
+	// A zero-length interval has no time to weight.
+	if got := tr.TimeWeightedPersistence(sec(10)); got != 0 {
+		t.Fatalf("R over empty interval = %v, want 0", got)
+	}
+}
+
+func TestPercentileBoundaries(t *testing.T) {
+	r := &LatencyRecorder{}
+	for _, d := range []int{50, 10, 30, 20, 40} {
+		r.Record(time.Duration(d) * time.Millisecond)
+	}
+	// p→0 clamps the nearest rank to the first (smallest) sample.
+	if got := r.Percentile(0.0001); got != 10*time.Millisecond {
+		t.Fatalf("P~0 = %v, want 10ms", got)
+	}
+	// p=100 is the largest sample.
+	if got := r.Percentile(100); got != 50*time.Millisecond {
+		t.Fatalf("P100 = %v, want 50ms", got)
+	}
+	if got := r.Percentile(50); got != 30*time.Millisecond {
+		t.Fatalf("P50 = %v, want 30ms", got)
+	}
+	empty := &LatencyRecorder{}
+	if empty.Percentile(100) != 0 {
+		t.Fatal("empty recorder percentile should be 0")
+	}
+}
+
+func TestTraceNeverSatisfied(t *testing.T) {
+	tr := &SatisfactionTrace{}
+	tr.Record(0, false)
+	tr.Record(sec(10), false)
+	tr.Record(sec(20), false)
+	if got := tr.Outages(); got != 1 {
+		t.Fatalf("Outages = %d, want 1 (the initial one, never recovered)", got)
+	}
+	if tr.MTTR() != 0 {
+		t.Fatal("never-recovering outage must not contribute to MTTR")
+	}
+	if got := tr.TimeWeightedPersistence(sec(30)); got != 0 {
+		t.Fatalf("R = %v, want 0", got)
+	}
+	if got := tr.Persistence(); got != 0 {
+		t.Fatalf("sample-weighted R = %v, want 0", got)
+	}
+	if got := tr.LongestOutage(sec(30)); got != sec(30) {
+		t.Fatalf("LongestOutage = %v, want 30s", got)
+	}
+}

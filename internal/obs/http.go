@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"net/http"
+)
+
+// Handler serves the registry at /metrics (Prometheus text format) and
+// a liveness probe at /healthz. healthy may be nil, in which case the
+// probe always succeeds.
+func Handler(reg *Registry, healthy func() bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.Expose(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if healthy != nil && !healthy() {
+			http.Error(w, "unhealthy", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}

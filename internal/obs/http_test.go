@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestHandlerServesMetricsAndHealth(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("riot_events_total", "events", "kind", "test").Add(7)
+	healthy := true
+	srv := httptest.NewServer(Handler(reg, func() bool { return healthy }))
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(body, `riot_events_total{kind="test"} 7`) {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+
+	code, body, _ = get(t, srv, "/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	healthy = false
+	code, _, _ = get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy /healthz status = %d", code)
+	}
+}
+
+func TestHandlerNilHealthCheck(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry(), nil))
+	defer srv.Close()
+	code, body, _ := get(t, srv, "/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+}

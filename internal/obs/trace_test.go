@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	clk := &virtualClock{}
+	b := NewBus(clk.Now)
+	tc := Collect(b)
+	defer tc.Close()
+
+	clk.now = 10 * time.Millisecond
+	b.Emit("core.fault", "", 1, 0, "crash gw-1")
+	b.Publish(Event{
+		At: 12 * time.Millisecond, Dur: 30 * time.Millisecond,
+		Kind: "mape.cycle", Node: "gw-0", Span: 2, Parent: 1, Detail: "issues=1",
+	})
+	if tc.Len() != 2 {
+		t.Fatalf("collected %d events", tc.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := tc.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", trace.DisplayTimeUnit)
+	}
+	// 2 thread_name metadata rows ("" and "gw-0") + 2 events.
+	if len(trace.TraceEvents) != 4 {
+		t.Fatalf("got %d trace events, want 4", len(trace.TraceEvents))
+	}
+
+	byName := map[string][]int{}
+	for i, ev := range trace.TraceEvents {
+		byName[ev.Name] = append(byName[ev.Name], i)
+	}
+	if len(byName["thread_name"]) != 2 {
+		t.Fatalf("thread_name rows = %d", len(byName["thread_name"]))
+	}
+	fault := trace.TraceEvents[byName["core.fault"][0]]
+	if fault.Ph != "i" || fault.TS != 10000 || fault.Cat != "core" {
+		t.Fatalf("fault event = %+v", fault)
+	}
+	cycle := trace.TraceEvents[byName["mape.cycle"][0]]
+	if cycle.Ph != "X" || cycle.TS != 12000 || cycle.Dur != 30000 {
+		t.Fatalf("cycle event = %+v", cycle)
+	}
+	if cycle.Args["detail"] != "issues=1" || cycle.Args["parent"] != float64(1) {
+		t.Fatalf("cycle args = %v", cycle.Args)
+	}
+	// Distinct nodes land on distinct threads.
+	if fault.TID == cycle.TID {
+		t.Fatal("system and gw-0 events share a tid")
+	}
+}
+
+func TestWriteChromeTraceFile(t *testing.T) {
+	b := NewBus((&virtualClock{}).Now)
+	tc := Collect(b)
+	b.Emit("k", "n", 0, 0, "d")
+	tc.Close()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tc.WriteChromeTraceFile(path); err != nil {
+		t.Fatalf("WriteChromeTraceFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr map[string]any
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("file is not valid JSON: %v", err)
+	}
+	if _, ok := tr["traceEvents"]; !ok {
+		t.Fatal("traceEvents key missing")
+	}
+}
+
+func TestCategory(t *testing.T) {
+	for kind, want := range map[string]string{
+		"gossip.suspect": "gossip",
+		"raft.commit":    "raft",
+		"plain":          "plain",
+	} {
+		if got := category(kind); got != want {
+			t.Errorf("category(%q) = %q, want %q", kind, got, want)
+		}
+	}
+}

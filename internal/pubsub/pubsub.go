@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -54,6 +55,10 @@ type pubAckMsg struct {
 type deliverMsg struct {
 	Topic   string
 	Payload any
+	// SentAt is the broker's fan-out timestamp (bus clock), carried so
+	// subscribers can publish end-to-end delivery latency. Zero when
+	// the broker has no active bus.
+	SentAt time.Duration
 }
 
 func (m subscribeMsg) Size() int   { return 8 + len(m.Topic) }
@@ -86,6 +91,8 @@ type Broker struct {
 	retained map[string]any
 	// delivered counts fan-out deliveries sent, for experiments.
 	delivered int
+
+	bus *obs.Bus
 }
 
 // NewBroker installs a broker on ep.
@@ -105,6 +112,11 @@ func NewBroker(ep simnet.Port) *Broker {
 	})
 	return b
 }
+
+// SetBus attaches an observability bus. Each fan-out is published as a
+// "pubsub.publish" instant; deliveries are stamped so subscribing
+// clients with a bus can report "pubsub.deliver" latency spans.
+func (b *Broker) SetBus(bus *obs.Bus) { b.bus = bus }
 
 // Subscribers returns the subscriber IDs for a topic, sorted.
 func (b *Broker) Subscribers(topic string) []simnet.NodeID {
@@ -177,6 +189,11 @@ func (b *Broker) handle(from simnet.NodeID, msg simnet.Message) {
 // fanOut delivers a publication to every subscriber whose pattern
 // matches, except the publisher itself.
 func (b *Broker) fanOut(from simnet.NodeID, topic string, payload any) {
+	var sentAt time.Duration
+	if b.bus.Active() {
+		sentAt = b.bus.Now()
+		b.bus.Emit("pubsub.publish", string(b.ep.ID()), 0, 0, "topic %s from %s", topic, from)
+	}
 	for pattern, subs := range b.subs {
 		if !TopicMatches(pattern, topic) {
 			continue
@@ -186,7 +203,7 @@ func (b *Broker) fanOut(from simnet.NodeID, topic string, payload any) {
 				continue
 			}
 			b.delivered++
-			b.ep.Send(id, deliverMsg{Topic: topic, Payload: payload})
+			b.ep.Send(id, deliverMsg{Topic: topic, Payload: payload, SentAt: sentAt})
 		}
 	}
 	for pattern, handlers := range b.local {
@@ -240,6 +257,8 @@ type Client struct {
 	// published/acked counters for experiments.
 	published int
 	acked     int
+
+	bus *obs.Bus
 }
 
 // ClientConfig tunes a client. Zero fields take defaults.
@@ -268,6 +287,11 @@ func NewClient(ep simnet.Port, brokerID simnet.NodeID, cfg ClientConfig) *Client
 	ep.OnUp(c.resubscribe)
 	return c
 }
+
+// SetBus attaches an observability bus. Deliveries stamped by a
+// bus-attached broker are published as "pubsub.deliver" spans covering
+// broker fan-out to client dispatch.
+func (c *Client) SetBus(bus *obs.Bus) { c.bus = bus }
 
 // Subscribe registers a handler and informs the broker. Re-subscription
 // after the client's own crash is automatic; after a *broker* crash the
@@ -334,6 +358,13 @@ func (c *Client) resubscribe() {
 func (c *Client) handle(_ simnet.NodeID, msg simnet.Message) {
 	switch m := msg.(type) {
 	case deliverMsg:
+		if m.SentAt > 0 && c.bus.Active() {
+			c.bus.Publish(obs.Event{
+				At: m.SentAt, Dur: c.bus.Now() - m.SentAt,
+				Kind: "pubsub.deliver", Node: string(c.ep.ID()),
+				Detail: "topic " + m.Topic,
+			})
+		}
 		// Subscriptions may be wildcard patterns; dispatch to every
 		// matching handler.
 		for pattern, h := range c.handlers {
