@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz experiments examples obs-demo clean
+.PHONY: all build test race cover bench fuzz experiments examples obs-demo bench-baseline bench-gate determinism clean
 
 all: build test
 
@@ -44,6 +44,21 @@ examples:
 	$(GO) run ./examples/energygrid
 	$(GO) run ./examples/udpgossip
 	$(GO) run ./examples/smartcity
+
+# Regenerate the committed CI bench baseline (after intentional perf
+# changes), and the gate CI applies to it.
+bench-baseline:
+	$(GO) run ./cmd/riotbench -quick -parallel 2 -benchreps 3 -out BENCH_riot.json
+
+bench-gate:
+	$(GO) run ./cmd/riotbench -quick -parallel 2 -benchreps 3 -out /tmp/bench.json
+	$(GO) run ./scripts BENCH_riot.json /tmp/bench.json
+
+# Serial vs parallel campaign must print byte-identical journal hashes.
+determinism:
+	$(GO) run ./cmd/riotbench -quick -only table12 -seeds 4 -hashes > /tmp/serial.txt
+	$(GO) run -race ./cmd/riotbench -quick -only table12 -seeds 4 -parallel 4 -hashes > /tmp/parallel.txt
+	diff -u /tmp/serial.txt /tmp/parallel.txt
 
 # Short traced smart-city run; open trace.json at chrome://tracing.
 obs-demo:

@@ -27,6 +27,30 @@ func BenchmarkTable1MaturityMatrix(b *testing.B) {
 	b.Logf("\n%s", experiments.FormatTable12(reports))
 }
 
+// BenchmarkMatrixCampaignParallel measures the experiment engine's
+// scaling: the same 8-seed maturity-matrix campaign on 1, 2, and 4
+// workers. Journals are byte-identical at every width (the engine's
+// determinism guarantee), so the sub-benchmarks differ only in
+// wall-clock time.
+func BenchmarkMatrixCampaignParallel(b *testing.B) {
+	cfg := core.DefaultScenario()
+	cfg.Duration = 5 * time.Minute
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "serial", 2: "workers-2", 4: "workers-4"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runs, err := experiments.MatrixCampaign(cfg, seeds, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(runs) != len(seeds) {
+					b.Fatalf("got %d seed runs, want %d", len(runs), len(seeds))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFigure1LandscapeScale regenerates Figure 1's landscape as a
 // capacity experiment: an edge-centric deployment swept from ~100 to
 // ~5000 heterogeneous devices for one virtual minute.

@@ -3,9 +3,18 @@
 //
 // Usage:
 //
-//	riotbench             # all experiments, paper-scale parameters
-//	riotbench -quick      # shortened parameters for a fast look
-//	riotbench -only f3    # one experiment: table12, f1..f5, a1, a2
+//	riotbench                      # all experiments, paper-scale parameters
+//	riotbench -quick               # shortened parameters for a fast look
+//	riotbench -only f3             # one experiment: table12, f1..f5, a1, a2
+//	riotbench -parallel 4 -seeds 8 # fan the table12 campaign over workers
+//	riotbench -out BENCH_riot.json # write per-experiment benchmark JSON
+//
+// The table12 experiment is a multi-seed campaign: -seeds M runs the
+// maturity matrix at M consecutive seeds and -parallel N distributes
+// the (seed, archetype) runs over N workers. Journals are byte-
+// identical whichever worker count is used; -hashes prints the
+// per-run journal hashes so serial and parallel output can be diffed
+// directly (the determinism CI job does exactly that).
 //
 // With -trace a dedicated short ML4 run is traced and written as
 // Chrome trace-event JSON (riotbench -trace out.json -only none skips
@@ -15,10 +24,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -33,12 +44,55 @@ func main() {
 	}
 }
 
+// errWriter latches the first write error so experiment code can print
+// unconditionally while run() still reports broken pipes and full
+// disks with a non-zero exit.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	if err != nil {
+		ew.err = err
+	}
+	return n, err
+}
+
+// benchResult is one experiment's measurement in the riotbench bench
+// JSON. ns_per_op/allocs_per_op/bytes_per_op cover one full experiment
+// execution; runs counts the result rows it produced.
+type benchResult struct {
+	ID          string  `json:"id"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	Runs        int     `json:"runs"`
+	RunsPerSec  float64 `json:"runs_per_sec"`
+}
+
+// benchFile is the schema scripts/benchdiff.go compares.
+type benchFile struct {
+	Schema  string        `json:"schema"`
+	Benches []benchResult `json:"benches"`
+}
+
+const benchSchema = "riotbench/bench/v1"
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("riotbench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "shorter runs")
-	only := fs.String("only", "", "run a single experiment: table12, f1, f2, f3, f4, f5, a1, a2, x1")
+	only := fs.String("only", "", "run a single experiment: table12, f1, f2, f3, f4, f5, a1, a2, x1, x2")
 	seed := fs.Int64("seed", 1, "experiment seed")
-	seedRuns := fs.Int("seeds", 1, "number of seeds for the table12 aggregate (>1 adds mean/min/max rows)")
+	seedRuns := fs.Int("seeds", 1, "number of seeds for the table12 campaign (>1 adds mean/min/max rows)")
+	parallel := fs.Int("parallel", 1, "worker count for the table12 campaign (0 = GOMAXPROCS)")
+	hashes := fs.Bool("hashes", false, "print per-(seed,archetype) journal hashes for the table12 campaign")
+	outPath := fs.String("out", "", "write per-experiment benchmark JSON (ns/op, allocs/op, runs/sec) to this file")
+	benchReps := fs.Int("benchreps", 1, "repetitions per experiment for -out measurements; the minimum is recorded")
 	trace := fs.String("trace", "", "additionally trace a short ML4 run into this Chrome trace JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,72 +109,175 @@ func run(args []string, out io.Writer) error {
 	type experiment struct {
 		id    string
 		title string
-		run   func(io.Writer)
+		run   func(io.Writer) (int, error)
 	}
 	all := []experiment{
-		{"table12", "Tables 1+2 — maturity matrix under the standard disruption schedule", func(w io.Writer) {
-			fmt.Fprint(w, experiments.FormatTable12(experiments.Table12(cfg)))
-			if *seedRuns > 1 {
-				seeds := make([]int64, *seedRuns)
-				for i := range seeds {
-					seeds[i] = *seed + int64(i)
-				}
-				fmt.Fprintf(w, "\naggregate over %d seeds:\n", *seedRuns)
-				fmt.Fprint(w, experiments.FormatTable12Stats(experiments.Table12Stats(cfg, seeds)))
+		{"table12", "Tables 1+2 — maturity matrix under the standard disruption schedule", func(w io.Writer) (int, error) {
+			seeds := make([]int64, max(1, *seedRuns))
+			for i := range seeds {
+				seeds[i] = *seed + int64(i)
 			}
+			runs, err := experiments.MatrixCampaign(cfg, seeds, *parallel)
+			if err != nil {
+				return 0, err
+			}
+			fmt.Fprint(w, experiments.FormatTable12(runs[0].Reports))
+			rows := len(runs[0].Reports)
+			if len(seeds) > 1 {
+				stats := experiments.StatsFromRuns(runs)
+				fmt.Fprintf(w, "\naggregate over %d seeds:\n", len(seeds))
+				fmt.Fprint(w, experiments.FormatTable12Stats(stats))
+				rows = len(seeds) * len(runs[0].Reports)
+			}
+			if *hashes {
+				archs := core.AllArchetypes()
+				for _, r := range runs {
+					for ai, h := range r.Hashes {
+						fmt.Fprintf(w, "journal seed=%d arch=%s %s\n", r.Seed, archs[ai], h)
+					}
+				}
+			}
+			return rows, nil
 		}},
-		{"f1", "Figure 1 — landscape scale (edge-centric deployment, 1 virtual minute)", func(w io.Writer) {
-			fmt.Fprint(w, experiments.FormatFigure1(experiments.Figure1(*seed, zoneCounts, time.Minute)))
+		{"f1", "Figure 1 — landscape scale (edge-centric deployment, 1 virtual minute)", func(w io.Writer) (int, error) {
+			pts := experiments.Figure1(*seed, zoneCounts, time.Minute)
+			fmt.Fprint(w, experiments.FormatFigure1(pts))
+			return len(pts), nil
 		}},
-		{"f2", "Figure 2 — model construction and resilience-property checking", func(w io.Writer) {
+		{"f2", "Figure 2 — model construction and resilience-property checking", func(w io.Writer) (int, error) {
 			pts := experiments.Figure2([]int{4, 8, 12, 16}, 3)
 			quants := experiments.Figure2Quantitative([]int{1, 2, 5, 10, 20})
 			fmt.Fprint(w, experiments.FormatFigure2(pts, quants))
+			return len(pts) + len(quants), nil
 		}},
-		{"f3", "Figure 3 — centralized vs decentralized control under cloud downtime", func(w io.Writer) {
-			fmt.Fprint(w, experiments.FormatFigure3(experiments.Figure3(*seed, []float64{0, 0.2, 0.4, 0.6, 0.8})))
+		{"f3", "Figure 3 — centralized vs decentralized control under cloud downtime", func(w io.Writer) (int, error) {
+			pts := experiments.Figure3(*seed, []float64{0, 0.2, 0.4, 0.6, 0.8})
+			fmt.Fprint(w, experiments.FormatFigure3(pts))
+			return len(pts), nil
 		}},
-		{"f4", "Figure 4 — cloud-mediated vs edge-governed data flows under WAN partitions", func(w io.Writer) {
-			fmt.Fprint(w, experiments.FormatFigure4(experiments.Figure4(*seed, []float64{0, 0.25, 0.5, 0.75})))
+		{"f4", "Figure 4 — cloud-mediated vs edge-governed data flows under WAN partitions", func(w io.Writer) (int, error) {
+			pts := experiments.Figure4(*seed, []float64{0, 0.25, 0.5, 0.75})
+			fmt.Fprint(w, experiments.FormatFigure4(pts))
+			return len(pts), nil
 		}},
-		{"f5", "Figure 5 — MAPE loop placement (edge vs cloud) vs environment change rate", func(w io.Writer) {
-			fmt.Fprint(w, experiments.FormatFigure5(experiments.Figure5(*seed, []float64{1, 2, 4, 8})))
+		{"f5", "Figure 5 — MAPE loop placement (edge vs cloud) vs environment change rate", func(w io.Writer) (int, error) {
+			pts := experiments.Figure5(*seed, []float64{1, 2, 4, 8})
+			fmt.Fprint(w, experiments.FormatFigure5(pts))
+			return len(pts), nil
 		}},
-		{"a1", "Ablation A1 — bolt-on resilience (hardened ML2) vs native ML4", func(w io.Writer) {
-			fmt.Fprint(w, experiments.FormatTable12(experiments.AblationA1(cfg)))
+		{"a1", "Ablation A1 — bolt-on resilience (hardened ML2) vs native ML4", func(w io.Writer) (int, error) {
+			reports := experiments.AblationA1(cfg)
+			fmt.Fprint(w, experiments.FormatTable12(reports))
 			fmt.Fprintln(w, "(rows: ML2 plain, ML2 with bolt-on mechanisms, ML4 native)")
+			return len(reports), nil
 		}},
-		{"a2", "Ablation A2 — ML4 with one decentralization mechanism removed", func(w io.Writer) {
-			fmt.Fprint(w, experiments.FormatA2(experiments.AblationA2(cfg)))
+		{"a2", "Ablation A2 — ML4 with one decentralization mechanism removed", func(w io.Writer) (int, error) {
+			variants := experiments.AblationA2(cfg)
+			fmt.Fprint(w, experiments.FormatA2(variants))
+			return len(variants), nil
 		}},
-		{"x1", "Extension X1 — mobility: static binding vs nearest-edge handover", func(w io.Writer) {
-			fmt.Fprint(w, experiments.FormatMobility(experiments.ExtensionMobility(*seed, []float64{1, 2, 4, 8})))
+		{"x1", "Extension X1 — mobility: static binding vs nearest-edge handover", func(w io.Writer) (int, error) {
+			pts := experiments.ExtensionMobility(*seed, []float64{1, 2, 4, 8})
+			fmt.Fprint(w, experiments.FormatMobility(pts))
+			return len(pts), nil
 		}},
-		{"x2", "Extension X2 — cost of resilience: ML4 sync interval vs R and traffic", func(w io.Writer) {
+		{"x2", "Extension X2 — cost of resilience: ML4 sync interval vs R and traffic", func(w io.Writer) (int, error) {
 			intervals := []time.Duration{time.Second, 2 * time.Second, 5 * time.Second, 15 * time.Second}
-			fmt.Fprint(w, experiments.FormatCost(experiments.ExtensionCost(cfg, intervals)))
+			pts := experiments.ExtensionCost(cfg, intervals)
+			fmt.Fprint(w, experiments.FormatCost(pts))
+			return len(pts), nil
 		}},
 	}
 
+	ew := &errWriter{w: out}
+	reps := max(1, *benchReps)
+	if *outPath == "" {
+		reps = 1 // repetitions only sharpen the -out measurement
+	}
+	var benches []benchResult
 	ran := 0
 	for _, ex := range all {
 		if *only != "" && ex.id != *only {
 			continue
 		}
-		fmt.Fprintf(out, "=== %s ===\n", ex.title)
-		ex.run(out)
-		fmt.Fprintln(out)
+		fmt.Fprintf(ew, "=== %s ===\n", ex.title)
+		var br benchResult
+		// Best-of-reps: experiments are deterministic, so the minimum
+		// over repetitions strips scheduler and GC noise from the
+		// wall-clock figure the CI gate compares.
+		for rep := 0; rep < reps; rep++ {
+			w := io.Writer(ew)
+			if rep > 0 {
+				w = io.Discard
+			}
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			rows, err := ex.run(w)
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+			if err != nil {
+				return fmt.Errorf("experiment %s: %w", ex.id, err)
+			}
+			cur := benchResult{
+				ID:          ex.id,
+				NsPerOp:     elapsed.Nanoseconds(),
+				AllocsPerOp: after.Mallocs - before.Mallocs,
+				BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
+				Runs:        rows,
+			}
+			if secs := elapsed.Seconds(); secs > 0 {
+				cur.RunsPerSec = float64(rows) / secs
+			}
+			if rep == 0 || cur.NsPerOp < br.NsPerOp {
+				br.NsPerOp, br.RunsPerSec = cur.NsPerOp, cur.RunsPerSec
+			}
+			if rep == 0 || cur.AllocsPerOp < br.AllocsPerOp {
+				br.AllocsPerOp, br.BytesPerOp = cur.AllocsPerOp, cur.BytesPerOp
+			}
+			if rep == 0 {
+				br.ID, br.Runs = cur.ID, cur.Runs
+			}
+		}
+		fmt.Fprintln(ew)
 		ran++
+		benches = append(benches, br)
 	}
 	if ran == 0 && *trace == "" {
 		return fmt.Errorf("unknown experiment %q", *only)
 	}
 	if *trace != "" {
-		if err := writeTrace(cfg, *trace, out); err != nil {
+		if err := writeTrace(cfg, *trace, ew); err != nil {
 			return err
 		}
 	}
+	if *outPath != "" {
+		if err := writeBench(*outPath, benches); err != nil {
+			return err
+		}
+		fmt.Fprintf(ew, "bench: %d experiment measurements written to %s\n", len(benches), *outPath)
+	}
+	if ew.err != nil {
+		return fmt.Errorf("writing output: %w", ew.err)
+	}
 	return nil
+}
+
+// writeBench writes the benchmark JSON, surfacing create, encode, and
+// close errors — a truncated bench file would silently pass the CI
+// regression gate.
+func writeBench(path string, benches []benchResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(benchFile{Schema: benchSchema, Benches: benches}); err != nil {
+		f.Close()
+		return fmt.Errorf("encoding %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // writeTrace runs a short disrupted ML4 scenario with a trace

@@ -15,7 +15,7 @@ package consensus
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/obs"
@@ -171,10 +171,14 @@ type Node struct {
 	leaderID    simnet.NodeID
 	commitIndex uint64
 	lastApplied uint64
-	nextIndex   map[simnet.NodeID]uint64
-	matchIndex  map[simnet.NodeID]uint64
-	votes       map[simnet.NodeID]bool
-	preVotes    map[simnet.NodeID]bool
+	// nextIndex/matchIndex are indexed by peer position in the sorted
+	// peers slice (see peerIdx); they are touched on every append and
+	// every ack, and a slice index beats a map hash there.
+	nextIndex  []uint64
+	matchIndex []uint64
+	selfIdx    int // this node's position in peers
+	votes      map[simnet.NodeID]bool
+	preVotes   map[simnet.NodeID]bool
 	// lastLeaderContact is when a valid AppendEntries last arrived;
 	// pre-votes are refused while a leader is recent.
 	lastLeaderContact time.Duration
@@ -182,6 +186,13 @@ type Node struct {
 	electionTimer *simnet.Timer
 	heartbeat     *simnet.Ticker
 	started       bool
+	// electionFn is n.onElectionTimeout bound once at construction;
+	// resetElectionTimer runs on every heartbeat, and re-binding the
+	// method value there would allocate a closure each time.
+	electionFn func()
+	// matchScratch is reused by advanceCommit to rank match indices
+	// without a per-call allocation.
+	matchScratch []uint64
 
 	onLeaderChange []func(leader simnet.NodeID)
 
@@ -198,15 +209,24 @@ type Node struct {
 func New(ep simnet.Port, peers []simnet.NodeID, cfg Config, apply ApplyFunc) *Node {
 	ps := make([]simnet.NodeID, len(peers))
 	copy(ps, peers)
-	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	slices.Sort(ps)
 	n := &Node{
 		ep:    ep,
 		peers: ps,
+		selfIdx: func() int {
+			for i, id := range ps {
+				if id == ep.ID() {
+					return i
+				}
+			}
+			return -1
+		}(),
 		cfg:   cfg.withDefaults(),
 		apply: apply,
 		log:   make([]entry, 1), // sentinel
 		role:  Follower,
 	}
+	n.electionFn = n.onElectionTimeout
 	ep.OnMessage(n.handle)
 	ep.OnUp(n.onRecover)
 	ep.OnDown(n.onCrash)
@@ -271,7 +291,7 @@ func (n *Node) Propose(cmd Command) (uint64, bool) {
 		}
 		n.proposedAt[idx] = n.bus.Now()
 	}
-	n.matchIndex[n.ep.ID()] = idx
+	n.matchIndex[n.selfIdx] = idx
 	n.broadcastAppend()
 	// Single-node groups commit immediately.
 	n.advanceCommit()
@@ -341,7 +361,7 @@ func (n *Node) resetElectionTimer() {
 	if span > 0 {
 		d += time.Duration(n.ep.Rand().Int63n(int64(span)))
 	}
-	n.electionTimer = n.ep.After(d, n.onElectionTimeout)
+	n.electionTimer = n.ep.After(d, n.electionFn)
 }
 
 // onElectionTimeout starts an election, preceded by a PreVote round
@@ -404,13 +424,13 @@ func (n *Node) maybeWin() {
 	}
 	n.role = Leader
 	n.leaderID = n.ep.ID()
-	n.nextIndex = make(map[simnet.NodeID]uint64, len(n.peers))
-	n.matchIndex = make(map[simnet.NodeID]uint64, len(n.peers))
-	for _, p := range n.peers {
-		n.nextIndex[p] = n.lastLogIndex() + 1
-		n.matchIndex[p] = 0
+	n.nextIndex = make([]uint64, len(n.peers))
+	n.matchIndex = make([]uint64, len(n.peers))
+	for i := range n.peers {
+		n.nextIndex[i] = n.lastLogIndex() + 1
+		n.matchIndex[i] = 0
 	}
-	n.matchIndex[n.ep.ID()] = n.lastLogIndex()
+	n.matchIndex[n.selfIdx] = n.lastLogIndex()
 	if n.electionTimer != nil {
 		n.electionTimer.Stop()
 		n.electionTimer = nil
@@ -440,8 +460,20 @@ func (n *Node) broadcastAppend() {
 	}
 }
 
+// peerIdx resolves a peer ID to its position in the sorted peers
+// slice. Groups are small, and the IDs are shared strings, so a linear
+// scan with its pointer-equality fast path beats hashing.
+func (n *Node) peerIdx(id simnet.NodeID) int {
+	for i, p := range n.peers {
+		if p == id {
+			return i
+		}
+	}
+	return -1
+}
+
 func (n *Node) sendAppend(to simnet.NodeID) {
-	next := n.nextIndex[to]
+	next := n.nextIndex[n.peerIdx(to)]
 	if next < 1 {
 		next = 1
 	}
@@ -471,12 +503,12 @@ func (n *Node) advanceCommit() {
 	}
 	// Find the highest index replicated on a quorum with an entry from
 	// the current term.
-	matches := make([]uint64, 0, len(n.peers))
-	for _, p := range n.peers {
-		matches = append(matches, n.matchIndex[p])
-	}
-	sort.Slice(matches, func(i, j int) bool { return matches[i] > matches[j] })
-	candidate := matches[n.quorum()-1]
+	matches := n.matchScratch[:0]
+	matches = append(matches, n.matchIndex...)
+	slices.Sort(matches)
+	n.matchScratch = matches
+	// The k-th highest of an ascending sort is matches[len-k].
+	candidate := matches[len(matches)-n.quorum()]
 	if candidate > n.commitIndex && n.log[candidate].Term == n.currentTerm {
 		prev := n.commitIndex
 		n.commitIndex = candidate
@@ -621,20 +653,24 @@ func (n *Node) handleAppendResp(from simnet.NodeID, m appendEntriesResp) {
 	if n.role != Leader || m.Term < n.currentTerm {
 		return
 	}
+	fi := n.peerIdx(from)
+	if fi < 0 {
+		return
+	}
 	if m.Success {
-		if m.MatchIndex > n.matchIndex[from] {
-			n.matchIndex[from] = m.MatchIndex
+		if m.MatchIndex > n.matchIndex[fi] {
+			n.matchIndex[fi] = m.MatchIndex
 		}
-		n.nextIndex[from] = n.matchIndex[from] + 1
+		n.nextIndex[fi] = n.matchIndex[fi] + 1
 		n.advanceCommit()
-		if n.nextIndex[from] <= n.lastLogIndex() {
+		if n.nextIndex[fi] <= n.lastLogIndex() {
 			n.sendAppend(from)
 		}
 		return
 	}
 	// Log mismatch: back off and retry.
-	if n.nextIndex[from] > 1 {
-		n.nextIndex[from]--
+	if n.nextIndex[fi] > 1 {
+		n.nextIndex[fi]--
 	}
 	n.sendAppend(from)
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strings"
 	"time"
@@ -66,4 +68,19 @@ func FormatJournal(events []RunEvent) string {
 		fmt.Fprintf(&b, "%8s  %-14s %s\n", ev.At.Round(time.Millisecond), ev.Kind, ev.Detail)
 	}
 	return b.String()
+}
+
+// JournalHash digests a journal as the hex SHA-256 of its formatted
+// rendering. Two runs of the same scenario at the same seed must
+// produce the same hash — this is the equality the parallel experiment
+// engine (and the CI determinism job) checks between serial and
+// concurrent executions.
+func JournalHash(events []RunEvent) string {
+	sum := sha256.Sum256([]byte(FormatJournal(events)))
+	return hex.EncodeToString(sum[:])
+}
+
+// JournalHash digests this run's journal. Call after Run.
+func (sys *System) JournalHash() string {
+	return JournalHash(sys.journal)
 }

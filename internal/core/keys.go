@@ -1,0 +1,36 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/simnet"
+	"repro/internal/space"
+)
+
+// keyTableSize bounds the precomputed name tables below. The
+// measurement loop renders zone-indexed keys on every tick of every
+// run, so the realistic zone range is built once at package init and
+// indices beyond it fall back to formatting.
+const keyTableSize = 64
+
+var (
+	zoneTempKeys    [keyTableSize]string
+	zoneTempAgeKeys [keyTableSize]string
+	zoneOccKeys     [keyTableSize]string
+	zoneIDTable     [keyTableSize]space.ZoneID
+	actTopicTable   [keyTableSize]string
+	controlFnTable  [keyTableSize]string
+	tempSensor0     [keyTableSize]simnet.NodeID
+)
+
+func init() {
+	for z := 0; z < keyTableSize; z++ {
+		zoneTempKeys[z] = fmt.Sprintf("z%d/temp", z)
+		zoneTempAgeKeys[z] = zoneTempKeys[z] + "/age"
+		zoneOccKeys[z] = fmt.Sprintf("z%d/occ", z)
+		zoneIDTable[z] = space.ZoneID(fmt.Sprintf("zone-%d", z))
+		actTopicTable[z] = fmt.Sprintf("act/%d", z)
+		controlFnTable[z] = fmt.Sprintf("zone-controller-%d", z)
+		tempSensor0[z] = simnet.NodeID(fmt.Sprintf("z%d-s0", z))
+	}
+}

@@ -36,10 +36,29 @@ func (m readingAck) Size() int { return 12 }
 func (m actuateMsg) Size() int { return 16 }
 
 // zoneTempKey is the data key of a zone's temperature stream.
-func zoneTempKey(z int) string { return fmt.Sprintf("z%d/temp", z) }
+func zoneTempKey(z int) string {
+	if z >= 0 && z < keyTableSize {
+		return zoneTempKeys[z]
+	}
+	return fmt.Sprintf("z%d/temp", z)
+}
+
+// zoneTempAgeKey is the knowledge-base key carrying the age of a
+// zone's last temperature sample.
+func zoneTempAgeKey(z int) string {
+	if z >= 0 && z < keyTableSize {
+		return zoneTempAgeKeys[z]
+	}
+	return zoneTempKey(z) + "/age"
+}
 
 // zoneOccKey is the data key of a zone's (sensitive) occupancy stream.
-func zoneOccKey(z int) string { return fmt.Sprintf("z%d/occ", z) }
+func zoneOccKey(z int) string {
+	if z >= 0 && z < keyTableSize {
+		return zoneOccKeys[z]
+	}
+	return fmt.Sprintf("z%d/occ", z)
+}
 
 // ackTimeout bounds how long a reporter waits for a collector ack
 // before counting a miss.
@@ -107,7 +126,9 @@ func (r *reporter) send(item dataflow.Item) {
 	r.seq++
 	seq := r.seq
 	r.port.Send(r.target(), readingMsg{Seq: seq, Item: item})
-	r.bus.Emit("sensor.report", string(r.port.ID()), 0, 0, "%s → %s", item.Key, r.target())
+	if r.bus.Active() {
+		r.bus.Emit("sensor.report", string(r.port.ID()), 0, 0, "%s → %s", item.Key, r.target())
+	}
 	r.pending[seq] = r.port.After(ackTimeout, func() {
 		if _, still := r.pending[seq]; !still {
 			return

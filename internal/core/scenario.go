@@ -172,6 +172,9 @@ func cloudletID(i int) simnet.NodeID {
 }
 
 func tempSensorID(zone, i int) simnet.NodeID {
+	if i == 0 && zone >= 0 && zone < keyTableSize {
+		return tempSensor0[zone]
+	}
 	return simnet.NodeID(fmt.Sprintf("z%d-s%d", zone, i))
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -90,8 +91,11 @@ type System struct {
 	actuators []*actRig
 	gateways  []*edgeStack
 	cloudlets []*edgeStack
-	cloud     *edgeStack
-	broker    *pubsub.Broker // ML2
+	// Caches over the fixed post-buildWorld topology.
+	edgeStackCache []*edgeStack
+	edgeIDCache    []simnet.NodeID
+	cloud          *edgeStack
+	broker         *pubsub.Broker // ML2
 
 	goal     *model.GoalModel
 	reqTemp  []model.RequirementID
@@ -199,7 +203,12 @@ func faultDetail(ev fault.Event) string {
 }
 
 // zoneID names zone z in the spatial model.
-func zoneID(z int) space.ZoneID { return space.ZoneID(fmt.Sprintf("zone-%d", z)) }
+func zoneID(z int) space.ZoneID {
+	if z >= 0 && z < keyTableSize {
+		return zoneIDTable[z]
+	}
+	return space.ZoneID(fmt.Sprintf("zone-%d", z))
+}
 
 // buildWorld creates domains, zones, environment processes, devices
 // and their simulator nodes — everything archetype-independent.
@@ -345,20 +354,29 @@ func (sys *System) allNodeIDs() []simnet.NodeID {
 	return out
 }
 
-// edgeStacks returns gateways then cloudlets.
+// edgeStacks returns gateways then cloudlets. The topology is fixed
+// after buildWorld, so the slice is computed once and cached; callers
+// must not mutate it.
 func (sys *System) edgeStacks() []*edgeStack {
-	out := append([]*edgeStack(nil), sys.gateways...)
-	return append(out, sys.cloudlets...)
+	if sys.edgeStackCache == nil {
+		out := append([]*edgeStack(nil), sys.gateways...)
+		sys.edgeStackCache = append(out, sys.cloudlets...)
+	}
+	return sys.edgeStackCache
 }
 
-// edgeIDs returns the IDs of all edge nodes, sorted.
+// edgeIDs returns the IDs of all edge nodes, sorted. Cached for the
+// same reason as edgeStacks; callers must not mutate the result.
 func (sys *System) edgeIDs() []simnet.NodeID {
-	var out []simnet.NodeID
-	for _, st := range sys.edgeStacks() {
-		out = append(out, st.id)
+	if sys.edgeIDCache == nil {
+		out := make([]simnet.NodeID, 0, len(sys.gateways)+len(sys.cloudlets))
+		for _, st := range sys.edgeStacks() {
+			out = append(out, st.id)
+		}
+		slices.Sort(out)
+		sys.edgeIDCache = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return sys.edgeIDCache
 }
 
 // buildRequirements creates the goal model: per zone, a temperature

@@ -19,13 +19,23 @@ import (
 )
 
 // actTopic is the ML2 actuation topic of a zone.
-func actTopic(z int) string { return fmt.Sprintf("act/%d", z) }
+func actTopic(z int) string {
+	if z >= 0 && z < keyTableSize {
+		return actTopicTable[z]
+	}
+	return fmt.Sprintf("act/%d", z)
+}
 
 // readingsTopic is the ML2 sensor publication topic.
 const readingsTopic = "readings"
 
 // controlFnName is the ML4 deviceless controller function of a zone.
-func controlFnName(z int) string { return fmt.Sprintf("zone-controller-%d", z) }
+func controlFnName(z int) string {
+	if z >= 0 && z < keyTableSize {
+		return controlFnTable[z]
+	}
+	return fmt.Sprintf("zone-controller-%d", z)
+}
 
 // --- shared wiring helpers ---
 
@@ -108,7 +118,9 @@ func (sys *System) controlTick(st *edgeStack, controls func(z int) bool, sendAct
 			}
 			st.desired[z] = engage
 			sendAct(z, engage)
-			sys.bus.Emit("control.actuate", string(st.id), 0, 0, "zone %d engage=%v", z, engage)
+			if sys.bus.Active() {
+				sys.bus.Emit("control.actuate", string(st.id), 0, 0, "zone %d engage=%v", z, engage)
+			}
 			sys.lastControlOK[z] = sys.sim.Now()
 		}
 	}
@@ -129,7 +141,7 @@ func (sys *System) installLoop(st *edgeStack, zones []int) {
 			if item, ok := st.view(zoneTempKey(z)); ok {
 				if v, isF := item.Value.(float64); isF {
 					k.Put(zoneTempKey(z), v)
-					k.Put(zoneTempKey(z)+"/age", float64(sys.sim.Now()-item.ProducedAt))
+					k.Put(zoneTempAgeKey(z), float64(sys.sim.Now()-item.ProducedAt))
 				}
 			}
 		})
@@ -138,7 +150,7 @@ func (sys *System) installLoop(st *edgeStack, zones []int) {
 			return ok && v >= cfg.TempLow && v <= cfg.TempHigh
 		}})
 		loop.AddRule(mape.PropRule{Prop: freshProp(z), Eval: func(k *mape.Knowledge) bool {
-			age, ok := k.GetFloat(zoneTempKey(z) + "/age")
+			age, ok := k.GetFloat(zoneTempAgeKey(z))
 			return ok && time.Duration(age) <= sys.freshWin
 		}})
 		tempReq, _ := sys.goal.Requirement(sys.reqTemp[z])

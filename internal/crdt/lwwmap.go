@@ -1,7 +1,9 @@
 package crdt
 
 import (
+	"slices"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -117,20 +119,20 @@ func (m *LWWMap) State() []Entry {
 	for k, e := range m.entries {
 		out = append(out, Entry{Key: k, Value: e.Value, Ts: e.Ts, Replica: e.Replica, Deleted: e.Deleted})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	slices.SortFunc(out, func(a, b Entry) int { return strings.Compare(a.Key, b.Key) })
 	return out
 }
 
 // Since exports entries with a write time strictly after ts — a delta
 // for incremental anti-entropy.
 func (m *LWWMap) Since(ts time.Duration) []Entry {
-	var out []Entry
+	out := make([]Entry, 0, len(m.entries))
 	for k, e := range m.entries {
 		if e.Ts > ts {
 			out = append(out, Entry{Key: k, Value: e.Value, Ts: e.Ts, Replica: e.Replica, Deleted: e.Deleted})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	slices.SortFunc(out, func(a, b Entry) int { return strings.Compare(a.Key, b.Key) })
 	return out
 }
 

@@ -9,7 +9,7 @@
 // and idempotence explicitly).
 package crdt
 
-import "sort"
+import "slices"
 
 // ReplicaID identifies one replica of a CRDT.
 type ReplicaID string
@@ -106,6 +106,6 @@ func (v VClock) Replicas() []ReplicaID {
 			out = append(out, r)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

@@ -13,7 +13,9 @@ package gossip
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -290,10 +292,19 @@ func (p *Protocol) Start(seeds ...simnet.NodeID) {
 func (p *Protocol) Leave() {
 	dead := Update{ID: p.ep.ID(), Status: StatusDead, Incarnation: p.incarnation}
 	msg := leaveMsg{Update: dead}
+	// Broadcast to every non-dead member, in sorted order: a member the
+	// leaver falsely suspects must still hear the farewell directly, and
+	// iterating the map raw would make send order (and thus per-target
+	// latency jitter) depend on map hashing rather than on the seed.
+	ids := make([]simnet.NodeID, 0, len(p.members))
 	for id, ms := range p.members {
-		if id != p.ep.ID() && ms.Status == StatusAlive {
-			p.ep.Send(id, msg)
+		if id != p.ep.ID() && ms.Status != StatusDead {
+			ids = append(ids, id)
 		}
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		p.ep.Send(id, msg)
 	}
 	self := p.members[p.ep.ID()]
 	self.Status = StatusDead
@@ -330,7 +341,7 @@ func (p *Protocol) antiEntropy() {
 	if len(pool) == 0 {
 		return
 	}
-	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+	slices.Sort(pool)
 	target := pool[p.ep.Rand().Intn(len(pool))]
 	p.ep.Send(target, syncMsg{Members: p.fullState()})
 }
@@ -379,7 +390,7 @@ func (p *Protocol) Members() []Member {
 	for _, ms := range p.members {
 		out = append(out, ms.Member)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	slices.SortFunc(out, func(a, b Member) int { return strings.Compare(string(a.ID), string(b.ID)) })
 	return out
 }
 
@@ -392,7 +403,7 @@ func (p *Protocol) Alive() []simnet.NodeID {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -478,7 +489,7 @@ func (p *Protocol) reshuffleProbeOrder() {
 			p.probeOrder = append(p.probeOrder, id)
 		}
 	}
-	sort.Slice(p.probeOrder, func(i, j int) bool { return p.probeOrder[i] < p.probeOrder[j] })
+	slices.Sort(p.probeOrder)
 	p.ep.Rand().Shuffle(len(p.probeOrder), func(i, j int) {
 		p.probeOrder[i], p.probeOrder[j] = p.probeOrder[j], p.probeOrder[i]
 	})
@@ -492,7 +503,7 @@ func (p *Protocol) randomAliveExcept(n int, except simnet.NodeID) []simnet.NodeI
 			pool = append(pool, id)
 		}
 	}
-	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+	slices.Sort(pool)
 	p.ep.Rand().Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
 	if len(pool) > n {
 		pool = pool[:n]
@@ -516,8 +527,10 @@ func (p *Protocol) suspect(id simnet.NodeID) {
 }
 
 func (p *Protocol) notify(m Member) {
-	p.bus.Emit("gossip."+m.Status.String(), string(p.ep.ID()), 0, 0,
-		"member %s incarnation %d", m.ID, m.Incarnation)
+	if p.bus.Active() {
+		p.bus.Emit("gossip."+m.Status.String(), string(p.ep.ID()), 0, 0,
+			"member %s incarnation %d", m.ID, m.Incarnation)
+	}
 	for _, fn := range p.onChange {
 		fn(m)
 	}
@@ -701,6 +714,6 @@ func (p *Protocol) fullState() []Update {
 	for _, ms := range p.members {
 		out = append(out, Update(ms.Member))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	slices.SortFunc(out, func(a, b Update) int { return strings.Compare(string(a.ID), string(b.ID)) })
 	return out
 }

@@ -291,7 +291,9 @@ func (l *Loop) Cycle() {
 			l.violatedSince[r.ID] = l.now()
 		}
 		l.stats.IssuesDetected++
-		l.bus.Emit("mape.issue", l.busNode, 0, span.ID, "%s violated (monitor %s)", r.ID, mon.Verdict())
+		if l.bus.Active() {
+			l.bus.Emit("mape.issue", l.busNode, 0, span.ID, "%s violated (monitor %s)", r.ID, mon.Verdict())
+		}
 		issues = append(issues, Issue{Requirement: r.ID, Prop: r.Prop, MonitorVerdict: mon.Verdict()})
 	}
 	sort.Slice(issues, func(i, j int) bool { return issues[i].Requirement < issues[j].Requirement })
@@ -311,7 +313,9 @@ func (l *Loop) Cycle() {
 			} else {
 				l.stats.ActionsFailed++
 			}
-			l.bus.Emit("mape.execute", l.busNode, 0, span.ID, "%s target=%s ok=%v", a.Name, a.Target, ok)
+			if l.bus.Active() {
+				l.bus.Emit("mape.execute", l.busNode, 0, span.ID, "%s target=%s ok=%v", a.Name, a.Target, ok)
+			}
 		}
 	}
 

@@ -18,6 +18,27 @@ type TraceCollector struct {
 	mu     sync.Mutex
 	events []Event
 	sub    *Subscription
+	pid    int // Chrome trace process ID; 0 renders as 1
+}
+
+// SetPID sets the process ID stamped on every exported trace event.
+// Concurrent experiment workers each collect their own trace; distinct
+// PIDs keep the merged view attributable (worker N shows up as process
+// N in chrome://tracing). The default PID is 1.
+func (tc *TraceCollector) SetPID(pid int) {
+	tc.mu.Lock()
+	tc.pid = pid
+	tc.mu.Unlock()
+}
+
+// effectivePID resolves the configured PID, defaulting to 1.
+func (tc *TraceCollector) effectivePID() int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.pid == 0 {
+		return 1
+	}
+	return tc.pid
 }
 
 // Collect attaches a collector to the bus.
@@ -78,6 +99,7 @@ type chromeTrace struct {
 // (empty Node) land on thread 0.
 func (tc *TraceCollector) WriteChromeTrace(w io.Writer) error {
 	events := tc.Events()
+	pid := tc.effectivePID()
 
 	// Stable node → tid assignment, sorted for determinism.
 	nodes := make(map[string]int)
@@ -100,7 +122,7 @@ func (tc *TraceCollector) WriteChromeTrace(w io.Writer) error {
 			label = "system"
 		}
 		out = append(out, chromeEvent{
-			Name: "thread_name", Ph: "M", PID: 1, TID: nodes[n],
+			Name: "thread_name", Ph: "M", PID: pid, TID: nodes[n],
 			Args: map[string]any{"name": label},
 		})
 	}
@@ -109,7 +131,7 @@ func (tc *TraceCollector) WriteChromeTrace(w io.Writer) error {
 			Name: ev.Kind,
 			Cat:  category(ev.Kind),
 			TS:   micros(ev.At),
-			PID:  1,
+			PID:  pid,
 			TID:  nodes[ev.Node],
 		}
 		args := map[string]any{}

@@ -227,20 +227,38 @@ type MessageHandler func(topic string, payload any)
 //	zone/+/temp  matches  zone/3/temp
 //	zone/#       matches  zone/3/temp and zone
 func TopicMatches(pattern, topic string) bool {
-	pl := strings.Split(pattern, "/")
-	tl := strings.Split(topic, "/")
-	for i, p := range pl {
+	// Walks both strings level by level in place. Brokers run this for
+	// every (publish, subscription) pair, so it must not allocate —
+	// which rules out strings.Split.
+	topicDone := false
+	for {
+		p, pRest := pattern, ""
+		pMore := false
+		if i := strings.IndexByte(pattern, '/'); i >= 0 {
+			p, pRest, pMore = pattern[:i], pattern[i+1:], true
+		}
 		if p == "#" {
 			return true // matches the remainder, including none
 		}
-		if i >= len(tl) {
+		if topicDone {
+			return false // pattern has levels the topic lacks
+		}
+		t := topic
+		tMore := false
+		if i := strings.IndexByte(topic, '/'); i >= 0 {
+			t, topic, tMore = topic[:i], topic[i+1:], true
+		}
+		if p != "+" && p != t {
 			return false
 		}
-		if p != "+" && p != tl[i] {
-			return false
+		if !pMore {
+			return !tMore // both must end at the same level
+		}
+		pattern = pRest
+		if !tMore {
+			topicDone = true
 		}
 	}
-	return len(pl) == len(tl)
 }
 
 // Client connects a node to a broker.

@@ -49,26 +49,33 @@ func (e *Endpoint) OnUp(fn func()) { e.node.onUp = append(e.node.onUp, fn) }
 // latency, loss, partition and liveness state. It reports whether the
 // message entered the network (a true result does not imply delivery).
 func (e *Endpoint) Send(to NodeID, msg Message) bool {
-	return e.sim.send(e.node.id, to, msg)
+	return e.sim.sendFrom(e.node, to, msg)
 }
 
 // After schedules fn to run once, d from now, unless the node is down at
 // that moment. The callback is skipped (not deferred) if the node is down
-// when the timer fires.
+// when the timer fires. The down-gate is the event's owner field, not a
+// wrapping closure, so a node-scoped timer costs the same as a bare one.
 func (e *Endpoint) After(d time.Duration, fn func()) *Timer {
-	return e.sim.After(d, func() {
-		if e.node.down {
-			return
-		}
-		fn()
-	})
+	ev := e.sim.schedule(e.sim.now + d)
+	ev.owner = e.node
+	ev.fn = fn
+	return e.sim.newTimer(ev)
 }
 
-// Ticker is a periodic node-scoped timer.
+// Ticker is a periodic node-scoped timer. Simulated tickers own a
+// single pooled event that re-arms itself (see Sim.runTick); external
+// tickers delegate to the wrapped cancel function.
 type Ticker struct {
 	stopped  bool
-	timer    *Timer
 	external func()
+
+	// Simulated mode.
+	owner    *node
+	interval time.Duration
+	fn       func()
+	ev       *event
+	gen      uint32
 }
 
 // NewExternalTicker wraps an external cancel function in a Ticker for
@@ -84,8 +91,8 @@ func (t *Ticker) Stop() {
 		t.external()
 		return
 	}
-	if t.timer != nil {
-		t.timer.Stop()
+	if t.ev != nil && t.ev.gen == t.gen && !t.ev.dead {
+		t.ev.dead = true
 	}
 }
 
@@ -93,19 +100,10 @@ func (t *Ticker) Stop() {
 // that occur while the node is down are skipped, but the ticker keeps
 // re-arming, so it resumes automatically when the node comes back up.
 func (e *Endpoint) Every(interval time.Duration, fn func()) *Ticker {
-	t := &Ticker{}
-	var arm func()
-	arm = func() {
-		t.timer = e.sim.After(interval, func() {
-			if t.stopped {
-				return
-			}
-			if !e.node.down {
-				fn()
-			}
-			arm()
-		})
-	}
-	arm()
+	t := &Ticker{owner: e.node, interval: interval, fn: fn}
+	ev := e.sim.schedule(e.sim.now + interval)
+	ev.tick = t
+	t.ev = ev
+	t.gen = ev.gen
 	return t
 }

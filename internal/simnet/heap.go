@@ -1,0 +1,109 @@
+package simnet
+
+import "time"
+
+// heapEntry is one queue slot: the ordering key (at, seq) inline next
+// to the event's arena index. Comparisons during sift-up/down touch
+// only the entry array — never the events themselves — so the hot loop
+// stays in a handful of cache lines, and because the entry is
+// pointer-free, sift moves incur no GC write barriers (which otherwise
+// dominate the scheduler's profile).
+type heapEntry struct {
+	at  time.Duration
+	seq uint64
+	idx uint32 // event arena index; see Sim.eventAt
+}
+
+// entryLess orders entries by time, then by scheduling order (FIFO for
+// equal timestamps). seq is unique, so the order is total and pop
+// order is fully determined by scheduling history regardless of heap
+// shape — which is what keeps runs bit-identical across refactors of
+// this file.
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a 4-ary min-heap of heapEntry. It replaces
+// container/heap on the scheduler's hottest path: a wider node keeps
+// the tree shallower (log4 instead of log2 levels), the four children
+// of a node are adjacent in the backing array, and the monomorphic
+// compare avoids the interface-method calls container/heap makes for
+// every Less/Swap.
+type eventHeap struct {
+	e []heapEntry
+}
+
+func (h *eventHeap) len() int { return len(h.e) }
+
+// push inserts the event at arena index idx with ordering key (at, seq).
+func (h *eventHeap) push(at time.Duration, seq uint64, idx uint32) {
+	h.e = append(h.e, heapEntry{at: at, seq: seq, idx: idx})
+	h.up(len(h.e) - 1)
+}
+
+// pop removes and returns the minimum entry.
+func (h *eventHeap) pop() heapEntry {
+	root := h.e[0]
+	n := len(h.e) - 1
+	last := h.e[n]
+	h.e[n] = heapEntry{}
+	h.e = h.e[:n]
+	if n > 0 {
+		h.e[0] = last
+		h.down(0)
+	}
+	return root
+}
+
+// peek returns the minimum entry without removing it; ok is false when
+// the heap is empty.
+func (h *eventHeap) peek() (heapEntry, bool) {
+	if len(h.e) == 0 {
+		return heapEntry{}, false
+	}
+	return h.e[0], true
+}
+
+func (h *eventHeap) up(i int) {
+	e := h.e[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !entryLess(e, h.e[p]) {
+			break
+		}
+		h.e[i] = h.e[p]
+		i = p
+	}
+	h.e[i] = e
+}
+
+func (h *eventHeap) down(i int) {
+	n := len(h.e)
+	e := h.e[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		// Smallest of up to four children.
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entryLess(h.e[j], h.e[m]) {
+				m = j
+			}
+		}
+		if !entryLess(h.e[m], e) {
+			break
+		}
+		h.e[i] = h.e[m]
+		i = m
+	}
+	h.e[i] = e
+}

@@ -1,0 +1,141 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestEventHeapProperty pushes entries with random times and unique
+// sequence numbers and checks that pops come out totally ordered by
+// (at, seq).
+func TestEventHeapProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h eventHeap
+	const n = 2000
+	for seq := uint64(1); seq <= n; seq++ {
+		at := time.Duration(rng.Intn(100)) * time.Millisecond
+		h.push(at, seq, uint32(seq))
+	}
+	if h.len() != n {
+		t.Fatalf("len = %d, want %d", h.len(), n)
+	}
+	prev, ok := heapEntry{}, false
+	for h.len() > 0 {
+		e := h.pop()
+		if ok && !entryLess(prev, e) && (prev.at != e.at || prev.seq != e.seq) {
+			t.Fatalf("pop out of order: (%v,%d) after (%v,%d)", e.at, e.seq, prev.at, prev.seq)
+		}
+		if ok && !entryLess(prev, e) {
+			t.Fatalf("duplicate ordering key (%v,%d)", e.at, e.seq)
+		}
+		prev, ok = e, true
+	}
+}
+
+// TestEventHeapEqualTimesFIFO pins the tie-break: events scheduled for
+// the same instant pop in scheduling order regardless of push pattern.
+func TestEventHeapEqualTimesFIFO(t *testing.T) {
+	var h eventHeap
+	at := 10 * time.Millisecond
+	// Interleave a few distinct times so the equal-time entries take
+	// different paths through the tree.
+	for seq := uint64(1); seq <= 64; seq++ {
+		h.push(at, seq, uint32(seq))
+		h.push(at+time.Millisecond*time.Duration(seq%3+1), 1000+seq, uint32(1000+seq))
+	}
+	var lastEqual uint64
+	for h.len() > 0 {
+		e := h.pop()
+		if e.at == at {
+			if e.seq <= lastEqual {
+				t.Fatalf("equal-time pop out of FIFO order: seq %d after %d", e.seq, lastEqual)
+			}
+			lastEqual = e.seq
+		}
+	}
+	if lastEqual != 64 {
+		t.Fatalf("last equal-time seq = %d, want 64", lastEqual)
+	}
+}
+
+// TestStaleTimerHandleIsInert is the pooled-reuse safety property: a
+// Timer whose event has fired and been recycled must not cancel the
+// recycled storage's next occupant.
+func TestStaleTimerHandleIsInert(t *testing.T) {
+	s := New()
+	fired1, fired2 := false, false
+	t1 := s.After(time.Millisecond, func() { fired1 = true })
+	s.Run()
+	if !fired1 {
+		t.Fatal("first timer did not fire")
+	}
+
+	// The pool hands the same storage back to the next schedule.
+	t2 := s.After(time.Millisecond, func() { fired2 = true })
+	if t2.ev != t1.ev {
+		t.Skip("pool did not reuse the storage; stale-handle path not exercised")
+	}
+	if t1.Stop() {
+		t.Fatal("stale Stop claimed to cancel")
+	}
+	s.Run()
+	if !fired2 {
+		t.Fatal("stale Stop cancelled the recycled event's new occupant")
+	}
+	// t2's own Stop after firing is also a no-op.
+	if t2.Stop() {
+		t.Fatal("Stop after firing claimed to cancel")
+	}
+}
+
+// TestTickerStopInsideCallback: a ticker whose callback stops it must
+// not fire again, and its event storage must be recycled cleanly.
+func TestTickerStopInsideCallback(t *testing.T) {
+	s := New()
+	ep := s.AddNode("n")
+	count := 0
+	var tk *Ticker
+	tk = ep.Every(time.Second, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	s.RunUntil(time.Minute)
+	if count != 3 {
+		t.Fatalf("ticker fired %d times, want 3", count)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after ticker stopped itself", s.Pending())
+	}
+}
+
+// TestEventPoolRecyclesAcrossPages schedules more simultaneous events
+// than one arena page holds, so paging and index arithmetic get
+// exercised, then checks every callback ran exactly once.
+func TestEventPoolRecyclesAcrossPages(t *testing.T) {
+	s := New()
+	const n = eventPageSize*2 + 37
+	fired := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		s.After(time.Duration(i%7)*time.Millisecond, func() { fired[i]++ })
+	}
+	s.Run()
+	for i, f := range fired {
+		if f != 1 {
+			t.Fatalf("callback %d fired %d times", i, f)
+		}
+	}
+	// All storage is back on the free list; a fresh burst must not
+	// grow the page table.
+	pages := len(s.pages)
+	for i := 0; i < n; i++ {
+		s.After(time.Millisecond, func() {})
+	}
+	s.Run()
+	if len(s.pages) != pages {
+		t.Fatalf("page table grew from %d to %d despite recycling", pages, len(s.pages))
+	}
+}

@@ -35,23 +35,35 @@ type Port interface {
 
 var _ Port = (*Endpoint)(nil)
 
+// protoOverhead is the framing cost in bytes attributed to tagging a
+// message with its protocol name, whether it travels as an envelope
+// (generic Ports) or as a native event field (simulated endpoints).
+const protoOverhead = 4
+
 // envelope wraps a protocol message with its protocol name for routing
-// at the receiving mux.
+// at the receiving mux. Simulated endpoints bypass it (see
+// Sim.sendProto); it remains the wire format for generic Ports such as
+// realnet adapters.
 type envelope struct {
 	Proto string
 	Msg   Message
 }
 
 // Size attributes the inner message size plus a small header.
-func (e envelope) Size() int { return 4 + messageSize(e.Msg) }
+func (e envelope) Size() int { return protoOverhead + messageSize(e.Msg) }
 
 // Mux multiplexes one port among multiple named protocols. Messages
 // sent through a protocol port are wrapped in an envelope; the mux
 // routes arriving envelopes to the port registered under that name.
 // Construct with NewMux (simulated endpoints) or NewPortMux (any Port,
 // e.g. a real-network node); either takes over the message handler.
+//
+// Over a simulated *Endpoint the mux short-circuits the envelope
+// entirely: sends go through Sim.sendProto (no per-message boxing) and
+// handlers register directly on the simulator node.
 type Mux struct {
 	ep       Port
+	sim      *Endpoint // non-nil when ep is a simulated endpoint
 	handlers map[string]Handler
 }
 
@@ -61,6 +73,7 @@ func NewMux(ep *Endpoint) *Mux { return NewPortMux(ep) }
 // NewPortMux creates a mux over any Port implementation.
 func NewPortMux(p Port) *Mux {
 	m := &Mux{ep: p, handlers: make(map[string]Handler)}
+	m.sim, _ = p.(*Endpoint)
 	p.OnMessage(m.dispatch)
 	return m
 }
@@ -97,15 +110,25 @@ type protoPort struct {
 
 var _ Port = (*protoPort)(nil)
 
-func (p *protoPort) ID() NodeID          { return p.mux.ep.ID() }
-func (p *protoPort) Now() time.Duration  { return p.mux.ep.Now() }
-func (p *protoPort) Rand() *rand.Rand    { return p.mux.ep.Rand() }
-func (p *protoPort) Up() bool            { return p.mux.ep.Up() }
-func (p *protoPort) OnUp(fn func())      { p.mux.ep.OnUp(fn) }
-func (p *protoPort) OnDown(fn func())    { p.mux.ep.OnDown(fn) }
-func (p *protoPort) OnMessage(h Handler) { p.mux.handlers[p.proto] = h }
+func (p *protoPort) ID() NodeID         { return p.mux.ep.ID() }
+func (p *protoPort) Now() time.Duration { return p.mux.ep.Now() }
+func (p *protoPort) Rand() *rand.Rand   { return p.mux.ep.Rand() }
+func (p *protoPort) Up() bool           { return p.mux.ep.Up() }
+func (p *protoPort) OnUp(fn func())     { p.mux.ep.OnUp(fn) }
+func (p *protoPort) OnDown(fn func())   { p.mux.ep.OnDown(fn) }
+
+func (p *protoPort) OnMessage(h Handler) {
+	if ep := p.mux.sim; ep != nil {
+		ep.node.setProtoHandler(p.proto, h)
+		return
+	}
+	p.mux.handlers[p.proto] = h
+}
 
 func (p *protoPort) Send(to NodeID, msg Message) bool {
+	if ep := p.mux.sim; ep != nil {
+		return ep.sim.sendProto(ep.node, p.proto, to, msg)
+	}
 	return p.mux.ep.Send(to, envelope{Proto: p.proto, Msg: msg})
 }
 

@@ -30,13 +30,45 @@ type MessageTap func(from, to NodeID, msg Message)
 // Handler consumes messages arriving at an endpoint.
 type Handler func(from NodeID, msg Message)
 
+// protoEntry binds one protocol name to its handler on a node.
+type protoEntry struct {
+	proto string
+	h     Handler
+}
+
 // node is the simulator-internal state of a registered node.
 type node struct {
 	id      NodeID
 	down    bool
 	handler Handler
-	onUp    []func()
-	onDown  []func()
+	// protoHandlers routes natively multiplexed traffic (see
+	// Sim.sendProto). A node runs a handful of protocols at most, so a
+	// linear scan beats a map: the proto strings are shared constants,
+	// and Go's string compare short-circuits on pointer equality.
+	protoHandlers []protoEntry
+	onUp          []func()
+	onDown        []func()
+}
+
+// setProtoHandler installs (or replaces) the handler for proto.
+func (n *node) setProtoHandler(proto string, h Handler) {
+	for i := range n.protoHandlers {
+		if n.protoHandlers[i].proto == proto {
+			n.protoHandlers[i].h = h
+			return
+		}
+	}
+	n.protoHandlers = append(n.protoHandlers, protoEntry{proto: proto, h: h})
+}
+
+// protoHandler looks up the handler for proto, nil if none registered.
+func (n *node) protoHandler(proto string) Handler {
+	for i := range n.protoHandlers {
+		if n.protoHandlers[i].proto == proto {
+			return n.protoHandlers[i].h
+		}
+	}
+	return nil
 }
 
 // linkKey identifies a directed link override.
@@ -186,18 +218,24 @@ func (s *Sim) Reachable(from, to NodeID) bool {
 }
 
 // reachable reports whether a message from→to would currently traverse
-// the network (ignoring loss).
+// the network (ignoring loss). The len checks skip the map hashing
+// entirely in the common healthy-network state (no cuts, no partition).
 func (s *Sim) reachable(from, to NodeID) bool {
-	if s.net.cut[linkKey{from, to}] {
+	if len(s.net.cut) != 0 && s.net.cut[linkKey{from, to}] {
 		return false
+	}
+	if len(s.net.group) == 0 {
+		return true
 	}
 	return s.net.group[from] == s.net.group[to]
 }
 
 // linkParams resolves latency and loss for from→to.
 func (s *Sim) linkParams(from, to NodeID) (time.Duration, float64) {
-	if ov, ok := s.net.links[linkKey{from, to}]; ok {
-		return ov.latency, ov.loss
+	if len(s.net.links) != 0 {
+		if ov, ok := s.net.links[linkKey{from, to}]; ok {
+			return ov.latency, ov.loss
+		}
 	}
 	return s.defLat, s.defLoss
 }
@@ -208,7 +246,26 @@ func (s *Sim) linkParams(from, to NodeID) (time.Duration, float64) {
 // occurring while it is in flight.
 func (s *Sim) send(from, to NodeID, msg Message) bool {
 	src, ok := s.nodes[from]
-	if !ok || src.down {
+	if !ok {
+		return false
+	}
+	return s.sendFrom(src, to, msg)
+}
+
+// sendFrom is send with the source already resolved — the path every
+// Endpoint.Send takes, skipping one map lookup per message. Deliveries
+// are scheduled as payload-carrying events (see event.dst), not
+// closures, so a send costs no allocation beyond its queue slot.
+func (s *Sim) sendFrom(src *node, to NodeID, msg Message) bool {
+	return s.sendProto(src, "", to, msg)
+}
+
+// sendProto is the native multiplexed send: proto travels as an event
+// field instead of an envelope wrapper, so protocol traffic (the bulk
+// of every ML4 run) avoids one interface boxing per message. An empty
+// proto is plain traffic delivered to the node's main handler.
+func (s *Sim) sendProto(src *node, proto string, to NodeID, msg Message) bool {
+	if src.down {
 		return false
 	}
 	s.stats.Sent++
@@ -217,11 +274,11 @@ func (s *Sim) send(from, to NodeID, msg Message) bool {
 		s.stats.Dropped++
 		return false
 	}
-	if !s.reachable(from, to) {
+	if !s.reachable(src.id, to) {
 		s.stats.Dropped++
 		return false
 	}
-	latency, loss := s.linkParams(from, to)
+	latency, loss := s.linkParams(src.id, to)
 	if loss > 0 && s.rng.Float64() < loss {
 		s.stats.Dropped++
 		return false
@@ -237,23 +294,43 @@ func (s *Sim) send(from, to NodeID, msg Message) bool {
 	}
 	for i := 0; i < deliveries; i++ {
 		// A duplicate trails the original by up to one latency.
-		delay := latency + time.Duration(i)*latency
-		s.After(delay, func() {
-			if dst.down || !s.reachable(from, to) {
-				s.stats.Dropped++
-				return
-			}
-			s.stats.Delivered++
-			s.stats.Bytes += messageSize(msg)
-			for _, tap := range s.taps {
-				tap(from, to, msg)
-			}
-			if dst.handler != nil {
-				dst.handler(from, msg)
-			}
-		})
+		ev := s.schedule(s.now + latency + time.Duration(i)*latency)
+		ev.dst = dst
+		ev.from = src.id
+		ev.proto = proto
+		ev.msg = msg
 	}
 	return true
+}
+
+// deliver executes a delivery event: the in-flight checks mirror a real
+// datagram being lost to a failure that happened after send. Protocol
+// traffic dispatches straight to the node's per-protocol handler; the
+// byte accounting matches the envelope framing it replaces.
+func (s *Sim) deliver(ev *event) {
+	dst := ev.dst
+	if dst.down || !s.reachable(ev.from, dst.id) {
+		s.stats.Dropped++
+		return
+	}
+	s.stats.Delivered++
+	size := messageSize(ev.msg)
+	if ev.proto != "" {
+		size += protoOverhead
+	}
+	s.stats.Bytes += size
+	for _, tap := range s.taps {
+		tap(ev.from, dst.id, ev.msg)
+	}
+	if ev.proto != "" {
+		if h := dst.protoHandler(ev.proto); h != nil {
+			h(ev.from, ev.msg)
+		}
+		return
+	}
+	if dst.handler != nil {
+		dst.handler(ev.from, ev.msg)
+	}
 }
 
 func messageSize(msg Message) int {

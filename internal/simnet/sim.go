@@ -12,10 +12,17 @@
 // the substitute for the heterogeneous physical IoT infrastructure of the
 // paper: disruptions (crashes, partitions, latency spikes) are injected
 // reproducibly instead of occurring in the wild.
+//
+// The scheduler is built for throughput: events live in a 4-ary min-heap
+// (see heap.go), are allocated from a per-simulator arena and recycled
+// after firing, and the two highest-volume event kinds — message
+// deliveries and periodic ticks — are encoded as struct fields instead
+// of closures so that steady-state simulation does not allocate per
+// event. A generation counter on each event keeps recycled storage safe
+// against stale Timer handles.
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -35,53 +42,54 @@ type Clock interface {
 	Rand() *rand.Rand
 }
 
-// event is a scheduled callback in the simulator's queue.
+// event is a scheduled entry in the simulator's queue. Exactly one of
+// three payloads is set: fn (a plain callback, optionally gated on
+// owner being up), dst (a message delivery, executed without any
+// closure), or tick (a periodic ticker that re-arms its own event).
+// The ordering key lives in the queue's heapEntry, not here. Events
+// are pooled: gen increments on every recycle so stale Timer handles
+// cannot cancel the storage's next occupant.
 type event struct {
-	at    time.Duration
-	seq   uint64 // tie-breaker for identical timestamps: FIFO order
+	gen  uint32 // incremented on recycle; guards pooled reuse
+	dead bool
+
+	// Callback payload.
 	fn    func()
-	index int // heap index
-	dead  bool
+	owner *node // when set, fn is skipped while the owner is down
+
+	// Delivery payload (dst != nil): msg from `from` to node dst.
+	dst   *node
+	from  NodeID
+	proto string // non-empty for multiplexed protocol traffic
+	msg   Message
+
+	// Ticker payload.
+	tick *Ticker
 }
 
-// eventQueue is a min-heap of events ordered by (at, seq).
-type eventQueue []*event
+// eventArenaSize is the number of Timers allocated at once when the
+// timer arena runs dry. Chunked allocation keeps pooled objects close
+// together in memory and divides the allocator traffic by the chunk
+// size.
+const eventArenaSize = 64
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
-}
+// Event storage is paged: events live in fixed-size pages and are
+// addressed by a uint32 index (page number in the high bits, offset in
+// the low). The queue stores that index instead of a pointer, which
+// keeps heapEntry pointer-free — sift operations then move plain
+// integers and never trip the GC write barrier. Pages are never
+// reallocated, so *event pointers held by Timer/Ticker handles stay
+// valid for the lifetime of the Sim.
+const (
+	eventPageShift = 9 // 512 events per page
+	eventPageSize  = 1 << eventPageShift
+	eventPageMask  = eventPageSize - 1
+)
 
 // Timer is a handle to a scheduled callback.
 type Timer struct {
-	sim      *Sim
 	ev       *event
+	gen      uint32
 	external func() bool
 }
 
@@ -94,7 +102,10 @@ func NewExternalTimer(stop func() bool) *Timer {
 }
 
 // Stop cancels the timer if it has not fired yet. It reports whether the
-// call prevented the timer from firing.
+// call prevented the timer from firing. Stop on a timer whose event has
+// already fired (and whose storage may have been recycled for a newer
+// event) is a safe no-op: the generation check tells the handle apart
+// from the storage's current occupant.
 func (t *Timer) Stop() bool {
 	if t == nil {
 		return false
@@ -102,7 +113,7 @@ func (t *Timer) Stop() bool {
 	if t.external != nil {
 		return t.external()
 	}
-	if t.ev == nil || t.ev.dead {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.dead {
 		return false
 	}
 	t.ev.dead = true
@@ -113,17 +124,20 @@ func (t *Timer) Stop() bool {
 // Sim is a deterministic discrete-event simulator. The zero value is not
 // usable; construct with New.
 type Sim struct {
-	now     time.Duration
-	seq     uint64
-	queue   eventQueue
-	rng     *rand.Rand
-	nodes   map[NodeID]*node
-	net     netState
-	stats   Stats
-	taps    []MessageTap
-	defLat  time.Duration
-	defLoss float64
-	defDup  float64
+	now        time.Duration
+	seq        uint64
+	queue      eventHeap
+	pages      [][]event
+	free       []uint32 // free event indices, used as a stack
+	timerArena []Timer
+	rng        *rand.Rand
+	nodes      map[NodeID]*node
+	net        netState
+	stats      Stats
+	taps       []MessageTap
+	defLat     time.Duration
+	defLoss    float64
+	defDup     float64
 }
 
 // Option configures a Sim at construction time.
@@ -162,6 +176,7 @@ func New(opts ...Option) *Sim {
 		nodes:  make(map[NodeID]*node),
 		defLat: 5 * time.Millisecond,
 	}
+	s.queue.e = make([]heapEntry, 0, 256)
 	s.net.init()
 	for _, opt := range opts {
 		opt(s)
@@ -177,17 +192,76 @@ func (s *Sim) Now() time.Duration { return s.now }
 // Rand returns the simulation's deterministic random source.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
-// At schedules fn at absolute virtual time t. Scheduling in the past is an
-// error in the caller; the event is clamped to now to keep the clock
-// monotonic.
-func (s *Sim) At(t time.Duration, fn func()) *Timer {
+// eventAt resolves an arena index to its event.
+func (s *Sim) eventAt(idx uint32) *event {
+	return &s.pages[idx>>eventPageShift][idx&eventPageMask]
+}
+
+// alloc takes an event index from the free list, appending a fresh
+// page when the list is empty.
+func (s *Sim) alloc() (uint32, *event) {
+	if n := len(s.free); n > 0 {
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		return idx, s.eventAt(idx)
+	}
+	page := make([]event, eventPageSize)
+	base := uint32(len(s.pages)) << eventPageShift
+	s.pages = append(s.pages, page)
+	for i := eventPageSize - 1; i >= 1; i-- {
+		s.free = append(s.free, base+uint32(i))
+	}
+	return base, &page[0]
+}
+
+// recycle returns a fired or cancelled event to the free list, bumping
+// its generation so outstanding Timer handles become inert.
+func (s *Sim) recycle(idx uint32, ev *event) {
+	ev.gen++
+	ev.dead = false
+	ev.fn = nil
+	ev.owner = nil
+	ev.dst = nil
+	ev.from = ""
+	ev.proto = ""
+	ev.msg = nil
+	ev.tick = nil
+	s.free = append(s.free, idx)
+}
+
+// newTimer hands out a Timer for ev from a chunked arena: timers are
+// caller-owned and never recycled, but allocating them 64 at a time
+// turns per-schedule allocator traffic into a rounding error.
+func (s *Sim) newTimer(ev *event) *Timer {
+	if len(s.timerArena) == 0 {
+		s.timerArena = make([]Timer, eventArenaSize)
+	}
+	t := &s.timerArena[0]
+	s.timerArena = s.timerArena[1:]
+	t.ev = ev
+	t.gen = ev.gen
+	return t
+}
+
+// schedule allocates and queues an event at absolute time t (clamped to
+// now) with the next sequence number. The caller fills in the payload.
+func (s *Sim) schedule(t time.Duration) *event {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	ev := &event{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.queue, ev)
-	return &Timer{sim: s, ev: ev}
+	idx, ev := s.alloc()
+	s.queue.push(t, s.seq, idx)
+	return ev
+}
+
+// At schedules fn at absolute virtual time t. Scheduling in the past is an
+// error in the caller; the event is clamped to now to keep the clock
+// monotonic.
+func (s *Sim) At(t time.Duration, fn func()) *Timer {
+	ev := s.schedule(t)
+	ev.fn = fn
+	return s.newTimer(ev)
 }
 
 // After schedules fn to run d from now.
@@ -198,16 +272,49 @@ func (s *Sim) After(d time.Duration, fn func()) *Timer {
 // Step executes the next pending event. It reports whether an event was
 // executed.
 func (s *Sim) Step() bool {
-	for s.queue.Len() > 0 {
-		ev := heap.Pop(&s.queue).(*event)
+	for s.queue.len() > 0 {
+		entry := s.queue.pop()
+		ev := s.eventAt(entry.idx)
 		if ev.dead {
+			s.recycle(entry.idx, ev)
 			continue
 		}
-		s.now = ev.at
-		ev.fn()
+		s.now = entry.at
+		switch {
+		case ev.dst != nil:
+			s.deliver(ev)
+			s.recycle(entry.idx, ev)
+		case ev.tick != nil:
+			s.runTick(entry.idx, ev)
+		default:
+			fn, owner := ev.fn, ev.owner
+			s.recycle(entry.idx, ev)
+			if fn != nil && (owner == nil || !owner.down) {
+				fn()
+			}
+		}
 		return true
 	}
 	return false
+}
+
+// runTick fires a ticker event and re-arms the same event storage for
+// the next period — a steady ticker never touches the allocator.
+func (s *Sim) runTick(idx uint32, ev *event) {
+	t := ev.tick
+	if t.stopped {
+		s.recycle(idx, ev)
+		return
+	}
+	if !t.owner.down {
+		t.fn()
+	}
+	if t.stopped { // fn stopped its own ticker
+		s.recycle(idx, ev)
+		return
+	}
+	s.seq++
+	s.queue.push(s.now+t.interval, s.seq, idx)
 }
 
 // RunUntil executes events in order until the queue is exhausted or the
@@ -215,8 +322,8 @@ func (s *Sim) Step() bool {
 // advanced to exactly t if the horizon is reached.
 func (s *Sim) RunUntil(t time.Duration) {
 	for {
-		ev := s.peek()
-		if ev == nil || ev.at > t {
+		at, ok := s.peek()
+		if !ok || at > t {
 			break
 		}
 		s.Step()
@@ -234,22 +341,27 @@ func (s *Sim) Run() {
 	}
 }
 
-func (s *Sim) peek() *event {
-	for s.queue.Len() > 0 {
-		if s.queue[0].dead {
-			heap.Pop(&s.queue)
+// peek reports the time of the next live event.
+func (s *Sim) peek() (time.Duration, bool) {
+	for {
+		entry, ok := s.queue.peek()
+		if !ok {
+			return 0, false
+		}
+		if ev := s.eventAt(entry.idx); ev.dead {
+			s.queue.pop()
+			s.recycle(entry.idx, ev)
 			continue
 		}
-		return s.queue[0]
+		return entry.at, true
 	}
-	return nil
 }
 
 // Pending returns the number of live scheduled events.
 func (s *Sim) Pending() int {
 	n := 0
-	for _, ev := range s.queue {
-		if !ev.dead {
+	for _, entry := range s.queue.e {
+		if !s.eventAt(entry.idx).dead {
 			n++
 		}
 	}

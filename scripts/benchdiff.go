@@ -1,0 +1,133 @@
+// Command benchdiff compares two riotbench bench JSON files (written
+// with `riotbench -out`) and exits non-zero when the candidate
+// regresses past the threshold. CI runs it against the committed
+// baseline:
+//
+//	go run ./scripts BENCH_riot.json bench.json
+//	go run ./scripts -threshold 0.5 BENCH_riot.json bench.json
+//
+// ns_per_op is machine-dependent, so CI uses a generous threshold;
+// allocs_per_op is deterministic for the same code and seed, making it
+// the sharp edge of the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type bench struct {
+	ID          string  `json:"id"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	Runs        int     `json:"runs"`
+	RunsPerSec  float64 `json:"runs_per_sec"`
+}
+
+type benchFile struct {
+	Schema  string  `json:"schema"`
+	Benches []bench `json:"benches"`
+}
+
+func main() {
+	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.25, "allowed fractional regression (0.25 = 25%)")
+	fs.Parse(os.Args[1:])
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.25] baseline.json candidate.json")
+		os.Exit(2)
+	}
+	base, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cand, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	lines, failures := diff(base, cand, *threshold)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%%:\n", len(failures), *threshold*100)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  -", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: ok (threshold %.0f%%)\n", *threshold*100)
+}
+
+func load(path string) (benchFile, error) {
+	var f benchFile
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != "riotbench/bench/v1" {
+		return f, fmt.Errorf("%s: unexpected schema %q", path, f.Schema)
+	}
+	return f, nil
+}
+
+// diff compares candidate against baseline experiment by experiment.
+// It returns human-readable comparison lines and the list of
+// regressions: a metric exceeding baseline*(1+threshold), or an
+// experiment present in the baseline but missing from the candidate.
+// Experiments only in the candidate are reported but never fail — new
+// experiments must be able to land before their baseline does.
+func diff(base, cand benchFile, threshold float64) (lines, failures []string) {
+	candByID := make(map[string]bench, len(cand.Benches))
+	for _, b := range cand.Benches {
+		candByID[b.ID] = b
+	}
+	seen := make(map[string]bool, len(base.Benches))
+	for _, b := range base.Benches {
+		seen[b.ID] = true
+		c, ok := candByID[b.ID]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from candidate", b.ID))
+			continue
+		}
+		nsRatio := ratio(float64(c.NsPerOp), float64(b.NsPerOp))
+		allocRatio := ratio(float64(c.AllocsPerOp), float64(b.AllocsPerOp))
+		lines = append(lines, fmt.Sprintf("%-8s ns/op %12d -> %12d (%+.1f%%)   allocs/op %10d -> %10d (%+.1f%%)",
+			b.ID, b.NsPerOp, c.NsPerOp, (nsRatio-1)*100,
+			b.AllocsPerOp, c.AllocsPerOp, (allocRatio-1)*100))
+		if nsRatio > 1+threshold {
+			failures = append(failures, fmt.Sprintf("%s: ns_per_op regressed %.1f%% (%d -> %d)",
+				b.ID, (nsRatio-1)*100, b.NsPerOp, c.NsPerOp))
+		}
+		if allocRatio > 1+threshold {
+			failures = append(failures, fmt.Sprintf("%s: allocs_per_op regressed %.1f%% (%d -> %d)",
+				b.ID, (allocRatio-1)*100, b.AllocsPerOp, c.AllocsPerOp))
+		}
+	}
+	for _, c := range cand.Benches {
+		if !seen[c.ID] {
+			lines = append(lines, fmt.Sprintf("%-8s new experiment (no baseline)", c.ID))
+		}
+	}
+	return lines, failures
+}
+
+// ratio guards against a zero baseline: a zero-cost baseline metric
+// only regresses if the candidate is non-zero.
+func ratio(cand, base float64) float64 {
+	if base == 0 {
+		if cand == 0 {
+			return 1
+		}
+		return 2 // any growth from zero reads as a 100% regression
+	}
+	return cand / base
+}

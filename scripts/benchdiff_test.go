@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bf(benches ...bench) benchFile {
+	return benchFile{Schema: "riotbench/bench/v1", Benches: benches}
+}
+
+func TestDiffWithinThreshold(t *testing.T) {
+	base := bf(bench{ID: "table12", NsPerOp: 1000, AllocsPerOp: 100})
+	cand := bf(bench{ID: "table12", NsPerOp: 1200, AllocsPerOp: 110})
+	lines, failures := diff(base, cand, 0.25)
+	if len(failures) != 0 {
+		t.Fatalf("failures = %v", failures)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "table12") {
+		t.Fatalf("lines = %v", lines)
+	}
+}
+
+func TestDiffNsRegression(t *testing.T) {
+	base := bf(bench{ID: "table12", NsPerOp: 1000, AllocsPerOp: 100})
+	cand := bf(bench{ID: "table12", NsPerOp: 1300, AllocsPerOp: 100})
+	_, failures := diff(base, cand, 0.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "ns_per_op") {
+		t.Fatalf("failures = %v", failures)
+	}
+}
+
+func TestDiffAllocRegression(t *testing.T) {
+	base := bf(bench{ID: "f3", NsPerOp: 1000, AllocsPerOp: 100})
+	cand := bf(bench{ID: "f3", NsPerOp: 1000, AllocsPerOp: 200})
+	_, failures := diff(base, cand, 0.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs_per_op") {
+		t.Fatalf("failures = %v", failures)
+	}
+}
+
+func TestDiffImprovementPasses(t *testing.T) {
+	base := bf(bench{ID: "f1", NsPerOp: 2000, AllocsPerOp: 500})
+	cand := bf(bench{ID: "f1", NsPerOp: 900, AllocsPerOp: 50})
+	_, failures := diff(base, cand, 0.25)
+	if len(failures) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", failures)
+	}
+}
+
+func TestDiffMissingExperimentFails(t *testing.T) {
+	base := bf(bench{ID: "table12", NsPerOp: 1000, AllocsPerOp: 100})
+	cand := bf()
+	_, failures := diff(base, cand, 0.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("failures = %v", failures)
+	}
+}
+
+func TestDiffNewExperimentPasses(t *testing.T) {
+	base := bf()
+	cand := bf(bench{ID: "x9", NsPerOp: 1000, AllocsPerOp: 100})
+	lines, failures := diff(base, cand, 0.25)
+	if len(failures) != 0 {
+		t.Fatalf("new experiment failed the gate: %v", failures)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "no baseline") {
+		t.Fatalf("lines = %v", lines)
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	base := bf(bench{ID: "f2", NsPerOp: 1000, AllocsPerOp: 0})
+	cand := bf(bench{ID: "f2", NsPerOp: 1000, AllocsPerOp: 5})
+	_, failures := diff(base, cand, 0.25)
+	if len(failures) != 1 {
+		t.Fatalf("growth from zero baseline not flagged: %v", failures)
+	}
+}
