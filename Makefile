@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz experiments examples obs-demo bench-baseline bench-gate determinism clean
+.PHONY: all build test race cover bench fuzz experiments examples obs-demo bench-baseline bench-gate determinism chaos chaos-replay clean
 
 all: build test
 
@@ -59,6 +59,17 @@ determinism:
 	$(GO) run ./cmd/riotbench -quick -only table12 -seeds 4 -hashes > /tmp/serial.txt
 	$(GO) run -race ./cmd/riotbench -quick -only table12 -seeds 4 -parallel 4 -hashes > /tmp/parallel.txt
 	diff -u /tmp/serial.txt /tmp/parallel.txt
+
+# Chaos search: sample disruption schedules, shrink every violation to
+# a minimal counterexample, save new finds into the committed corpus.
+chaos:
+	$(GO) run ./cmd/riotchaos search -arch ML1 -budget 25 -parallel 4 -corpus corpus/chaos
+	$(GO) run ./cmd/riotchaos search -arch ML4 -budget 25 -parallel 4 -corpus corpus/chaos
+
+# Replay the committed counterexamples; every entry must reproduce its
+# recorded failures and journal hash byte-identically.
+chaos-replay:
+	$(GO) run -race ./cmd/riotchaos replay -corpus corpus/chaos -parallel 4
 
 # Short traced smart-city run; open trace.json at chrome://tracing.
 obs-demo:

@@ -1,0 +1,235 @@
+// Command riotchaos searches disruption-schedule space for requirement
+// violations, minimizes what it finds, and replays the committed corpus
+// as a regression suite.
+//
+// Usage:
+//
+//	riotchaos search -arch ML1 -budget 100 -parallel 4 [-corpus DIR]
+//	riotchaos shrink -in schedule.json -arch ML1 [-out ce.json]
+//	riotchaos replay -corpus DIR [-parallel 4]
+//
+// search judges -budget candidate schedules (deterministically derived
+// from -seed) against the oracle and delta-debugs every violation to a
+// minimal counterexample; with -corpus the deduplicated minimal
+// counterexamples are written there as replayable JSON artifacts.
+// shrink minimizes one failing schedule read from a fault.Schedule JSON
+// file. replay re-runs every committed counterexample and verifies both
+// the expected failure kinds and a byte-identical journal hash, serially
+// or with -parallel workers — the result is the same either way.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "riotchaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: riotchaos <search|shrink|replay> [flags]")
+	}
+	switch args[0] {
+	case "search":
+		return runSearch(args[1:], out)
+	case "shrink":
+		return runShrink(args[1:], out)
+	case "replay":
+		return runReplay(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want search, shrink or replay)", args[0])
+	}
+}
+
+// oracleFlags registers the flags shared by search and shrink and
+// returns a builder resolving them into a chaos.Config.
+func oracleFlags(fs *flag.FlagSet) func() (chaos.Config, error) {
+	arch := fs.String("arch", "ML4", "architecture maturity level under test: ML1..ML4")
+	zones := fs.Int("zones", 4, "number of zones")
+	duration := fs.Duration("duration", 6*time.Minute, "virtual run duration per candidate")
+	seed := fs.Int64("scenario-seed", 1, "simulation seed of the scenario itself")
+	floor := fs.Float64("floor", chaos.DefaultMinPersistence,
+		"goal-persistence floor R; below it a run fails (negative disables)")
+	return func() (chaos.Config, error) {
+		a, err := core.ParseArchetype(*arch)
+		if err != nil {
+			return chaos.Config{}, err
+		}
+		sc := core.DefaultScenario()
+		sc.Zones = *zones
+		sc.Duration = *duration
+		sc.Seed = *seed
+		return chaos.Config{Scenario: sc, Archetype: a, MinPersistence: *floor}, nil
+	}
+}
+
+func runSearch(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("riotchaos search", flag.ContinueOnError)
+	cfgOf := oracleFlags(fs)
+	budget := fs.Int("budget", 50, "number of candidate schedules to evaluate")
+	parallel := fs.Int("parallel", 1, "worker count (0 = GOMAXPROCS)")
+	seed := fs.Int64("seed", 1, "search seed (candidate derivation)")
+	corpusDir := fs.String("corpus", "", "write deduplicated minimal counterexamples to this directory")
+	verbose := fs.Bool("v", false, "stream chaos.* progress events")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := cfgOf()
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		cfg.Bus = obs.NewBus(nil)
+		sub := cfg.Bus.SubscribeFunc(func(ev obs.Event) {
+			fmt.Fprintf(out, "# %-20s %s\n", ev.Kind, ev.Detail)
+		})
+		defer sub.Close()
+	}
+
+	res, err := chaos.Search(cfg, *seed, *budget, *parallel)
+	if err != nil {
+		return err
+	}
+	found := chaos.DedupFound(res.Found)
+	fmt.Fprintf(out, "search: arch=%s budget=%d seed=%d — %d violation(s), %d distinct, %d oracle runs\n",
+		cfg.Archetype.ShortName(), res.Budget, *seed, len(res.Found), len(found), res.OracleRuns)
+	for _, f := range found {
+		sr := f.Minimal
+		fmt.Fprintf(out, "\ncandidate %d: %s\n", f.Index, sr.Verdict)
+		fmt.Fprintf(out, "  R(goal)=%.3f  events %d→%d (shrunk in %d runs)\n",
+			sr.Verdict.Report.GoalPersistence, sr.FromEvents, sr.ToEvents, sr.Runs)
+		fmt.Fprint(out, indent(sr.Schedule.String()))
+	}
+	if *corpusDir != "" {
+		for _, f := range found {
+			ce := chaos.NewCounterexample(cfg, f.Minimal)
+			ce.Found = fmt.Sprintf("riotchaos search -seed %d -budget %d, candidate %d", *seed, *budget, f.Index)
+			path, err := ce.WriteFile(*corpusDir)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "\nwrote %s\n", path)
+		}
+	}
+	return nil
+}
+
+func runShrink(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("riotchaos shrink", flag.ContinueOnError)
+	cfgOf := oracleFlags(fs)
+	in := fs.String("in", "", "failing schedule to minimize (fault.Schedule JSON)")
+	outPath := fs.String("out", "", "write the minimized counterexample JSON here")
+	budget := fs.Int("budget", chaos.DefaultShrinkBudget, "oracle-run budget for shrinking")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("shrink: -in is required")
+	}
+	cfg, err := cfgOf()
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	var s fault.Schedule
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("shrink: %s: %w", *in, err)
+	}
+	oracle := chaos.NewOracle(cfg)
+	v := oracle.Run(&s)
+	if !v.Failed() {
+		return fmt.Errorf("shrink: schedule in %s passes the oracle; nothing to minimize", *in)
+	}
+	sr := chaos.Shrink(oracle, &s, v, *budget)
+	fmt.Fprintf(out, "shrink: %s\n  events %d→%d in %d oracle runs\n",
+		sr.Verdict, sr.FromEvents, sr.ToEvents, sr.Runs)
+	fmt.Fprint(out, indent(sr.Schedule.String()))
+	if *outPath != "" {
+		ce := chaos.NewCounterexample(cfg, sr)
+		ce.Found = fmt.Sprintf("riotchaos shrink -in %s", *in)
+		data, err := json.MarshalIndent(ce, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *outPath)
+	}
+	return nil
+}
+
+func runReplay(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("riotchaos replay", flag.ContinueOnError)
+	corpusDir := fs.String("corpus", "corpus/chaos", "counterexample corpus directory")
+	parallel := fs.Int("parallel", 1, "worker count (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ces, err := chaos.LoadCorpus(*corpusDir)
+	if err != nil {
+		return err
+	}
+	if len(ces) == 0 {
+		return fmt.Errorf("replay: no counterexamples in %s", *corpusDir)
+	}
+	results, err := chaos.ReplayAll(ces, *parallel)
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(out, "FAIL  %s: %v\n", r.Name, r.Err)
+		} else {
+			fmt.Fprintf(out, "ok    %s\n", r.Name)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "replayed %d counterexample(s): all reproduce byte-identically\n", len(results))
+	return nil
+}
+
+// indent prefixes every line with four spaces.
+func indent(s string) string {
+	if s == "" {
+		return s
+	}
+	var b []byte
+	for _, line := range splitLines(s) {
+		b = append(b, "    "...)
+		b = append(b, line...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

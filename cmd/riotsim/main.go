@@ -70,7 +70,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	arch, err := parseArchetype(*archName)
+	arch, err := core.ParseArchetype(*archName)
 	if err != nil {
 		return err
 	}
@@ -93,19 +93,4 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "\ntrace: %d events written to %s\n", tc.Len(), *trace)
 	}
 	return nil
-}
-
-func parseArchetype(name string) (core.Archetype, error) {
-	switch strings.ToUpper(name) {
-	case "ML1":
-		return core.ML1, nil
-	case "ML2":
-		return core.ML2, nil
-	case "ML3":
-		return core.ML3, nil
-	case "ML4":
-		return core.ML4, nil
-	default:
-		return 0, fmt.Errorf("unknown archetype %q (want ML1..ML4)", name)
-	}
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 func TestRunSingleArchetype(t *testing.T) {
@@ -43,7 +45,7 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestParseArchetype(t *testing.T) {
-	if _, err := parseArchetype("ml3"); err != nil {
+	if _, err := core.ParseArchetype("ml3"); err != nil {
 		t.Fatal("lowercase archetype rejected")
 	}
 }

@@ -1,0 +1,199 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+)
+
+// CorpusSchema tags counterexample files; bump on incompatible change.
+const CorpusSchema = "riotchaos/counterexample/v1"
+
+// Counterexample is one minimized failing schedule, serialized with
+// everything needed to replay it bit-for-bit: the scenario pins, the
+// schedule, the expected failure kinds and the journal hash the replay
+// must reproduce. Files are self-contained JSON so a corpus doubles as
+// human-readable documentation of every violation ever found.
+type Counterexample struct {
+	Schema string `json:"schema"`
+	// Name identifies the counterexample; the corpus file is Name.json.
+	Name string `json:"name"`
+	// Found records provenance (search seed, date) for humans.
+	Found string `json:"found,omitempty"`
+
+	// Scenario pins. Fields omitted here keep DefaultScenario values;
+	// a default change that affects the run will surface as a replay
+	// hash mismatch, which is exactly when the corpus needs re-minimizing.
+	Archetype          string  `json:"archetype"`
+	Seed               int64   `json:"seed"`
+	Zones              int     `json:"zones"`
+	TempSensorsPerZone int     `json:"temp_sensors_per_zone"`
+	Cloudlets          int     `json:"cloudlets"`
+	Duration           string  `json:"duration"`
+	MinPersistence     float64 `json:"min_persistence"`
+
+	Schedule *fault.Schedule `json:"schedule"`
+
+	// Expected outcome.
+	Failures        []FailureKind `json:"failures"`
+	GoalPersistence float64       `json:"goal_persistence"`
+	JournalHash     string        `json:"journal_hash"`
+}
+
+// NewCounterexample captures a minimized search find under the given
+// oracle config.
+func NewCounterexample(cfg Config, sr ShrinkResult) *Counterexample {
+	cfg = cfg.withDefaults()
+	sc := cfg.Scenario
+	if sc.Duration == 0 {
+		sc.Duration = core.DefaultScenario().Duration
+	}
+	ce := &Counterexample{
+		Schema:             CorpusSchema,
+		Archetype:          cfg.Archetype.ShortName(),
+		Seed:               sc.Seed,
+		Zones:              sc.Zones,
+		TempSensorsPerZone: sc.TempSensorsPerZone,
+		Cloudlets:          sc.Cloudlets,
+		Duration:           sc.Duration.String(),
+		MinPersistence:     cfg.MinPersistence,
+		Schedule:           sr.Schedule,
+		Failures:           sr.Verdict.Kinds(),
+		GoalPersistence:    sr.Verdict.Report.GoalPersistence,
+		JournalHash:        sr.Verdict.JournalHash,
+	}
+	kind := "failure"
+	if len(ce.Failures) > 0 {
+		kind = string(ce.Failures[0])
+	}
+	hash := ce.JournalHash
+	if len(hash) > 8 {
+		hash = hash[:8]
+	}
+	ce.Name = fmt.Sprintf("%s-%s-%s", strings.ToLower(ce.Archetype), kind, hash)
+	return ce
+}
+
+// Config rebuilds the oracle configuration the counterexample was
+// found under.
+func (ce *Counterexample) Config() (Config, error) {
+	arch, err := core.ParseArchetype(ce.Archetype)
+	if err != nil {
+		return Config{}, fmt.Errorf("counterexample %s: %w", ce.Name, err)
+	}
+	dur, err := time.ParseDuration(ce.Duration)
+	if err != nil {
+		return Config{}, fmt.Errorf("counterexample %s: duration: %w", ce.Name, err)
+	}
+	sc := core.DefaultScenario()
+	sc.Seed = ce.Seed
+	sc.Zones = ce.Zones
+	sc.TempSensorsPerZone = ce.TempSensorsPerZone
+	sc.Cloudlets = ce.Cloudlets
+	sc.Duration = dur
+	return Config{Scenario: sc, Archetype: arch, MinPersistence: ce.MinPersistence}, nil
+}
+
+// Replay re-runs the counterexample and verifies it reproduces: every
+// recorded failure kind must recur and the journal hash must match
+// byte-for-byte (the regression contract — any behavioral drift in the
+// simulated stack surfaces here).
+func (ce *Counterexample) Replay() error {
+	cfg, err := ce.Config()
+	if err != nil {
+		return err
+	}
+	v := NewOracle(cfg).Run(ce.Schedule)
+	for _, want := range ce.Failures {
+		if !v.HasKind(want) {
+			return fmt.Errorf("counterexample %s: failure %q did not reproduce (got: %s)", ce.Name, want, v)
+		}
+	}
+	if v.JournalHash != ce.JournalHash {
+		return fmt.Errorf("counterexample %s: journal hash drifted: recorded %s, replay %s",
+			ce.Name, ce.JournalHash, v.JournalHash)
+	}
+	return nil
+}
+
+// WriteFile writes the counterexample as <dir>/<Name>.json (creating
+// dir) and returns the path.
+func (ce *Counterexample) WriteFile(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(ce, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, ce.Name+".json")
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadCorpus reads every *.json counterexample in dir, sorted by file
+// name for deterministic replay order.
+func LoadCorpus(dir string) ([]*Counterexample, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []*Counterexample
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var ce Counterexample
+		if err := json.Unmarshal(data, &ce); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if ce.Schema != CorpusSchema {
+			return nil, fmt.Errorf("%s: schema %q, want %q", path, ce.Schema, CorpusSchema)
+		}
+		out = append(out, &ce)
+	}
+	return out, nil
+}
+
+// ReplayResult is one corpus entry's replay outcome.
+type ReplayResult struct {
+	Name string
+	Err  error
+}
+
+// ReplayAll replays every counterexample, fanning over a RunPool at the
+// given worker count. Results come back in corpus order whatever the
+// parallelism; the returned error is the first failure (all entries are
+// replayed regardless, so the per-entry results are complete).
+func ReplayAll(ces []*Counterexample, workers int) ([]ReplayResult, error) {
+	results := make([]ReplayResult, len(ces))
+	jobs := make([]experiments.Job, len(ces))
+	for i, ce := range ces {
+		i, ce := i, ce
+		jobs[i] = experiments.Job{
+			ID: ce.Name,
+			Run: func(int) error {
+				results[i] = ReplayResult{Name: ce.Name, Err: ce.Replay()}
+				return nil // verification failures are reported per entry, not as pool aborts
+			},
+		}
+	}
+	if err := experiments.RunPool(workers, jobs); err != nil {
+		return results, err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return results, fmt.Errorf("%s: %w", r.Name, r.Err)
+		}
+	}
+	return results, nil
+}

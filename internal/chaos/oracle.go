@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// Oracle judges candidate schedules: it runs each one through a fresh,
+// deterministic core simulation and flags requirement-monitor failures,
+// persistence below the floor, privacy violations, non-recovery before
+// run end, failed design checks, and panics. Privacy is judged against
+// the fault-free baseline of the same scenario, because ML2/ML3 leak
+// governed items by design (the paper's Table 2) — the chaos property
+// is "disruption must not cause violations beyond the architecture's
+// baseline", which an empty schedule satisfies at every maturity level.
+// Runs are independent, so one Oracle may be shared by concurrent
+// workers.
+type Oracle struct {
+	cfg Config
+
+	baselineOnce sync.Once
+	baseline     core.Report
+}
+
+// NewOracle builds an oracle from a (possibly partial) config.
+func NewOracle(cfg Config) *Oracle {
+	return &Oracle{cfg: cfg.withDefaults()}
+}
+
+// Baseline returns the report of a fault-free run of the scenario,
+// computed once on first use (safe under concurrent callers).
+func (o *Oracle) Baseline() core.Report {
+	o.baselineOnce.Do(func() {
+		report, _, panicMsg := o.execute(&fault.Schedule{})
+		if panicMsg == "" {
+			o.baseline = report
+		}
+	})
+	return o.baseline
+}
+
+// Config returns the oracle's normalized configuration.
+func (o *Oracle) Config() Config { return o.cfg }
+
+// Run executes one candidate schedule to the scenario horizon and
+// returns the verdict. A panicking run (the strongest counterexample a
+// search can find) is recovered and reported as FailPanic.
+func (o *Oracle) Run(s *fault.Schedule) Verdict {
+	report, hash, panicMsg := o.execute(s)
+	if panicMsg != "" {
+		return Verdict{Failures: []Failure{{Kind: FailPanic, Detail: panicMsg}}}
+	}
+	v := Verdict{Report: report, JournalHash: hash}
+	if o.cfg.MinPersistence > 0 && report.GoalPersistence < o.cfg.MinPersistence {
+		v.Failures = append(v.Failures, Failure{
+			Kind:   FailPersistence,
+			Detail: fmt.Sprintf("R(goal)=%.3f below floor %.3f", report.GoalPersistence, o.cfg.MinPersistence),
+		})
+	}
+	if report.UnresolvedViolations > 0 {
+		v.Failures = append(v.Failures, Failure{
+			Kind:   FailNonRecovery,
+			Detail: fmt.Sprintf("%d requirement(s) still violated at end of run", report.UnresolvedViolations),
+		})
+	}
+	if report.PrivacyViolations > 0 {
+		if base := o.Baseline().PrivacyViolations; report.PrivacyViolations > base {
+			v.Failures = append(v.Failures, Failure{
+				Kind: FailPrivacy,
+				Detail: fmt.Sprintf("%d governed item(s) observed at forbidden nodes (fault-free baseline: %d)",
+					report.PrivacyViolations, base),
+			})
+		}
+	}
+	if !report.DesignChecksPassed {
+		v.Failures = append(v.Failures, Failure{
+			Kind:   FailDesign,
+			Detail: "design-time model checking failed",
+		})
+	}
+	return v
+}
+
+// execute runs the simulation, converting a panic into a message.
+func (o *Oracle) execute(s *fault.Schedule) (report core.Report, hash string, panicMsg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicMsg = fmt.Sprintf("%v", r)
+		}
+	}()
+	cfg := o.cfg.Scenario
+	cfg.Preset = core.FaultsNone
+	cfg.Faults = s
+	sys := core.NewSystem(cfg, o.cfg.Archetype)
+	report = sys.Run()
+	hash = sys.JournalHash()
+	return report, hash, ""
+}

@@ -1,0 +1,154 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/simnet"
+)
+
+// Found is one violating candidate, minimized.
+type Found struct {
+	// Index is the candidate's position in the campaign.
+	Index int
+	// Schedule is the candidate as generated; Minimal the shrunk
+	// counterexample (Shrink result, including its verdict).
+	Schedule *fault.Schedule
+	Minimal  ShrinkResult
+}
+
+// SearchResult summarizes one chaos-search campaign.
+type SearchResult struct {
+	// Budget is the number of candidate schedules evaluated.
+	Budget int
+	// OracleRuns counts every simulation executed: budget candidates
+	// plus all shrinking steps.
+	OracleRuns int
+	// Found lists violating candidates in index order, minimized.
+	Found []Found
+}
+
+// Search runs a chaos campaign: budget candidate schedules derived from
+// seed are judged by the oracle, and every failing candidate is
+// delta-debugged to a minimal counterexample. Candidate evaluation and
+// shrinking fan out over an experiments.RunPool with the given worker
+// count; every result lands in a per-candidate slot, so the outcome is
+// identical at any parallelism. Progress is published on cfg.Bus as
+// chaos.* events.
+func Search(cfg Config, seed int64, budget, workers int) (*SearchResult, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("chaos: search budget must be positive, got %d", budget)
+	}
+	oracle := NewOracle(cfg)
+	cfg = oracle.Config()
+	gen := NewGenerator(cfg)
+	bus := cfg.Bus
+
+	// Phase 1: derive all candidates up front (cheap, no simulation),
+	// then judge them in parallel.
+	schedules := make([]*fault.Schedule, budget)
+	for i := range schedules {
+		schedules[i] = gen.Candidate(seed, i)
+	}
+	bus.Emit("chaos.search.start", "", 0, 0,
+		"arch=%s budget=%d seed=%d workers=%d", cfg.Archetype.ShortName(), budget, seed, workers)
+
+	verdicts := make([]Verdict, budget)
+	judge := make([]experiments.Job, budget)
+	for i := range judge {
+		i := i
+		judge[i] = experiments.Job{
+			ID: fmt.Sprintf("candidate-%d", i),
+			Run: func(int) error {
+				verdicts[i] = oracle.Run(schedules[i])
+				if verdicts[i].Failed() {
+					bus.Emit("chaos.violation", "", 0, 0,
+						"candidate %d (%d events): %s", i, schedules[i].Len(), verdicts[i])
+				} else {
+					bus.Emit("chaos.candidate", "", 0, 0,
+						"candidate %d passed (R=%.3f)", i, verdicts[i].Report.GoalPersistence)
+				}
+				return nil
+			},
+		}
+	}
+	if err := experiments.RunPool(workers, judge); err != nil {
+		return nil, err
+	}
+
+	res := &SearchResult{Budget: budget, OracleRuns: budget}
+	var failing []int
+	for i, v := range verdicts {
+		if v.Failed() {
+			failing = append(failing, i)
+		}
+	}
+
+	// Phase 2: shrink each violation. Shrinks are independent searches,
+	// so they ride the same pool; per-slot writes keep order stable.
+	found := make([]Found, len(failing))
+	shrink := make([]experiments.Job, len(failing))
+	for fi, ci := range failing {
+		fi, ci := fi, ci
+		shrink[fi] = experiments.Job{
+			ID: fmt.Sprintf("shrink-%d", ci),
+			Run: func(int) error {
+				sr := Shrink(oracle, schedules[ci], verdicts[ci], 0)
+				found[fi] = Found{Index: ci, Schedule: schedules[ci], Minimal: sr}
+				bus.Emit("chaos.shrink", "", 0, 0,
+					"candidate %d minimized %d→%d events in %d runs: %s",
+					ci, sr.FromEvents, sr.ToEvents, sr.Runs, sr.Verdict)
+				return nil
+			},
+		}
+	}
+	if err := experiments.RunPool(workers, shrink); err != nil {
+		return nil, err
+	}
+	for _, f := range found {
+		res.OracleRuns += f.Minimal.Runs
+	}
+	res.Found = found
+	bus.Emit("chaos.search.done", "", 0, 0,
+		"%d/%d candidates violated, %d oracle runs total", len(found), budget, res.OracleRuns)
+	return res, nil
+}
+
+// DedupFound drops finds whose minimal schedule has the same shape —
+// failure kinds plus the time-free event signature — as an earlier one
+// (earlier index wins): distinct candidates routinely shrink to the
+// same root cause at slightly different instants.
+func DedupFound(found []Found) []Found {
+	seen := make(map[string]bool, len(found))
+	var out []Found
+	for _, f := range found {
+		key := signature(f.Minimal)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+// signature renders a shrink result's shape: failure kinds and each
+// event's kind/targets, with times elided.
+func signature(sr ShrinkResult) string {
+	var b strings.Builder
+	for _, k := range sr.Verdict.Kinds() {
+		fmt.Fprintf(&b, "%s;", k)
+	}
+	for _, ev := range sr.Schedule.Events() {
+		fmt.Fprintf(&b, "|%s:%s:%s:%s", ev.Kind, ev.Node, ev.From, ev.To)
+		for _, g := range ev.Groups {
+			sorted := append([]simnet.NodeID(nil), g...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			fmt.Fprintf(&b, ":g%v", sorted)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package chaos
+
+import (
+	"time"
+
+	"repro/internal/fault"
+)
+
+// shrinkGrain is the time granularity shrinking normalizes event times
+// to, so minimized counterexamples read in round seconds.
+const shrinkGrain = time.Second
+
+// DefaultShrinkBudget bounds the oracle runs one shrink may spend.
+const DefaultShrinkBudget = 400
+
+// ShrinkResult is the outcome of minimizing one failing schedule.
+type ShrinkResult struct {
+	// Schedule is the minimal failing schedule found.
+	Schedule *fault.Schedule
+	// Verdict is the oracle's judgement of Schedule; it reproduces at
+	// least one failure kind of the original verdict.
+	Verdict Verdict
+	// Runs counts the oracle executions the shrink spent.
+	Runs int
+	// FromEvents/ToEvents are the event counts before and after.
+	FromEvents, ToEvents int
+}
+
+// Shrink delta-debugs a failing schedule to a locally-minimal
+// counterexample that still reproduces at least one of the original
+// verdict's failure kinds. Three passes, re-running the deterministic
+// oracle after every step: (1) ddmin-style event removal in shrinking
+// chunks, (2) duration shortening — each repair event is binary-
+// searched as close to its disruption as the failure allows, merging
+// windows that only overlapped incidentally, and (3) time
+// normalization, pulling events to the coarsest grain that still fails.
+// budget caps oracle runs (<=0 selects DefaultShrinkBudget).
+func Shrink(o *Oracle, s *fault.Schedule, original Verdict, budget int) ShrinkResult {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	want := original.Kinds()
+	res := ShrinkResult{FromEvents: s.Len()}
+
+	events := s.Events()
+	verdict := original
+	runs := 0
+
+	// try re-runs the oracle on a candidate event list; on reproduction
+	// it becomes the new current minimum.
+	try := func(cand []fault.Event) bool {
+		if runs >= budget {
+			return false
+		}
+		runs++
+		v := o.Run(scheduleOf(cand))
+		if v.sharesKind(want) {
+			events = cand
+			verdict = v
+			return true
+		}
+		return false
+	}
+
+	// Pass 1: ddmin-style removal, halving chunk sizes.
+	for chunk := len(events) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start < len(events) && runs < budget; {
+			end := start + chunk
+			if end > len(events) {
+				end = len(events)
+			}
+			cand := append(append([]fault.Event(nil), events[:start]...), events[end:]...)
+			if len(cand) > 0 && try(cand) {
+				continue // retry the same window on the reduced list
+			}
+			start += chunk
+		}
+	}
+
+	// Pass 2: shorten disruption windows. For each repair event, binary-
+	// search its time down toward the latest earlier event (its
+	// disruption's start, once sorted), keeping the failure alive.
+	for i := 0; i < len(events) && runs < budget; i++ {
+		if !isRepair(events[i].Kind) {
+			continue
+		}
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = events[i-1].At
+		}
+		hi := events[i].At
+		for hi-lo > shrinkGrain && runs < budget {
+			mid := lo + (hi-lo)/2
+			cand := append([]fault.Event(nil), events...)
+			cand[i].At = mid
+			if try(cand) {
+				hi = events[i].At // events was replaced; re-anchor
+			} else {
+				lo = mid
+			}
+		}
+	}
+
+	// Pass 3: normalize times to the grain (floor), one event at a time.
+	for i := 0; i < len(events) && runs < budget; i++ {
+		rounded := events[i].At.Truncate(shrinkGrain)
+		if rounded != events[i].At {
+			cand := append([]fault.Event(nil), events...)
+			cand[i].At = rounded
+			try(cand)
+		}
+	}
+
+	res.Schedule = scheduleOf(events)
+	res.Verdict = verdict
+	res.Runs = runs
+	res.ToEvents = len(events)
+	return res
+}
+
+// scheduleOf rebuilds a Schedule from an event list (sorted order in,
+// sorted order out — shrinking only ever works on sorted lists).
+func scheduleOf(events []fault.Event) *fault.Schedule {
+	s := &fault.Schedule{}
+	for _, ev := range events {
+		s.Add(ev)
+	}
+	return s
+}

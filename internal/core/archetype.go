@@ -11,7 +11,10 @@
 // from it.
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Archetype selects the architecture maturity level a System is built
 // at (the rows of Tables 1 and 2).
@@ -57,4 +60,29 @@ func (a Archetype) String() string {
 // AllArchetypes lists the maturity levels in ascending order.
 func AllArchetypes() []Archetype {
 	return []Archetype{ML1, ML2, ML3, ML4}
+}
+
+// ShortName returns the bare maturity-level tag ("ML1".."ML4") without
+// the descriptive suffix of String().
+func (a Archetype) ShortName() string {
+	name := a.String()
+	if i := strings.IndexByte(name, '-'); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// ParseArchetype resolves an archetype from its short ("ML1") or full
+// ("ML1-silo") name, case-insensitively.
+func ParseArchetype(name string) (Archetype, error) {
+	want := strings.ToUpper(name)
+	if i := strings.IndexByte(want, '-'); i > 0 {
+		want = want[:i]
+	}
+	for _, a := range AllArchetypes() {
+		if a.ShortName() == want {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown archetype %q (want ML1..ML4)", name)
 }

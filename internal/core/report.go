@@ -56,6 +56,12 @@ type Report struct {
 	RuntimeChecks int
 	RuntimeAlerts int
 
+	// UnresolvedViolations counts requirement monitors (temperature
+	// band, freshness; two per zone) still in violation when the run
+	// ended: the system never recovered them. The chaos oracle treats
+	// any non-zero value as a non-recovery failure.
+	UnresolvedViolations int
+
 	// Traffic cost of the architecture.
 	Messages int
 	Bytes    int

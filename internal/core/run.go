@@ -265,6 +265,20 @@ func (sys *System) report() Report {
 		r.ValidationCoverage = 1
 	}
 
+	// Requirements still violated at the final sample never recovered
+	// within the run (prev slices are nil only if measurement never
+	// started, i.e. the horizon ended inside the warmup window).
+	if sys.prevTempOK != nil {
+		for z := 0; z < sys.cfg.Zones; z++ {
+			if !sys.prevTempOK[z] {
+				r.UnresolvedViolations++
+			}
+			if !sys.prevFresh[z] {
+				r.UnresolvedViolations++
+			}
+		}
+	}
+
 	var persistSum float64
 	var mttrSum time.Duration
 	mttrCount := 0
