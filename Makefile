@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz experiments examples obs-demo bench-baseline bench-gate determinism chaos chaos-replay clean
+.PHONY: all build test race cover bench bench-city fuzz experiments examples obs-demo bench-baseline bench-gate determinism chaos chaos-replay clean
 
 all: build test
 
@@ -22,6 +22,11 @@ cover:
 # One iteration of every table/figure benchmark with metrics.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Four-archetype matrix at the Figure-1 city tier (200 gateways, 5009
+# devices, ~10 s). CI smokes the reduced tier with -short.
+bench-city:
+	$(GO) test -bench BenchmarkCityScaleMatrix -benchmem -benchtime=1x .
 
 # Package-level micro-benchmarks.
 microbench:
@@ -59,6 +64,7 @@ determinism:
 	$(GO) run ./cmd/riotbench -quick -only table12 -seeds 4 -hashes > /tmp/serial.txt
 	$(GO) run -race ./cmd/riotbench -quick -only table12 -seeds 4 -parallel 4 -hashes > /tmp/parallel.txt
 	diff -u /tmp/serial.txt /tmp/parallel.txt
+	$(GO) test -race -run TestSchedulerDifferential ./internal/core/
 
 # Chaos search: sample disruption schedules, shrink every violation to
 # a minimal counterexample, save new finds into the committed corpus.

@@ -27,6 +27,28 @@ func BenchmarkTable1MaturityMatrix(b *testing.B) {
 	b.Logf("\n%s", experiments.FormatTable12(reports))
 }
 
+// BenchmarkCityScaleMatrix runs the maturity matrix at the Figure-1
+// city tier: 200 zones behind 200 gateways — 5009 devices — under the
+// heavy disruption schedule. This is the scale the timing-wheel
+// scheduler and boxing-free message path exist for; -short swaps in
+// the reduced smoke tier CI uses.
+func BenchmarkCityScaleMatrix(b *testing.B) {
+	cfg := core.CityScenario()
+	if testing.Short() {
+		cfg = core.CityScenarioSmoke()
+	}
+	var reports []core.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reports = experiments.Table12(cfg)
+	}
+	b.StopTimer()
+	for _, r := range reports {
+		b.ReportMetric(r.GoalPersistence, "R_"+r.Archetype.String())
+	}
+	b.Logf("\n%s", experiments.FormatTable12(reports))
+}
+
 // BenchmarkMatrixCampaignParallel measures the experiment engine's
 // scaling: the same 8-seed maturity-matrix campaign on 1, 2, and 4
 // workers. Journals are byte-identical at every width (the engine's

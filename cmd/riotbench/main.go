@@ -5,9 +5,17 @@
 //
 //	riotbench                      # all experiments, paper-scale parameters
 //	riotbench -quick               # shortened parameters for a fast look
-//	riotbench -only f3             # one experiment: table12, f1..f5, a1, a2
+//	riotbench -only f3             # one experiment: table12, f1..f5, a1,
+//	                               # a2, x1, x2, city, chaos/<name>
 //	riotbench -parallel 4 -seeds 8 # fan the table12 campaign over workers
 //	riotbench -out BENCH_riot.json # write per-experiment benchmark JSON
+//
+// The city experiment runs the four-archetype matrix at the Figure-1
+// city tier (200 gateways, 5009 devices; -quick swaps in the reduced
+// smoke tier). Every minimized counterexample in the chaos corpus is
+// additionally registered as a chaos/<name> experiment, so the perf
+// gate tracks searched-out worst-case schedules alongside scripted
+// ones.
 //
 // The table12 experiment is a multi-seed campaign: -seeds M runs the
 // maturity matrix at M consecutive seeds and -parallel N distributes
@@ -32,6 +40,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
@@ -86,7 +95,8 @@ const benchSchema = "riotbench/bench/v1"
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("riotbench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "shorter runs")
-	only := fs.String("only", "", "run a single experiment: table12, f1, f2, f3, f4, f5, a1, a2, x1, x2")
+	only := fs.String("only", "", "run a single experiment: table12, f1..f5, a1, a2, x1, x2, city, chaos/<name>")
+	corpus := fs.String("corpus", "corpus/chaos", "chaos corpus directory; each counterexample becomes a chaos/<name> experiment (missing directory: skipped)")
 	seed := fs.Int64("seed", 1, "experiment seed")
 	seedRuns := fs.Int("seeds", 1, "number of seeds for the table12 campaign (>1 adds mean/min/max rows)")
 	parallel := fs.Int("parallel", 1, "worker count for the table12 campaign (0 = GOMAXPROCS)")
@@ -187,6 +197,38 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprint(w, experiments.FormatCost(pts))
 			return len(pts), nil
 		}},
+		{"city", "City tier — maturity matrix at Figure-1 scale (200 gateways, 5009 devices)", func(w io.Writer) (int, error) {
+			ccfg := core.CityScenario()
+			if *quick {
+				ccfg = core.CityScenarioSmoke()
+			}
+			ccfg.Seed = *seed
+			reports := experiments.Table12(ccfg)
+			fmt.Fprint(w, experiments.FormatTable12(reports))
+			return len(reports), nil
+		}},
+	}
+	// Corpus-driven worst-case benches: every minimized counterexample
+	// in the chaos corpus becomes a named experiment, so the perf gate
+	// tracks searched-out worst-case schedules alongside scripted ones.
+	if ces, err := chaos.LoadCorpus(*corpus); err == nil {
+		for _, ce := range ces {
+			ce := ce
+			all = append(all, experiment{
+				id:    "chaos/" + ce.Name,
+				title: fmt.Sprintf("Chaos corpus — %s (minimized worst-case schedule)", ce.Name),
+				run: func(w io.Writer) (int, error) {
+					if err := ce.Replay(); err != nil {
+						return 0, err
+					}
+					fmt.Fprintf(w, "replayed %s: %d fault events, journal %.12s\n",
+						ce.Name, ce.Schedule.Len(), ce.JournalHash)
+					return 1, nil
+				},
+			})
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("chaos corpus %s: %w", *corpus, err)
 	}
 
 	ew := &errWriter{w: out}

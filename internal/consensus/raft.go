@@ -154,9 +154,27 @@ func (m preVoteResp) Size() int       { return 16 }
 func (m appendEntriesMsg) Size() int  { return 56 + 64*len(m.Entries) }
 func (m appendEntriesResp) Size() int { return 24 }
 
+// Envelope kinds: every fixed-size protocol message also has a
+// simnet.Envelope encoding, used when the port supports allocation-free
+// sends (simulated endpoints). Entry-carrying AppendEntries keeps the
+// boxed form — it carries a slice. The Bytes fields below mirror the
+// Size() methods above so traffic accounting is representation-
+// independent.
+const (
+	envPreVote uint16 = iota + 1
+	envPreVoteResp
+	envRequestVote
+	envRequestVoteResp
+	envAppendHeartbeat // appendEntriesMsg with no entries
+	envAppendResp
+)
+
 // Node is one Raft participant. Construct with New.
 type Node struct {
-	ep    simnet.Port
+	ep simnet.Port
+	// ec is ep's envelope extension when available; fixed-size protocol
+	// messages then travel without per-message heap allocation.
+	ec    simnet.EnvelopeCarrier
 	peers []simnet.NodeID // all group members including self
 	cfg   Config
 	apply ApplyFunc
@@ -228,6 +246,10 @@ func New(ep simnet.Port, peers []simnet.NodeID, cfg Config, apply ApplyFunc) *No
 	}
 	n.electionFn = n.onElectionTimeout
 	ep.OnMessage(n.handle)
+	if ec, ok := ep.(simnet.EnvelopeCarrier); ok {
+		n.ec = ec
+		ec.OnEnvelope(n.handleEnv)
+	}
 	ep.OnUp(n.onRecover)
 	ep.OnDown(n.onCrash)
 	return n
@@ -373,15 +395,27 @@ func (n *Node) onElectionTimeout() {
 	}
 	n.preVotes = map[simnet.NodeID]bool{n.ep.ID(): true}
 	n.resetElectionTimer()
-	msg := preVoteMsg{
-		Term:         n.currentTerm + 1,
-		Candidate:    n.ep.ID(),
-		LastLogIndex: n.lastLogIndex(),
-		LastLogTerm:  n.lastLogTerm(),
-	}
-	for _, p := range n.peers {
-		if p != n.ep.ID() {
-			n.ep.Send(p, msg)
+	if n.ec != nil {
+		env := simnet.Envelope{
+			Kind: envPreVote, A: n.currentTerm + 1, S: n.ep.ID(),
+			B: n.lastLogIndex(), C: n.lastLogTerm(), Bytes: 48,
+		}
+		for _, p := range n.peers {
+			if p != n.ep.ID() {
+				n.ec.SendEnvelope(p, env)
+			}
+		}
+	} else {
+		msg := preVoteMsg{
+			Term:         n.currentTerm + 1,
+			Candidate:    n.ep.ID(),
+			LastLogIndex: n.lastLogIndex(),
+			LastLogTerm:  n.lastLogTerm(),
+		}
+		for _, p := range n.peers {
+			if p != n.ep.ID() {
+				n.ep.Send(p, msg)
+			}
 		}
 	}
 	n.maybeStartRealElection()
@@ -404,15 +438,27 @@ func (n *Node) startElection() {
 	n.preVotes = nil
 	n.votes = map[simnet.NodeID]bool{n.ep.ID(): true}
 	n.resetElectionTimer()
-	msg := requestVoteMsg{
-		Term:         n.currentTerm,
-		Candidate:    n.ep.ID(),
-		LastLogIndex: n.lastLogIndex(),
-		LastLogTerm:  n.lastLogTerm(),
-	}
-	for _, p := range n.peers {
-		if p != n.ep.ID() {
-			n.ep.Send(p, msg)
+	if n.ec != nil {
+		env := simnet.Envelope{
+			Kind: envRequestVote, A: n.currentTerm, S: n.ep.ID(),
+			B: n.lastLogIndex(), C: n.lastLogTerm(), Bytes: 48,
+		}
+		for _, p := range n.peers {
+			if p != n.ep.ID() {
+				n.ec.SendEnvelope(p, env)
+			}
+		}
+	} else {
+		msg := requestVoteMsg{
+			Term:         n.currentTerm,
+			Candidate:    n.ep.ID(),
+			LastLogIndex: n.lastLogIndex(),
+			LastLogTerm:  n.lastLogTerm(),
+		}
+		for _, p := range n.peers {
+			if p != n.ep.ID() {
+				n.ep.Send(p, msg)
+			}
 		}
 	}
 	n.maybeWin()
@@ -487,6 +533,14 @@ func (n *Node) sendAppend(to simnet.NodeID) {
 		}
 		entries = append(entries, n.log[next:end]...)
 	}
+	if len(entries) == 0 && n.ec != nil {
+		// Heartbeat: fixed shape, so it can travel allocation-free.
+		n.ec.SendEnvelope(to, simnet.Envelope{
+			Kind: envAppendHeartbeat, A: n.currentTerm, S: n.ep.ID(),
+			B: prevIdx, C: prevTerm, D: n.commitIndex, Bytes: 56,
+		})
+		return
+	}
 	n.ep.Send(to, appendEntriesMsg{
 		Term:         n.currentTerm,
 		Leader:       n.ep.ID(),
@@ -557,6 +611,30 @@ func (n *Node) handle(from simnet.NodeID, msg simnet.Message) {
 	}
 }
 
+// handleEnv is the envelope counterpart of handle: it reconstructs the
+// protocol struct on the stack (no allocation) and delegates to the
+// same per-message handlers, so the two representations are
+// behaviorally identical.
+func (n *Node) handleEnv(from simnet.NodeID, e *simnet.Envelope) {
+	if !n.started {
+		return
+	}
+	switch e.Kind {
+	case envPreVote:
+		n.handlePreVote(from, preVoteMsg{Term: e.A, Candidate: e.S, LastLogIndex: e.B, LastLogTerm: e.C})
+	case envPreVoteResp:
+		n.handlePreVoteResp(from, preVoteResp{Term: e.A, Granted: e.Flag})
+	case envRequestVote:
+		n.handleRequestVote(from, requestVoteMsg{Term: e.A, Candidate: e.S, LastLogIndex: e.B, LastLogTerm: e.C})
+	case envRequestVoteResp:
+		n.handleVoteResp(from, requestVoteResp{Term: e.A, Granted: e.Flag})
+	case envAppendHeartbeat:
+		n.handleAppendEntries(from, appendEntriesMsg{Term: e.A, Leader: e.S, PrevLogIndex: e.B, PrevLogTerm: e.C, LeaderCommit: e.D})
+	case envAppendResp:
+		n.handleAppendResp(from, appendEntriesResp{Term: e.A, Success: e.Flag, MatchIndex: e.B})
+	}
+}
+
 // handlePreVote grants a pre-vote without touching currentTerm or
 // votedFor: the probe succeeds only if the candidate could win a real
 // election AND this node has not heard from a leader recently.
@@ -564,6 +642,10 @@ func (n *Node) handlePreVote(from simnet.NodeID, m preVoteMsg) {
 	leaderRecent := n.leaderID != "" &&
 		n.ep.Now()-n.lastLeaderContact < n.cfg.ElectionTimeoutMin
 	granted := m.Term >= n.currentTerm && n.logUpToDate(m.LastLogIndex, m.LastLogTerm) && !leaderRecent
+	if n.ec != nil {
+		n.ec.SendEnvelope(from, simnet.Envelope{Kind: envPreVoteResp, A: n.currentTerm, Flag: granted, Bytes: 16})
+		return
+	}
 	n.ep.Send(from, preVoteResp{Term: n.currentTerm, Granted: granted})
 }
 
@@ -589,6 +671,10 @@ func (n *Node) handleRequestVote(from simnet.NodeID, m requestVoteMsg) {
 		n.votedFor = m.Candidate
 		n.resetElectionTimer()
 	}
+	if n.ec != nil {
+		n.ec.SendEnvelope(from, simnet.Envelope{Kind: envRequestVoteResp, A: n.currentTerm, Flag: granted, Bytes: 16})
+		return
+	}
 	n.ep.Send(from, requestVoteResp{Term: n.currentTerm, Granted: granted})
 }
 
@@ -612,16 +698,26 @@ func (n *Node) handleVoteResp(from simnet.NodeID, m requestVoteResp) {
 	n.maybeWin()
 }
 
+// sendAppendResp replies to an AppendEntries, allocation-free when the
+// port supports envelopes.
+func (n *Node) sendAppendResp(to simnet.NodeID, success bool, match uint64) {
+	if n.ec != nil {
+		n.ec.SendEnvelope(to, simnet.Envelope{Kind: envAppendResp, A: n.currentTerm, Flag: success, B: match, Bytes: 24})
+		return
+	}
+	n.ep.Send(to, appendEntriesResp{Term: n.currentTerm, Success: success, MatchIndex: match})
+}
+
 func (n *Node) handleAppendEntries(from simnet.NodeID, m appendEntriesMsg) {
 	if m.Term < n.currentTerm {
-		n.ep.Send(from, appendEntriesResp{Term: n.currentTerm, Success: false})
+		n.sendAppendResp(from, false, 0)
 		return
 	}
 	// Valid leader for this term.
 	n.becomeFollower(m.Term, m.Leader)
 	n.lastLeaderContact = n.ep.Now()
 	if m.PrevLogIndex > n.lastLogIndex() || n.log[m.PrevLogIndex].Term != m.PrevLogTerm {
-		n.ep.Send(from, appendEntriesResp{Term: n.currentTerm, Success: false, MatchIndex: 0})
+		n.sendAppendResp(from, false, 0)
 		return
 	}
 	// Append, truncating conflicts.
@@ -642,7 +738,7 @@ func (n *Node) handleAppendEntries(from simnet.NodeID, m appendEntriesMsg) {
 		n.commitIndex = min64(m.LeaderCommit, n.lastLogIndex())
 		n.applyCommitted()
 	}
-	n.ep.Send(from, appendEntriesResp{Term: n.currentTerm, Success: true, MatchIndex: match})
+	n.sendAppendResp(from, true, match)
 }
 
 func (n *Node) handleAppendResp(from simnet.NodeID, m appendEntriesResp) {

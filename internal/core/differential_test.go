@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSchedulerDifferential is the determinism contract for the timing
+// wheel: the heap scheduler and the wheel scheduler must produce
+// bit-identical runs — every archetype's resilience numbers AND the
+// full journal hash — across many seeds. The wheel is only allowed to
+// change how fast events pop, never in what order.
+func TestSchedulerDifferential(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	cfg := DefaultScenario()
+	if testing.Short() {
+		seeds = seeds[:2]
+		cfg.Duration = 5 * time.Minute
+	}
+	for _, seed := range seeds {
+		for _, arch := range AllArchetypes() {
+			c := cfg
+			c.Seed = seed
+
+			c.UseHeapScheduler = false
+			wheelSys := NewSystem(c, arch)
+			wheelRep := wheelSys.Run()
+
+			c.UseHeapScheduler = true
+			heapSys := NewSystem(c, arch)
+			heapRep := heapSys.Run()
+
+			if wheelRep != heapRep {
+				t.Errorf("seed %d %s: reports differ\nwheel: %+v\nheap:  %+v",
+					seed, arch, wheelRep, heapRep)
+			}
+			wh, hh := wheelSys.JournalHash(), heapSys.JournalHash()
+			if wh != hh {
+				t.Errorf("seed %d %s: journal hashes differ: wheel %s, heap %s",
+					seed, arch, wh, hh)
+			}
+		}
+	}
+}

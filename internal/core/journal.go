@@ -76,8 +76,14 @@ func FormatJournal(events []RunEvent) string {
 // engine (and the CI determinism job) checks between serial and
 // concurrent executions.
 func JournalHash(events []RunEvent) string {
-	sum := sha256.Sum256([]byte(FormatJournal(events)))
-	return hex.EncodeToString(sum[:])
+	// Stream the formatted lines into the hasher instead of
+	// materializing FormatJournal's string: the digested bytes are
+	// identical, without the run-sized intermediate buffers.
+	h := sha256.New()
+	for _, ev := range events {
+		fmt.Fprintf(h, "%8s  %-14s %s\n", ev.At.Round(time.Millisecond), ev.Kind, ev.Detail)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // JournalHash digests this run's journal. Call after Run.

@@ -10,8 +10,9 @@ import (
 // keyTableSize bounds the precomputed name tables below. The
 // measurement loop renders zone-indexed keys on every tick of every
 // run, so the realistic zone range is built once at package init and
-// indices beyond it fall back to formatting.
-const keyTableSize = 64
+// indices beyond it fall back to formatting. 1024 covers the city
+// tier (200 zones) and the Figure 1 sweep's largest point (1000).
+const keyTableSize = 1024
 
 var (
 	zoneTempKeys    [keyTableSize]string

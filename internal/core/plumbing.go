@@ -35,6 +35,29 @@ func (m readingMsg) Size() int { return 24 + 64 }
 func (m readingAck) Size() int { return 12 }
 func (m actuateMsg) Size() int { return 16 }
 
+// Envelope kinds for the fixed-size core wire messages. Kinds are
+// namespaced per protocol port ("data" carries acks, "act" carries
+// actuation commands); Bytes mirrors the boxed Size so traffic
+// accounting is identical on either path.
+const (
+	envReadingAck uint16 = 1 // "data": A=Seq
+	envActuate    uint16 = 2 // "act": A=zone, Flag=engage
+)
+
+// directActuate returns the send half of the direct actuation path
+// over port, envelope-encoded when the port supports it. readingMsg
+// itself stays boxed (it carries an Item).
+func directActuate(port simnet.Port) func(z int, engage bool) {
+	ec, _ := port.(simnet.EnvelopeCarrier)
+	return func(z int, engage bool) {
+		if ec != nil {
+			ec.SendEnvelope(actuatorID(z), simnet.Envelope{Kind: envActuate, A: uint64(z), Flag: engage, Bytes: 16})
+			return
+		}
+		port.Send(actuatorID(z), actuateMsg{Zone: z, Engage: engage})
+	}
+}
+
 // zoneTempKey is the data key of a zone's temperature stream.
 func zoneTempKey(z int) string {
 	if z >= 0 && z < keyTableSize {
@@ -78,6 +101,8 @@ const reporterHomeInterval = 30 * time.Second
 // (and eventually back, so a recovered primary is rediscovered).
 type reporter struct {
 	port       simnet.Port
+	argSched   simnet.ArgScheduler // non-nil when port supports arg timers
+	timeoutFn  func(uint64)        // onAckTimeout bound once, reused per send
 	candidates []simnet.NodeID
 	cur        int
 	misses     int
@@ -94,17 +119,20 @@ func newReporter(port simnet.Port, candidates []simnet.NodeID) *reporter {
 		candidates: append([]simnet.NodeID(nil), candidates...),
 		pending:    make(map[uint64]*simnet.Timer),
 	}
+	r.argSched, _ = port.(simnet.ArgScheduler)
+	r.timeoutFn = r.onAckTimeout
 	port.OnMessage(func(_ simnet.NodeID, msg simnet.Message) {
-		ack, ok := msg.(readingAck)
-		if !ok {
-			return
-		}
-		if t, pending := r.pending[ack.Seq]; pending {
-			t.Stop()
-			delete(r.pending, ack.Seq)
-			r.misses = 0
+		if ack, ok := msg.(readingAck); ok {
+			r.onAck(ack.Seq)
 		}
 	})
+	if ec, ok := port.(simnet.EnvelopeCarrier); ok {
+		ec.OnEnvelope(func(_ simnet.NodeID, e *simnet.Envelope) {
+			if e.Kind == envReadingAck {
+				r.onAck(e.A)
+			}
+		})
+	}
 	if len(r.candidates) > 1 {
 		// Periodically fail back to the primary so a recovered
 		// collector is rediscovered (otherwise the reporter would stay
@@ -120,6 +148,29 @@ func newReporter(port simnet.Port, candidates []simnet.NodeID) *reporter {
 // target returns the current collector candidate.
 func (r *reporter) target() simnet.NodeID { return r.candidates[r.cur] }
 
+// onAck settles one acknowledged reading (boxed or envelope path).
+func (r *reporter) onAck(seq uint64) {
+	if t, pending := r.pending[seq]; pending {
+		t.Stop()
+		delete(r.pending, seq)
+		r.misses = 0
+	}
+}
+
+// onAckTimeout counts a miss for an unacknowledged reading and rotates
+// to the next collector candidate past the miss limit.
+func (r *reporter) onAckTimeout(seq uint64) {
+	if _, still := r.pending[seq]; !still {
+		return
+	}
+	delete(r.pending, seq)
+	r.misses++
+	if r.misses >= reporterMissLimit && len(r.candidates) > 1 {
+		r.cur = (r.cur + 1) % len(r.candidates)
+		r.misses = 0
+	}
+}
+
 // send ships one item to the current candidate and arms the failover
 // timer.
 func (r *reporter) send(item dataflow.Item) {
@@ -129,17 +180,11 @@ func (r *reporter) send(item dataflow.Item) {
 	if r.bus.Active() {
 		r.bus.Emit("sensor.report", string(r.port.ID()), 0, 0, "%s → %s", item.Key, r.target())
 	}
-	r.pending[seq] = r.port.After(ackTimeout, func() {
-		if _, still := r.pending[seq]; !still {
-			return
-		}
-		delete(r.pending, seq)
-		r.misses++
-		if r.misses >= reporterMissLimit && len(r.candidates) > 1 {
-			r.cur = (r.cur + 1) % len(r.candidates)
-			r.misses = 0
-		}
-	})
+	if r.argSched != nil {
+		r.pending[seq] = r.argSched.AfterArg(ackTimeout, r.timeoutFn, seq)
+	} else {
+		r.pending[seq] = r.port.After(ackTimeout, func() { r.onAckTimeout(seq) })
+	}
 }
 
 // collector receives readings on a port, hands items to sink and acks
@@ -152,6 +197,7 @@ type collector struct {
 // newCollector installs the collector's handler on port.
 func newCollector(port simnet.Port, sink func(dataflow.Item, simnet.NodeID)) *collector {
 	c := &collector{port: port, sink: sink}
+	ec, _ := port.(simnet.EnvelopeCarrier)
 	port.OnMessage(func(from simnet.NodeID, msg simnet.Message) {
 		m, ok := msg.(readingMsg)
 		if !ok {
@@ -159,7 +205,11 @@ func newCollector(port simnet.Port, sink func(dataflow.Item, simnet.NodeID)) *co
 		}
 		c.sink(m.Item, from)
 		if m.Seq != 0 {
-			c.port.Send(from, readingAck{Seq: m.Seq})
+			if ec != nil {
+				ec.SendEnvelope(from, simnet.Envelope{Kind: envReadingAck, A: m.Seq, Bytes: 12})
+			} else {
+				c.port.Send(from, readingAck{Seq: m.Seq})
+			}
 		}
 	})
 	return c

@@ -74,6 +74,39 @@ type ScenarioConfig struct {
 	// period (default: SampleInterval). The X2 experiment sweeps it to
 	// trade traffic against freshness.
 	ML4SyncInterval time.Duration
+
+	// EdgePeerFanout bounds how many edge peers each ML4 store and
+	// MAPE knowledge syncer gossips with (nearest ring neighbours plus
+	// the cloud). Zero keeps the paper-scale default of full all-to-all
+	// peering; the city tier sets a small fanout because O(n²) peering
+	// across hundreds of gateways would dominate the run.
+	EdgePeerFanout int
+
+	// StrictMembership makes the ML4 gossip detector require a
+	// strictly newer incarnation before an Alive claim overrides a
+	// Dead verdict (gossip.Config.StrictResurrection). The city tier
+	// sets it: at 200+ members, stale Alive echoes outlive the
+	// dissemination of a death verdict and flap crashed gateways back
+	// to life, so the replanner parks controllers on dead nodes. Off
+	// by default — the paper-scale group converges within a round, and
+	// its journals are pinned to the lenient rule.
+	StrictMembership bool
+
+	// RaftHeartbeat overrides the ML4 placement group's AppendEntries
+	// period (election timeouts scale with it). Zero keeps the
+	// consensus package's 50 ms default, which is right for a 6-member
+	// paper-scale group but floods a 200+-member city group: the
+	// placement log changes every few seconds, so the city tier
+	// stretches the heartbeat instead of paying ~1M idle appends per
+	// run.
+	RaftHeartbeat time.Duration
+
+	// UseHeapScheduler selects simnet's reference 4-ary heap event
+	// queue instead of the default hierarchical timing wheel. Both pop
+	// events in the identical (at, seq) order, so runs are bit-identical
+	// either way — enforced by TestSchedulerDifferential, which is the
+	// knob's reason to exist.
+	UseHeapScheduler bool
 }
 
 // DefaultScenario returns the configuration used by the Table 1/2
@@ -99,6 +132,56 @@ func DefaultScenario() ScenarioConfig {
 		FreshnessFactor:    4,
 		Preset:             FaultsStandard,
 	}
+}
+
+// CityScenario returns the Figure-1-scale configuration: a city-wide
+// deployment of 5009 devices — 200 zones × (22 temperature sensors +
+// occupancy sensor + actuator) plus 200 gateways, 8 cloudlets and the
+// cloud — under the same disruption vectors as the paper-scale run.
+// Intervals are stretched and the run shortened so a full maturity
+// matrix stays a benchmark, not a batch job, and the physics rates are
+// rescaled so each control decision moves the temperature by the same
+// amount as at paper scale (rate × interval is what the hysteresis
+// band sees; stretching the interval without rescaling the rates makes
+// every archetype overshoot the band and measures the config, not the
+// architecture). The default FreshnessFactor keeps the freshness
+// window at 4 × SampleInterval = 20 s: comfortably above the two-hop
+// sync latency of relayed data (≤10 s) yet far below the heavy
+// schedule's 48–72 s outages — the discrimination between archetypes
+// lives in that inequality.
+// EdgePeerFanout bounds the ML4 peering degree and RaftHeartbeat
+// stretches the 208-member placement group's idle traffic, since
+// all-to-all sync and 50 ms heartbeats across 200 gateways would
+// measure O(n²) peering instead of the architecture.
+func CityScenario() ScenarioConfig {
+	cfg := DefaultScenario()
+	cfg.Zones = 200
+	cfg.TempSensorsPerZone = 22
+	cfg.Cloudlets = 8
+	cfg.Duration = 4 * time.Minute
+	cfg.SampleInterval = 5 * time.Second
+	cfg.ControlInterval = 5 * time.Second
+	cfg.EnvStep = 5 * time.Second
+	cfg.Drift = 0.024      // +0.12 per 5 s decision, as at paper scale
+	cfg.CoolRate = -0.12   // −0.6 per 5 s decision, as at paper scale
+	cfg.ShockProb = 0.0005 // ~5 shocks per run city-wide, as at paper scale
+	cfg.EdgePeerFanout = 4
+	cfg.StrictMembership = true
+	cfg.RaftHeartbeat = 500 * time.Millisecond
+	cfg.Preset = FaultsHeavy
+	return cfg
+}
+
+// CityScenarioSmoke returns the reduced city tier the CI smoke job
+// runs: the same stretched intervals and bounded fanout, scaled down
+// to finish a four-archetype matrix in seconds.
+func CityScenarioSmoke() ScenarioConfig {
+	cfg := CityScenario()
+	cfg.Zones = 40
+	cfg.TempSensorsPerZone = 6
+	cfg.Cloudlets = 4
+	cfg.Duration = 3 * time.Minute
+	return cfg
 }
 
 // withDefaults fills zero fields from DefaultScenario.

@@ -75,6 +75,12 @@ type edgeStack struct {
 	orch    *orchestrate.Orchestrator // ML4: leader-side placement brain
 	loop    *mape.Loop                // ML2+: analysis at this node
 	syncer  *mape.Syncer              // ML4 knowledge sharing
+
+	// ml4Replan's models@runtime verdict depends only on the alive
+	// membership set; the leader re-checks every tick, so the verdict
+	// for the last-seen set is cached under its signature.
+	ctlCheckKey string
+	ctlCheckOK  bool
 }
 
 // System is one archetype instance of the scenario, ready to Run.
@@ -140,10 +146,14 @@ type System struct {
 // NewSystem builds the scenario at the given maturity level.
 func NewSystem(cfg ScenarioConfig, arch Archetype) *System {
 	cfg = cfg.withDefaults()
+	simOpts := []simnet.Option{simnet.WithSeed(cfg.Seed), simnet.WithDefaultLatency(2 * time.Millisecond)}
+	if cfg.UseHeapScheduler {
+		simOpts = append(simOpts, simnet.WithHeapScheduler())
+	}
 	sys := &System{
 		cfg:          cfg,
 		arch:         arch,
-		sim:          simnet.New(simnet.WithSeed(cfg.Seed), simnet.WithDefaultLatency(2*time.Millisecond)),
+		sim:          simnet.New(simOpts...),
 		envm:         env.New(cfg.Seed + 1),
 		spaces:       space.NewMap(),
 		auditor:      dataflow.ObservedEngine(),
@@ -152,6 +162,9 @@ func NewSystem(cfg ScenarioConfig, arch Archetype) *System {
 		endOfRun:     cfg.Duration,
 		staleness:    &metrics.LatencyRecorder{},
 		designPassed: true,
+		// Presize the run journal: growth reallocations on the hot
+		// record path would otherwise dominate short runs.
+		journal: make([]RunEvent, 0, 256),
 	}
 	sys.bus = obs.NewBus(sys.sim.Now)
 	sys.injector = fault.NewInjector(sys.sim)

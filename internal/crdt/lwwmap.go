@@ -14,6 +14,7 @@ import (
 type LWWMap struct {
 	replica ReplicaID
 	entries map[string]mapEntry
+	maxTs   time.Duration // newest write time; exact, since entries never regress
 }
 
 // mapEntry is one key's LWW state.
@@ -67,7 +68,17 @@ func (m *LWWMap) apply(e Entry) bool {
 		return false
 	}
 	m.entries[e.Key] = mapEntry{Value: e.Value, Ts: e.Ts, Replica: e.Replica, Deleted: e.Deleted}
+	if e.Ts > m.maxTs {
+		m.maxTs = e.Ts
+	}
 	return true
+}
+
+// Wins reports whether applying e would supersede the key's current
+// state, without mutating the map — the read-only pre-check for apply.
+func (m *LWWMap) Wins(e Entry) bool {
+	cur, ok := m.entries[e.Key]
+	return !ok || cur.wins(e.Ts, e.Replica)
 }
 
 // Get returns the live value for key.
@@ -123,6 +134,16 @@ func (m *LWWMap) State() []Entry {
 	return out
 }
 
+// Entry exports one key's state (including tombstones) as a delta
+// entry, for callers that track their own change sets.
+func (m *LWWMap) Entry(key string) (Entry, bool) {
+	e, ok := m.entries[key]
+	if !ok {
+		return Entry{}, false
+	}
+	return Entry{Key: key, Value: e.Value, Ts: e.Ts, Replica: e.Replica, Deleted: e.Deleted}, true
+}
+
 // Since exports entries with a write time strictly after ts — a delta
 // for incremental anti-entropy.
 func (m *LWWMap) Since(ts time.Duration) []Entry {
@@ -156,16 +177,11 @@ func (m *LWWMap) Merge(other *LWWMap) {
 	m.Apply(other.State())
 }
 
-// MaxTimestamp returns the newest write time in the map.
-func (m *LWWMap) MaxTimestamp() time.Duration {
-	var max time.Duration
-	for _, e := range m.entries {
-		if e.Ts > max {
-			max = e.Ts
-		}
-	}
-	return max
-}
+// MaxTimestamp returns the newest write time in the map. It is O(1):
+// the map tracks the maximum incrementally (winning writes only ever
+// advance it), so callers can use it as a cheap has-anything-changed
+// probe before exporting a delta.
+func (m *LWWMap) MaxTimestamp() time.Duration { return m.maxTs }
 
 // Copy returns a deep copy keeping the same replica identity.
 func (m *LWWMap) Copy() *LWWMap {
@@ -173,5 +189,6 @@ func (m *LWWMap) Copy() *LWWMap {
 	for k, e := range m.entries {
 		out.entries[k] = e
 	}
+	out.maxTs = m.maxTs
 	return out
 }

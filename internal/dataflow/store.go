@@ -1,6 +1,7 @@
 package dataflow
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/crdt"
@@ -46,9 +47,24 @@ type Store struct {
 	ticker    *simnet.Ticker
 	lastWrite time.Duration
 
+	// Relay state: a hub store re-forwards entries it receives, so its
+	// outgoing watermark cannot be the origin-timestamp high-water mark
+	// ordinary stores use (a received entry is older than the store's
+	// newest and would be skipped as already-sent). Instead the hub
+	// numbers every local change — own writes and winning remote
+	// applies — with a monotonic sequence and tracks per-peer positions
+	// in that sequence.
+	relay   bool
+	seq     uint64
+	changed map[string]uint64 // key -> seq of its latest local change
+	sentSeq map[simnet.NodeID]uint64
+
 	received int
 	rejected int
 	onApply  []func(Item, simnet.NodeID)
+	// admitScratch is reused by handle for the per-message admitted
+	// batch; its contents never outlive the call.
+	admitScratch []crdt.Entry
 }
 
 // StoreConfig parameterizes NewStore.
@@ -60,6 +76,11 @@ type StoreConfig struct {
 	// Engine governs flows; nil means an enforcing default privacy
 	// engine.
 	Engine *Engine
+	// Relay marks a redistribution hub: entries received from one peer
+	// are re-forwarded to the others (minus the origin replica). Leave
+	// false for stores that only exchange their own writes directly —
+	// the default high-water-mark sync never re-forwards.
+	Relay bool
 }
 
 // NewStore builds a store on port, placed in spaces (the node's own
@@ -83,6 +104,11 @@ func NewStore(port simnet.Port, spaces *space.Map, cfg StoreConfig) *Store {
 	}
 	for _, p := range s.peers {
 		s.lastSent[p] = -1
+	}
+	if cfg.Relay {
+		s.relay = true
+		s.changed = make(map[string]uint64)
+		s.sentSeq = make(map[simnet.NodeID]uint64)
 	}
 	port.OnMessage(s.handle)
 	return s
@@ -130,7 +156,17 @@ func (s *Store) Put(item Item) {
 		ts = s.lastWrite + 1
 	}
 	s.lastWrite = ts
-	s.data.Set(item.Key, item, ts)
+	if s.data.Set(item.Key, item, ts) {
+		s.markChanged(item.Key)
+	}
+}
+
+// markChanged stamps a key with the next change sequence (relay mode).
+func (s *Store) markChanged(key string) {
+	if s.relay {
+		s.seq++
+		s.changed[key] = s.seq
+	}
 }
 
 // Lineage returns the provenance chain of the item currently stored
@@ -201,14 +237,24 @@ func (s *Store) syncAll() {
 func (s *Store) SyncNow() { s.syncAll() }
 
 func (s *Store) syncTo(peer simnet.NodeID) {
-	delta := s.data.Since(s.lastSent[peer])
+	if s.relay {
+		s.relayTo(peer)
+		return
+	}
+	last := s.lastSent[peer]
+	if s.data.MaxTimestamp() <= last {
+		return // nothing newer than the peer has seen; skip the export
+	}
+	delta := s.data.Since(last)
 	if len(delta) == 0 {
 		return
 	}
 	from := s.domainOf(s.port.ID())
 	to := s.domainOf(peer)
 	now := s.port.Now()
-	allowed := make([]crdt.Entry, 0, len(delta))
+	// Filter in place: delta is freshly exported and the admitted
+	// prefix is what goes on the wire, so no second slice is needed.
+	allowed := delta[:0]
 	for _, e := range delta {
 		item, ok := e.Value.(Item)
 		if !ok {
@@ -225,6 +271,53 @@ func (s *Store) syncTo(peer simnet.NodeID) {
 	s.port.Send(peer, storeSyncMsg{Entries: allowed})
 }
 
+// relayTo forwards every entry changed since the peer's last sync,
+// regardless of origin timestamp, skipping entries the peer itself
+// produced. Selected keys are ordered by change sequence so the wire
+// content is deterministic.
+func (s *Store) relayTo(peer simnet.NodeID) {
+	last := s.sentSeq[peer]
+	if s.seq <= last {
+		return
+	}
+	type change struct {
+		seq uint64
+		key string
+	}
+	var sel []change
+	for k, sq := range s.changed {
+		if sq > last {
+			sel = append(sel, change{sq, k})
+		}
+	}
+	s.sentSeq[peer] = s.seq
+	if len(sel) == 0 {
+		return
+	}
+	sort.Slice(sel, func(i, j int) bool { return sel[i].seq < sel[j].seq })
+	from := s.domainOf(s.port.ID())
+	to := s.domainOf(peer)
+	now := s.port.Now()
+	entries := make([]crdt.Entry, 0, len(sel))
+	for _, c := range sel {
+		e, ok := s.data.Entry(c.key)
+		if !ok || e.Replica == crdt.ReplicaID(peer) {
+			continue
+		}
+		item, ok := e.Value.(Item)
+		if !ok {
+			continue
+		}
+		if s.engine.Admit(FlowContext{Item: item, From: from, To: to}, now) {
+			entries = append(entries, e)
+		}
+	}
+	if len(entries) == 0 {
+		return
+	}
+	s.port.Send(peer, storeSyncMsg{Entries: entries})
+}
+
 func (s *Store) handle(from simnet.NodeID, msg simnet.Message) {
 	m, ok := msg.(storeSyncMsg)
 	if !ok {
@@ -233,7 +326,10 @@ func (s *Store) handle(from simnet.NodeID, msg simnet.Message) {
 	fromDom := s.domainOf(from)
 	toDom := s.domainOf(s.port.ID())
 	now := s.port.Now()
-	admitted := make([]crdt.Entry, 0, len(m.Entries))
+	if cap(s.admitScratch) < len(m.Entries) {
+		s.admitScratch = make([]crdt.Entry, 0, len(m.Entries))
+	}
+	admitted := s.admitScratch[:0]
 	for _, e := range m.Entries {
 		item, ok := e.Value.(Item)
 		if !ok {
@@ -241,12 +337,20 @@ func (s *Store) handle(from simnet.NodeID, msg simnet.Message) {
 		}
 		if s.engine.Admit(FlowContext{Item: item, From: fromDom, To: toDom}, now) {
 			// Extend the provenance chain: the item has arrived here.
-			e.Value = item.WithHop(Hop{Node: string(s.port.ID()), At: now, Action: "received"})
+			// Entries that lose the LWW race are applied (and reported
+			// to OnApply) unchanged: their value is discarded by Apply,
+			// so re-boxing a hop-extended copy would be pure allocator
+			// traffic — with all-to-all peering, most entries lose.
+			if s.data.Wins(e) {
+				e.Value = item.WithHop(Hop{Node: string(s.port.ID()), At: now, Action: "received"})
+				s.markChanged(e.Key)
+			}
 			admitted = append(admitted, e)
 		} else {
 			s.rejected++
 		}
 	}
+	s.admitScratch = admitted[:0]
 	won := s.data.Apply(admitted)
 	s.received += won
 	if len(s.onApply) > 0 {

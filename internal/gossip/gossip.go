@@ -56,10 +56,17 @@ type Member struct {
 type Update Member
 
 // overrides implements SWIM's update precedence rules against the
-// currently known (status, incarnation) of the same member.
-func (u Update) overrides(cur Member) bool {
+// currently known (status, incarnation) of the same member. With
+// strict set, an Alive claim needs a strictly newer incarnation to
+// override a Dead verdict (see Config.StrictResurrection); otherwise
+// an equal-incarnation Alive resurrects, which converges faster in
+// small groups where update echoes die out within a round or two.
+func (u Update) overrides(cur Member, strict bool) bool {
 	switch u.Status {
 	case StatusAlive:
+		if strict {
+			return u.Incarnation > cur.Incarnation
+		}
 		return u.Incarnation > cur.Incarnation ||
 			(cur.Status == StatusDead && u.Incarnation >= cur.Incarnation)
 	case StatusSuspect:
@@ -97,6 +104,16 @@ type Config struct {
 	// a healed partition reconverges without external reseeding).
 	// Zero takes the default; negative disables anti-entropy.
 	AntiEntropyInterval time.Duration
+	// StrictResurrection requires a strictly newer incarnation before
+	// an Alive claim overrides a Dead verdict. Only the member itself
+	// advances its incarnation (refutation, restart), so with this
+	// set a death verdict can never be undone by a stale Alive echo
+	// still circulating in piggyback queues. Large groups want it:
+	// at hundreds of members those echoes outlive the dissemination
+	// of the verdict and flap crashed nodes back to life. Small
+	// groups keep the default lenient rule, where equal-incarnation
+	// resurrection reconverges a healed minority faster.
+	StrictResurrection bool
 }
 
 func (c Config) withDefaults() Config {
@@ -185,6 +202,15 @@ func (m joinAckMsg) Size() int { return 8 + updatesSize(m.Members) }
 func (m syncMsg) Size() int    { return 8 + updatesSize(m.Members) }
 func (m leaveMsg) Size() int   { return 32 }
 
+// Envelope kinds for updates-free pings and acks — the steady-state
+// probe traffic once membership has converged and the broadcast queue
+// is drained. Bytes mirrors the boxed Size with nil Updates, so the
+// byte accounting is identical on either path.
+const (
+	envPing uint16 = 1 // A=Seq
+	envAck  uint16 = 2 // A=Seq
+)
+
 // memberState is the local bookkeeping for one member.
 type memberState struct {
 	Member
@@ -201,6 +227,7 @@ type broadcast struct {
 // Start (optionally with seeds to join through).
 type Protocol struct {
 	ep  simnet.Port
+	ec  simnet.EnvelopeCarrier // non-nil when ep supports inline envelopes
 	cfg Config
 
 	incarnation uint64
@@ -248,6 +275,10 @@ func New(ep simnet.Port, cfg Config) *Protocol {
 	}
 	p.members[ep.ID()] = &memberState{Member: Member{ID: ep.ID(), Status: StatusAlive}}
 	ep.OnMessage(p.handle)
+	if ec, ok := ep.(simnet.EnvelopeCarrier); ok {
+		p.ec = ec
+		ec.OnEnvelope(p.handleEnv)
+	}
 	ep.OnUp(p.onRecover)
 	return p
 }
@@ -407,6 +438,15 @@ func (p *Protocol) Alive() []simnet.NodeID {
 	return out
 }
 
+// IsAlive reports whether a single member is currently believed
+// alive. O(1): orchestration filters hundreds of host candidates per
+// placement round, and building the sorted Members snapshot for each
+// lookup dominates city-scale runs.
+func (p *Protocol) IsAlive(id simnet.NodeID) bool {
+	ms, ok := p.members[id]
+	return ok && ms.Status == StatusAlive
+}
+
 // AliveCount returns the number of members believed alive.
 func (p *Protocol) AliveCount() int {
 	n := 0
@@ -426,7 +466,7 @@ func (p *Protocol) probe() {
 		return
 	}
 	seq := p.nextSeq()
-	p.ep.Send(target, pingMsg{Seq: seq, Updates: p.takePiggyback()})
+	p.sendPing(target, seq)
 	if p.bus.Active() {
 		if p.probeSent == nil {
 			p.probeSent = make(map[uint64]probeInfo)
@@ -608,7 +648,7 @@ func (p *Protocol) applyUpdate(u Update) {
 		p.notify(ms.Member)
 		return
 	}
-	if !u.overrides(ms.Member) {
+	if !u.overrides(ms.Member, p.cfg.StrictResurrection) {
 		return
 	}
 	prev := ms.Status
@@ -653,34 +693,14 @@ func (p *Protocol) handle(from simnet.NodeID, msg simnet.Message) {
 	}
 	switch m := msg.(type) {
 	case pingMsg:
-		p.applyAll(m.Updates)
-		// Seeing traffic from a member is evidence of life.
-		p.applyUpdate(Update{ID: from, Status: StatusAlive, Incarnation: incOf(p, from)})
-		p.ep.Send(from, ackMsg{Seq: m.Seq, Updates: p.takePiggyback()})
+		p.onPing(from, m.Seq, m.Updates)
 	case ackMsg:
-		p.applyAll(m.Updates)
-		p.applyUpdate(Update{ID: from, Status: StatusAlive, Incarnation: incOf(p, from)})
-		if t, ok := p.acked[m.Seq]; ok {
-			t.Stop()
-			delete(p.acked, m.Seq)
-		}
-		if info, ok := p.probeSent[m.Seq]; ok {
-			delete(p.probeSent, m.Seq)
-			p.bus.Publish(obs.Event{
-				At: info.at, Dur: p.bus.Now() - info.at,
-				Kind: "gossip.probe", Node: string(p.ep.ID()),
-				Detail: "probe " + string(info.target),
-			})
-		}
-		if r, ok := p.relaySeq[m.Seq]; ok {
-			delete(p.relaySeq, m.Seq)
-			p.ep.Send(r.origin, ackMsg{Seq: r.seq, Updates: p.takePiggyback()})
-		}
+		p.onAck(from, m.Seq, m.Updates)
 	case pingReqMsg:
 		p.applyAll(m.Updates)
 		seq := p.nextSeq()
 		p.relaySeq[seq] = relay{origin: m.Origin, seq: m.Seq}
-		p.ep.Send(m.Target, pingMsg{Seq: seq, Updates: p.takePiggyback()})
+		p.sendPing(m.Target, seq)
 		// Garbage-collect the relay slot if the target never acks.
 		p.ep.After(p.cfg.ProbeInterval, func() { delete(p.relaySeq, seq) })
 	case joinMsg:
@@ -694,6 +714,71 @@ func (p *Protocol) handle(from simnet.NodeID, msg simnet.Message) {
 	case leaveMsg:
 		p.applyUpdate(m.Update)
 	}
+}
+
+// onPing processes a direct probe (boxed or envelope path).
+func (p *Protocol) onPing(from simnet.NodeID, seq uint64, updates []Update) {
+	p.applyAll(updates)
+	// Seeing traffic from a member is evidence of life.
+	p.applyUpdate(Update{ID: from, Status: StatusAlive, Incarnation: incOf(p, from)})
+	p.sendAck(from, seq)
+}
+
+// onAck settles a pending probe (boxed or envelope path).
+func (p *Protocol) onAck(from simnet.NodeID, seq uint64, updates []Update) {
+	p.applyAll(updates)
+	p.applyUpdate(Update{ID: from, Status: StatusAlive, Incarnation: incOf(p, from)})
+	if t, ok := p.acked[seq]; ok {
+		t.Stop()
+		delete(p.acked, seq)
+	}
+	if info, ok := p.probeSent[seq]; ok {
+		delete(p.probeSent, seq)
+		p.bus.Publish(obs.Event{
+			At: info.at, Dur: p.bus.Now() - info.at,
+			Kind: "gossip.probe", Node: string(p.ep.ID()),
+			Detail: "probe " + string(info.target),
+		})
+	}
+	if r, ok := p.relaySeq[seq]; ok {
+		delete(p.relaySeq, seq)
+		p.sendAck(r.origin, r.seq)
+	}
+}
+
+// handleEnv routes inline-envelope pings and acks, which by
+// construction carry no piggybacked updates.
+func (p *Protocol) handleEnv(from simnet.NodeID, e *simnet.Envelope) {
+	if p.left {
+		return
+	}
+	switch e.Kind {
+	case envPing:
+		p.onPing(from, e.A, nil)
+	case envAck:
+		p.onAck(from, e.A, nil)
+	}
+}
+
+// sendPing transmits a probe carrying any pending piggyback updates;
+// with none pending it travels as an inline envelope where supported.
+func (p *Protocol) sendPing(to simnet.NodeID, seq uint64) {
+	ups := p.takePiggyback()
+	if ups == nil && p.ec != nil {
+		p.ec.SendEnvelope(to, simnet.Envelope{Kind: envPing, A: seq, Bytes: 16})
+		return
+	}
+	p.ep.Send(to, pingMsg{Seq: seq, Updates: ups})
+}
+
+// sendAck mirrors sendPing for acknowledgements.
+func (p *Protocol) sendAck(to simnet.NodeID, seq uint64) {
+	ups := p.takePiggyback()
+	if ups == nil && p.ec != nil {
+		p.ec.SendEnvelope(to, simnet.Envelope{Kind: envAck, A: seq, Bytes: 16})
+		return
+	}
+	p.ep.Send(to, ackMsg{Seq: seq, Updates: ups})
 }
 
 func incOf(p *Protocol, id simnet.NodeID) uint64 {

@@ -47,24 +47,27 @@ func TestStatusString(t *testing.T) {
 
 func TestOverridesRules(t *testing.T) {
 	tests := []struct {
-		name string
-		u    Update
-		cur  Member
-		want bool
+		name   string
+		u      Update
+		cur    Member
+		strict bool
+		want   bool
 	}{
-		{"alive needs higher inc over alive", Update{Status: StatusAlive, Incarnation: 1}, Member{Status: StatusAlive, Incarnation: 1}, false},
-		{"alive higher inc beats alive", Update{Status: StatusAlive, Incarnation: 2}, Member{Status: StatusAlive, Incarnation: 1}, true},
-		{"alive higher inc beats suspect", Update{Status: StatusAlive, Incarnation: 2}, Member{Status: StatusSuspect, Incarnation: 1}, true},
-		{"alive same inc does not refute suspect", Update{Status: StatusAlive, Incarnation: 1}, Member{Status: StatusSuspect, Incarnation: 1}, false},
-		{"alive same inc resurrects dead", Update{Status: StatusAlive, Incarnation: 1}, Member{Status: StatusDead, Incarnation: 1}, true},
-		{"suspect same inc beats alive", Update{Status: StatusSuspect, Incarnation: 1}, Member{Status: StatusAlive, Incarnation: 1}, true},
-		{"suspect same inc does not re-suspect", Update{Status: StatusSuspect, Incarnation: 1}, Member{Status: StatusSuspect, Incarnation: 1}, false},
-		{"dead same inc beats suspect", Update{Status: StatusDead, Incarnation: 1}, Member{Status: StatusSuspect, Incarnation: 1}, true},
-		{"dead never overrides dead", Update{Status: StatusDead, Incarnation: 9}, Member{Status: StatusDead, Incarnation: 1}, false},
+		{"alive needs higher inc over alive", Update{Status: StatusAlive, Incarnation: 1}, Member{Status: StatusAlive, Incarnation: 1}, false, false},
+		{"alive higher inc beats alive", Update{Status: StatusAlive, Incarnation: 2}, Member{Status: StatusAlive, Incarnation: 1}, false, true},
+		{"alive higher inc beats suspect", Update{Status: StatusAlive, Incarnation: 2}, Member{Status: StatusSuspect, Incarnation: 1}, false, true},
+		{"alive same inc does not refute suspect", Update{Status: StatusAlive, Incarnation: 1}, Member{Status: StatusSuspect, Incarnation: 1}, false, false},
+		{"alive same inc resurrects dead", Update{Status: StatusAlive, Incarnation: 1}, Member{Status: StatusDead, Incarnation: 1}, false, true},
+		{"strict: alive same inc stays dead", Update{Status: StatusAlive, Incarnation: 1}, Member{Status: StatusDead, Incarnation: 1}, true, false},
+		{"strict: alive higher inc rejoins", Update{Status: StatusAlive, Incarnation: 2}, Member{Status: StatusDead, Incarnation: 1}, true, true},
+		{"suspect same inc beats alive", Update{Status: StatusSuspect, Incarnation: 1}, Member{Status: StatusAlive, Incarnation: 1}, false, true},
+		{"suspect same inc does not re-suspect", Update{Status: StatusSuspect, Incarnation: 1}, Member{Status: StatusSuspect, Incarnation: 1}, false, false},
+		{"dead same inc beats suspect", Update{Status: StatusDead, Incarnation: 1}, Member{Status: StatusSuspect, Incarnation: 1}, false, true},
+		{"dead never overrides dead", Update{Status: StatusDead, Incarnation: 9}, Member{Status: StatusDead, Incarnation: 1}, false, false},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if got := tt.u.overrides(tt.cur); got != tt.want {
+			if got := tt.u.overrides(tt.cur, tt.strict); got != tt.want {
 				t.Fatalf("overrides = %v, want %v", got, tt.want)
 			}
 		})

@@ -67,6 +67,10 @@ func (m publishMsg) Size() int     { return 16 + len(m.Topic) + payloadSize(m.Pa
 func (m pubAckMsg) Size() int      { return 12 }
 func (m deliverMsg) Size() int     { return 8 + len(m.Topic) + payloadSize(m.Payload) }
 
+// envPubAck is the inline-envelope form of pubAckMsg (A=ID); Bytes
+// mirrors the boxed Size, so byte accounting is identical.
+const envPubAck uint16 = 1
+
 func payloadSize(p any) int {
 	if s, ok := p.(simnet.Sized); ok {
 		return s.Size()
@@ -81,6 +85,7 @@ func payloadSize(p any) int {
 // faithful model of a non-replicated broker deployment.
 type Broker struct {
 	ep   simnet.Port
+	ec   simnet.EnvelopeCarrier // non-nil when ep supports inline envelopes
 	subs map[string]map[simnet.NodeID]struct{}
 	// local are in-process subscribers: applications colocated with
 	// the broker (e.g. a cloud-side controller next to a cloud
@@ -103,6 +108,7 @@ func NewBroker(ep simnet.Port) *Broker {
 		local:    make(map[string][]MessageHandler),
 		retained: make(map[string]any),
 	}
+	b.ec, _ = ep.(simnet.EnvelopeCarrier)
 	ep.OnMessage(b.handle)
 	ep.OnUp(func() {
 		// A restarted broker has lost its subscription table and its
@@ -177,7 +183,11 @@ func (b *Broker) handle(from simnet.NodeID, msg simnet.Message) {
 		delete(b.subs[m.Topic], from)
 	case publishMsg:
 		if m.ID != 0 {
-			b.ep.Send(from, pubAckMsg{ID: m.ID})
+			if b.ec != nil {
+				b.ec.SendEnvelope(from, simnet.Envelope{Kind: envPubAck, A: m.ID, Bytes: 12})
+			} else {
+				b.ep.Send(from, pubAckMsg{ID: m.ID})
+			}
 		}
 		if m.Retain {
 			b.retained[m.Topic] = m.Payload
@@ -302,6 +312,13 @@ func NewClient(ep simnet.Port, brokerID simnet.NodeID, cfg ClientConfig) *Client
 		pending:       make(map[uint64]*simnet.Timer),
 	}
 	ep.OnMessage(c.handle)
+	if ec, ok := ep.(simnet.EnvelopeCarrier); ok {
+		ec.OnEnvelope(func(_ simnet.NodeID, e *simnet.Envelope) {
+			if e.Kind == envPubAck {
+				c.onPubAck(e.A)
+			}
+		})
+	}
 	ep.OnUp(c.resubscribe)
 	return c
 }
@@ -391,10 +408,15 @@ func (c *Client) handle(_ simnet.NodeID, msg simnet.Message) {
 			}
 		}
 	case pubAckMsg:
-		if t, ok := c.pending[m.ID]; ok {
-			t.Stop()
-			delete(c.pending, m.ID)
-			c.acked++
-		}
+		c.onPubAck(m.ID)
+	}
+}
+
+// onPubAck settles a pending QoS-1 publish (boxed or envelope path).
+func (c *Client) onPubAck(id uint64) {
+	if t, ok := c.pending[id]; ok {
+		t.Stop()
+		delete(c.pending, id)
+		c.acked++
 	}
 }

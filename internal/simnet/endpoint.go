@@ -63,6 +63,28 @@ func (e *Endpoint) After(d time.Duration, fn func()) *Timer {
 	return e.sim.newTimer(ev)
 }
 
+// ArgScheduler is an optional Port extension for allocation-free
+// per-occurrence timers: fn rides in the event together with its
+// argument, so callers that bind fn once (a method value) pay no
+// closure allocation per schedule. Callers must fall back to
+// Port.After with a capturing closure when the port does not
+// implement it.
+type ArgScheduler interface {
+	AfterArg(d time.Duration, fn func(uint64), arg uint64) *Timer
+}
+
+var _ ArgScheduler = (*Endpoint)(nil)
+
+// AfterArg schedules fn(arg) to run once, d from now, with the same
+// down-gating as After.
+func (e *Endpoint) AfterArg(d time.Duration, fn func(uint64), arg uint64) *Timer {
+	ev := e.sim.schedule(e.sim.now + d)
+	ev.owner = e.node
+	ev.argFn = fn
+	ev.arg = arg
+	return e.sim.newTimer(ev)
+}
+
 // Ticker is a periodic node-scoped timer. Simulated tickers own a
 // single pooled event that re-arms itself (see Sim.runTick); external
 // tickers delegate to the wrapped cancel function.

@@ -62,9 +62,10 @@ func (e envelope) Size() int { return protoOverhead + messageSize(e.Msg) }
 // entirely: sends go through Sim.sendProto (no per-message boxing) and
 // handlers register directly on the simulator node.
 type Mux struct {
-	ep       Port
-	sim      *Endpoint // non-nil when ep is a simulated endpoint
-	handlers map[string]Handler
+	ep          Port
+	sim         *Endpoint // non-nil when ep is a simulated endpoint
+	handlers    map[string]Handler
+	envHandlers map[string]EnvelopeHandler
 }
 
 // NewMux creates a mux over a simulated endpoint.
@@ -90,6 +91,14 @@ func (m *Mux) dispatch(from NodeID, msg Message) {
 	if !ok {
 		return // non-multiplexed traffic is not for this node's stack
 	}
+	// Envelopes sent over a generic Port arrive boxed inside the wire
+	// envelope; route them to the protocol's envelope handler.
+	if e, ok := env.Msg.(Envelope); ok {
+		if eh, ok := m.envHandlers[env.Proto]; ok && eh != nil {
+			eh(from, &e)
+			return
+		}
+	}
 	if h, ok := m.handlers[env.Proto]; ok && h != nil {
 		h(from, env.Msg)
 	}
@@ -108,7 +117,11 @@ type protoPort struct {
 	proto string
 }
 
-var _ Port = (*protoPort)(nil)
+var (
+	_ Port            = (*protoPort)(nil)
+	_ EnvelopeCarrier = (*protoPort)(nil)
+	_ ArgScheduler    = (*protoPort)(nil)
+)
 
 func (p *protoPort) ID() NodeID         { return p.mux.ep.ID() }
 func (p *protoPort) Now() time.Duration { return p.mux.ep.Now() }
@@ -132,8 +145,40 @@ func (p *protoPort) Send(to NodeID, msg Message) bool {
 	return p.mux.ep.Send(to, envelope{Proto: p.proto, Msg: msg})
 }
 
+// SendEnvelope transmits env without boxing: over a simulated endpoint
+// the payload travels inline in the event arena. Generic ports fall
+// back to the boxed wire envelope, preserving semantics (and byte
+// accounting, via Envelope.Size) at the cost of the allocation.
+func (p *protoPort) SendEnvelope(to NodeID, env Envelope) bool {
+	if ep := p.mux.sim; ep != nil {
+		return ep.sim.sendProtoEnv(ep.node, p.proto, to, env)
+	}
+	return p.mux.ep.Send(to, envelope{Proto: p.proto, Msg: env})
+}
+
+// OnEnvelope installs the envelope handler for this protocol.
+func (p *protoPort) OnEnvelope(h EnvelopeHandler) {
+	if ep := p.mux.sim; ep != nil {
+		ep.node.setProtoEnvHandler(p.proto, h)
+		return
+	}
+	if p.mux.envHandlers == nil {
+		p.mux.envHandlers = make(map[string]EnvelopeHandler)
+	}
+	p.mux.envHandlers[p.proto] = h
+}
+
 func (p *protoPort) After(d time.Duration, fn func()) *Timer {
 	return p.mux.ep.After(d, fn)
+}
+
+// AfterArg delegates to the underlying port's ArgScheduler, falling
+// back to a capturing closure over generic ports.
+func (p *protoPort) AfterArg(d time.Duration, fn func(uint64), arg uint64) *Timer {
+	if as, ok := p.mux.ep.(ArgScheduler); ok {
+		return as.AfterArg(d, fn, arg)
+	}
+	return p.mux.ep.After(d, func() { fn(arg) })
 }
 
 func (p *protoPort) Every(interval time.Duration, fn func()) *Ticker {

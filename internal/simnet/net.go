@@ -30,10 +30,12 @@ type MessageTap func(from, to NodeID, msg Message)
 // Handler consumes messages arriving at an endpoint.
 type Handler func(from NodeID, msg Message)
 
-// protoEntry binds one protocol name to its handler on a node.
+// protoEntry binds one protocol name to its handlers on a node: h for
+// boxed messages, eh for envelopes (see env.go). Either may be nil.
 type protoEntry struct {
 	proto string
 	h     Handler
+	eh    EnvelopeHandler
 }
 
 // node is the simulator-internal state of a registered node.
@@ -59,6 +61,18 @@ func (n *node) setProtoHandler(proto string, h Handler) {
 		}
 	}
 	n.protoHandlers = append(n.protoHandlers, protoEntry{proto: proto, h: h})
+}
+
+// setProtoEnvHandler installs (or replaces) the envelope handler for
+// proto, alongside any boxed handler on the same entry.
+func (n *node) setProtoEnvHandler(proto string, eh EnvelopeHandler) {
+	for i := range n.protoHandlers {
+		if n.protoHandlers[i].proto == proto {
+			n.protoHandlers[i].eh = eh
+			return
+		}
+	}
+	n.protoHandlers = append(n.protoHandlers, protoEntry{proto: proto, eh: eh})
 }
 
 // protoHandler looks up the handler for proto, nil if none registered.

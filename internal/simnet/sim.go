@@ -13,13 +13,15 @@
 // paper: disruptions (crashes, partitions, latency spikes) are injected
 // reproducibly instead of occurring in the wild.
 //
-// The scheduler is built for throughput: events live in a 4-ary min-heap
-// (see heap.go), are allocated from a per-simulator arena and recycled
-// after firing, and the two highest-volume event kinds — message
-// deliveries and periodic ticks — are encoded as struct fields instead
-// of closures so that steady-state simulation does not allocate per
-// event. A generation counter on each event keeps recycled storage safe
-// against stale Timer handles.
+// The scheduler is built for throughput: events are ordered by a
+// hierarchical timing wheel (see wheel.go; a 4-ary min-heap reference
+// implementation survives in heap.go behind WithHeapScheduler), are
+// allocated from a per-simulator arena and recycled after firing, and
+// the highest-volume event kinds — message deliveries and periodic
+// ticks — are encoded as struct fields instead of closures so that
+// steady-state simulation does not allocate per event. A generation
+// counter on each event keeps recycled storage safe against stale
+// Timer handles.
 package simnet
 
 import (
@@ -53,15 +55,22 @@ type event struct {
 	gen  uint32 // incremented on recycle; guards pooled reuse
 	dead bool
 
-	// Callback payload.
+	// Callback payload. argFn carries its uint64 argument inline in
+	// arg, so a caller that binds argFn once (a method value) schedules
+	// per-occurrence timers without allocating a capturing closure.
 	fn    func()
-	owner *node // when set, fn is skipped while the owner is down
+	argFn func(uint64)
+	arg   uint64
+	owner *node // when set, fn/argFn is skipped while the owner is down
 
-	// Delivery payload (dst != nil): msg from `from` to node dst.
+	// Delivery payload (dst != nil): msg from `from` to node dst. When
+	// env.Kind is nonzero the payload is the inline envelope instead of
+	// the boxed msg — the allocation-free fast path (see env.go).
 	dst   *node
 	from  NodeID
 	proto string // non-empty for multiplexed protocol traffic
 	msg   Message
+	env   Envelope
 
 	// Ticker payload.
 	tick *Ticker
@@ -118,6 +127,7 @@ func (t *Timer) Stop() bool {
 	}
 	t.ev.dead = true
 	t.ev.fn = nil
+	t.ev.argFn = nil
 	return true
 }
 
@@ -126,7 +136,8 @@ func (t *Timer) Stop() bool {
 type Sim struct {
 	now        time.Duration
 	seq        uint64
-	queue      eventHeap
+	wheel      *timerWheel // default scheduler; nil when the heap is selected
+	queue      eventHeap   // reference scheduler (WithHeapScheduler)
 	pages      [][]event
 	free       []uint32 // free event indices, used as a stack
 	timerArena []Timer
@@ -169,6 +180,18 @@ func WithDuplicateProb(p float64) Option {
 	return func(s *Sim) { s.defDup = p }
 }
 
+// WithHeapScheduler selects the 4-ary min-heap event queue instead of
+// the default hierarchical timing wheel. The two schedulers pop events
+// in the identical (at, seq) total order — the heap is retained as the
+// reference implementation for differential and property tests, and as
+// an escape hatch.
+func WithHeapScheduler() Option {
+	return func(s *Sim) {
+		s.wheel = nil
+		s.queue.e = make([]heapEntry, 0, 256)
+	}
+}
+
 // New constructs a simulator.
 func New(opts ...Option) *Sim {
 	s := &Sim{
@@ -176,12 +199,48 @@ func New(opts ...Option) *Sim {
 		nodes:  make(map[NodeID]*node),
 		defLat: 5 * time.Millisecond,
 	}
-	s.queue.e = make([]heapEntry, 0, 256)
+	s.wheel = newTimerWheel()
 	s.net.init()
 	for _, opt := range opts {
 		opt(s)
 	}
 	return s
+}
+
+// qpush queues an entry on whichever scheduler is active.
+func (s *Sim) qpush(at time.Duration, seq uint64, idx uint32) {
+	if s.wheel != nil {
+		s.wheel.push(at, seq, idx)
+	} else {
+		s.queue.push(at, seq, idx)
+	}
+}
+
+// qpop removes and returns the minimum entry; qlen must be > 0.
+func (s *Sim) qpop() heapEntry {
+	if s.wheel != nil {
+		if s.wheel.head == len(s.wheel.run) {
+			s.wheel.advance()
+		}
+		return s.wheel.pop()
+	}
+	return s.queue.pop()
+}
+
+// qpeek returns the minimum entry without removing it.
+func (s *Sim) qpeek() (heapEntry, bool) {
+	if s.wheel != nil {
+		return s.wheel.peek()
+	}
+	return s.queue.peek()
+}
+
+// qlen is the number of queued (live or cancelled) entries.
+func (s *Sim) qlen() int {
+	if s.wheel != nil {
+		return s.wheel.len()
+	}
+	return s.queue.len()
 }
 
 var _ Clock = (*Sim)(nil)
@@ -220,11 +279,14 @@ func (s *Sim) recycle(idx uint32, ev *event) {
 	ev.gen++
 	ev.dead = false
 	ev.fn = nil
+	ev.argFn = nil
+	ev.arg = 0
 	ev.owner = nil
 	ev.dst = nil
 	ev.from = ""
 	ev.proto = ""
 	ev.msg = nil
+	ev.env = Envelope{}
 	ev.tick = nil
 	s.free = append(s.free, idx)
 }
@@ -251,7 +313,7 @@ func (s *Sim) schedule(t time.Duration) *event {
 	}
 	s.seq++
 	idx, ev := s.alloc()
-	s.queue.push(t, s.seq, idx)
+	s.qpush(t, s.seq, idx)
 	return ev
 }
 
@@ -272,8 +334,8 @@ func (s *Sim) After(d time.Duration, fn func()) *Timer {
 // Step executes the next pending event. It reports whether an event was
 // executed.
 func (s *Sim) Step() bool {
-	for s.queue.len() > 0 {
-		entry := s.queue.pop()
+	for s.qlen() > 0 {
+		entry := s.qpop()
 		ev := s.eventAt(entry.idx)
 		if ev.dead {
 			s.recycle(entry.idx, ev)
@@ -282,15 +344,23 @@ func (s *Sim) Step() bool {
 		s.now = entry.at
 		switch {
 		case ev.dst != nil:
-			s.deliver(ev)
+			if ev.env.Kind != 0 {
+				s.deliverEnv(ev)
+			} else {
+				s.deliver(ev)
+			}
 			s.recycle(entry.idx, ev)
 		case ev.tick != nil:
 			s.runTick(entry.idx, ev)
 		default:
-			fn, owner := ev.fn, ev.owner
+			fn, argFn, arg, owner := ev.fn, ev.argFn, ev.arg, ev.owner
 			s.recycle(entry.idx, ev)
-			if fn != nil && (owner == nil || !owner.down) {
-				fn()
+			if owner == nil || !owner.down {
+				if fn != nil {
+					fn()
+				} else if argFn != nil {
+					argFn(arg)
+				}
 			}
 		}
 		return true
@@ -314,7 +384,7 @@ func (s *Sim) runTick(idx uint32, ev *event) {
 		return
 	}
 	s.seq++
-	s.queue.push(s.now+t.interval, s.seq, idx)
+	s.qpush(s.now+t.interval, s.seq, idx)
 }
 
 // RunUntil executes events in order until the queue is exhausted or the
@@ -344,12 +414,12 @@ func (s *Sim) Run() {
 // peek reports the time of the next live event.
 func (s *Sim) peek() (time.Duration, bool) {
 	for {
-		entry, ok := s.queue.peek()
+		entry, ok := s.qpeek()
 		if !ok {
 			return 0, false
 		}
 		if ev := s.eventAt(entry.idx); ev.dead {
-			s.queue.pop()
+			s.qpop()
 			s.recycle(entry.idx, ev)
 			continue
 		}
@@ -359,8 +429,12 @@ func (s *Sim) peek() (time.Duration, bool) {
 
 // Pending returns the number of live scheduled events.
 func (s *Sim) Pending() int {
+	entries := s.queue.e
+	if s.wheel != nil {
+		entries = s.wheel.entries(nil)
+	}
 	n := 0
-	for _, entry := range s.queue.e {
+	for _, entry := range entries {
 		if !s.eventAt(entry.idx).dead {
 			n++
 		}

@@ -1,0 +1,199 @@
+package simnet
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// refModel is an independent reference scheduler built on the standard
+// library's container/heap, deliberately sharing no code with either
+// production queue. The property tests drive the timing wheel and this
+// model with identical operation sequences and require identical pop
+// sequences.
+type refModel []heapEntry
+
+func (m refModel) Len() int      { return len(m) }
+func (m refModel) Swap(i, j int) { m[i], m[j] = m[j], m[i] }
+func (m refModel) Less(i, j int) bool {
+	if m[i].at != m[j].at {
+		return m[i].at < m[j].at
+	}
+	return m[i].seq < m[j].seq
+}
+func (m *refModel) Push(x any) { *m = append(*m, x.(heapEntry)) }
+func (m *refModel) Pop() any {
+	old := *m
+	n := len(old) - 1
+	e := old[n]
+	*m = old[:n]
+	return e
+}
+
+// drawDeadline picks a deadline at or after now from one of several
+// regimes so the test exercises every wheel level: the current drain
+// window, the L0 wheel, the L1 wheel, and the far-future spill.
+func drawDeadline(rng *rand.Rand, now time.Duration) time.Duration {
+	switch rng.Intn(10) {
+	case 0: // same tick / zero delay — must land in the current run
+		return now
+	case 1, 2, 3: // near future: L0 territory (latency-scale)
+		return now + time.Duration(rng.Int63n(int64(250*time.Millisecond)))
+	case 4, 5, 6: // mid future: L1 territory (ticker-scale)
+		return now + time.Duration(rng.Int63n(int64(60*time.Second)))
+	case 7, 8: // beyond the L1 horizon: spill territory
+		return now + 69*time.Second + time.Duration(rng.Int63n(int64(10*time.Minute)))
+	default: // deep idle gap: forces the L1 window slide
+		return now + time.Duration(rng.Int63n(int64(4*time.Hour)))
+	}
+}
+
+// TestWheelMatchesHeapModel drives the wheel and the reference model
+// with the same randomized insert/advance sequence and checks that
+// every pop returns the same (at, seq, idx) triple — i.e. the wheel
+// realizes exactly the (at, seq) total order, which is the property
+// journal determinism rests on.
+func TestWheelMatchesHeapModel(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		w := newTimerWheel()
+		ref := &refModel{}
+		var (
+			seq uint64
+			now time.Duration
+		)
+		for op := 0; op < 4000; op++ {
+			if n := rng.Intn(10); n < 6 || ref.Len() == 0 {
+				seq++
+				at := drawDeadline(rng, now)
+				w.push(at, seq, uint32(seq))
+				heap.Push(ref, heapEntry{at: at, seq: seq, idx: uint32(seq)})
+				continue
+			}
+			want := heap.Pop(ref).(heapEntry)
+			gotPeek, ok := w.peek()
+			if !ok || gotPeek != want {
+				t.Fatalf("seed %d op %d: peek = %+v (ok=%v), want %+v", seed, op, gotPeek, ok, want)
+			}
+			got := w.pop()
+			if got != want {
+				t.Fatalf("seed %d op %d: pop = %+v, want %+v", seed, op, got, want)
+			}
+			now = got.at // simulation time advances to the popped event
+		}
+		// Drain both completely; the tails must agree too.
+		for ref.Len() > 0 {
+			want := heap.Pop(ref).(heapEntry)
+			got, ok := w.peek()
+			if !ok || got != want {
+				t.Fatalf("seed %d drain: peek = %+v (ok=%v), want %+v", seed, got, ok, want)
+			}
+			w.pop()
+		}
+		if e, ok := w.peek(); ok {
+			t.Fatalf("seed %d: wheel still has %+v after drain", seed, e)
+		}
+		if w.len() != 0 {
+			t.Fatalf("seed %d: wheel len = %d after drain", seed, w.len())
+		}
+	}
+}
+
+// TestWheelSameTickFIFO checks stable ordering for equal deadlines:
+// entries scheduled for the same instant must pop in scheduling (seq)
+// order, including entries binary-inserted into an already-materialized
+// drain window.
+func TestWheelSameTickFIFO(t *testing.T) {
+	w := newTimerWheel()
+	const at = 5 * time.Millisecond
+	for seq := uint64(1); seq <= 100; seq++ {
+		w.push(at, seq, uint32(seq))
+	}
+	// Materialize the run, then add more entries at the same tick; they
+	// must slot in after the existing ones.
+	if e, _ := w.peek(); e.seq != 1 {
+		t.Fatalf("first peek seq = %d, want 1", e.seq)
+	}
+	for seq := uint64(101); seq <= 200; seq++ {
+		w.push(at, seq, uint32(seq))
+	}
+	for want := uint64(1); want <= 200; want++ {
+		e, ok := w.peek()
+		if !ok || e.seq != want || e.at != at {
+			t.Fatalf("pop %d: got %+v (ok=%v)", want, e, ok)
+		}
+		w.pop()
+	}
+}
+
+// TestWheelSpillPromotion checks the far-future path: entries beyond
+// the L1 horizon go to the spill and are promoted through L1/L0 in
+// order, including across idle gaps that force the L1 window to slide.
+func TestWheelSpillPromotion(t *testing.T) {
+	w := newTimerWheel()
+	deadlines := []time.Duration{
+		3 * time.Hour,    // deep spill
+		70 * time.Second, // just past the initial L1 horizon
+		time.Millisecond, // L0
+		30 * time.Second, // L1
+		90 * time.Minute, // spill, out of insertion order
+		3*time.Hour + 1,  // adjacent to the deep entry
+		3*time.Hour - time.Nanosecond,
+	}
+	for i, at := range deadlines {
+		w.push(at, uint64(i+1), uint32(i+1))
+	}
+	var prev heapEntry
+	for i := 0; i < len(deadlines); i++ {
+		e, ok := w.peek()
+		if !ok {
+			t.Fatalf("pop %d: wheel empty", i)
+		}
+		if i > 0 && !entryLess(prev, e) {
+			t.Fatalf("pop %d: %+v not after %+v", i, e, prev)
+		}
+		prev = e
+		w.pop()
+	}
+	if w.len() != 0 {
+		t.Fatalf("wheel len = %d after drain", w.len())
+	}
+}
+
+// TestSimSchedulerEquivalence runs the same timer workload — including
+// cancellations — through two Sims, one per scheduler, and requires
+// identical execution traces.
+func TestSimSchedulerEquivalence(t *testing.T) {
+	run := func(opts ...Option) []string {
+		s := New(append(opts, WithSeed(7))...)
+		var trace []string
+		rng := rand.New(rand.NewSource(42))
+		var timers []*Timer
+		for i := 0; i < 500; i++ {
+			i := i
+			d := drawDeadline(rng, 0)
+			timers = append(timers, s.After(d, func() {
+				trace = append(trace, time.Duration(i).String())
+			}))
+		}
+		// Cancel a deterministic third of them.
+		for i, tm := range timers {
+			if i%3 == 0 {
+				tm.Stop()
+			}
+		}
+		s.RunUntil(5 * time.Hour)
+		return trace
+	}
+	wheel := run()
+	heapTrace := run(WithHeapScheduler())
+	if len(wheel) != len(heapTrace) {
+		t.Fatalf("trace lengths differ: wheel %d, heap %d", len(wheel), len(heapTrace))
+	}
+	for i := range wheel {
+		if wheel[i] != heapTrace[i] {
+			t.Fatalf("trace[%d]: wheel %q, heap %q", i, wheel[i], heapTrace[i])
+		}
+	}
+}

@@ -83,8 +83,10 @@ func load(path string) (benchFile, error) {
 // It returns human-readable comparison lines and the list of
 // regressions: a metric exceeding baseline*(1+threshold), or an
 // experiment present in the baseline but missing from the candidate.
-// Experiments only in the candidate are reported but never fail — new
-// experiments must be able to land before their baseline does.
+// Experiments only in the candidate are labeled "added" and never
+// fail — new bench IDs (a new scenario tier, a fresh chaos-corpus
+// entry) must be able to land before their baseline does; they start
+// gating once the regenerated baseline is committed.
 func diff(base, cand benchFile, threshold float64) (lines, failures []string) {
 	candByID := make(map[string]bench, len(cand.Benches))
 	for _, b := range cand.Benches {
@@ -114,7 +116,7 @@ func diff(base, cand benchFile, threshold float64) (lines, failures []string) {
 	}
 	for _, c := range cand.Benches {
 		if !seen[c.ID] {
-			lines = append(lines, fmt.Sprintf("%-8s new experiment (no baseline)", c.ID))
+			lines = append(lines, fmt.Sprintf("%-8s added (informational; gates once a baseline is committed)", c.ID))
 		}
 	}
 	return lines, failures

@@ -64,7 +64,7 @@ func TestDiffNewExperimentPasses(t *testing.T) {
 	if len(failures) != 0 {
 		t.Fatalf("new experiment failed the gate: %v", failures)
 	}
-	if len(lines) != 1 || !strings.Contains(lines[0], "no baseline") {
+	if len(lines) != 1 || !strings.Contains(lines[0], "added") {
 		t.Fatalf("lines = %v", lines)
 	}
 }
