@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-city fuzz experiments examples obs-demo bench-baseline bench-gate determinism chaos chaos-replay clean
+.PHONY: all build test race cover bench bench-city fuzz experiments examples obs-demo bench-baseline bench-gate determinism chaos chaos-replay chaos-verify clean
 
 all: build test
 
@@ -76,6 +76,11 @@ chaos:
 # recorded failures and journal hash byte-identically.
 chaos-replay:
 	$(GO) run -race ./cmd/riotchaos replay -corpus corpus/chaos -parallel 4
+
+# Verify the corpus against the hardened profile: ML4 entries must be
+# fixed by the resilience mechanisms, ML1 entries must still fail.
+chaos-verify:
+	$(GO) run -race ./cmd/riotchaos verify -corpus corpus/chaos -parallel 4
 
 # Short traced smart-city run; open trace.json at chrome://tracing.
 obs-demo:

@@ -4,18 +4,27 @@
 //
 // Usage:
 //
-//	riotchaos search -arch ML1 -budget 100 -parallel 4 [-corpus DIR]
+//	riotchaos search -arch ML1 -budget 100 -parallel 4 [-min-events 3] [-corpus DIR]
 //	riotchaos shrink -in schedule.json -arch ML1 [-out ce.json]
 //	riotchaos replay -corpus DIR [-parallel 4]
+//	riotchaos verify -corpus DIR [-parallel 4]
 //
 // search judges -budget candidate schedules (deterministically derived
 // from -seed) against the oracle and delta-debugs every violation to a
-// minimal counterexample; with -corpus the deduplicated minimal
+// minimal counterexample; -min-events floors the generated schedules so
+// post-hardening campaigns hunt fault combinations instead of
+// re-finding single events; with -corpus the deduplicated minimal
 // counterexamples are written there as replayable JSON artifacts.
 // shrink minimizes one failing schedule read from a fault.Schedule JSON
 // file. replay re-runs every committed counterexample and verifies both
 // the expected failure kinds and a byte-identical journal hash, serially
 // or with -parallel workers — the result is the same either way.
+// verify replays the corpus against the hardened scenario profile
+// (core.ScenarioConfig.Hardened: island mode, placement spreading,
+// backup actuators, sticky failover) and checks each entry against its
+// `expect` field: hardened ML4 must fix its partition-island and
+// actuator-loss entries, while ML1 entries must still fail — the
+// maturity ordering the paper claims.
 package main
 
 import (
@@ -50,8 +59,10 @@ func run(args []string, out io.Writer) error {
 		return runShrink(args[1:], out)
 	case "replay":
 		return runReplay(args[1:], out)
+	case "verify":
+		return runVerify(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want search, shrink or replay)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want search, shrink, replay or verify)", args[0])
 	}
 }
 
@@ -83,6 +94,7 @@ func runSearch(args []string, out io.Writer) error {
 	budget := fs.Int("budget", 50, "number of candidate schedules to evaluate")
 	parallel := fs.Int("parallel", 1, "worker count (0 = GOMAXPROCS)")
 	seed := fs.Int64("seed", 1, "search seed (candidate derivation)")
+	minEvents := fs.Int("min-events", 0, "floor on events per candidate schedule (multi-fault campaigns)")
 	corpusDir := fs.String("corpus", "", "write deduplicated minimal counterexamples to this directory")
 	verbose := fs.Bool("v", false, "stream chaos.* progress events")
 	if err := fs.Parse(args); err != nil {
@@ -92,6 +104,7 @@ func runSearch(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	cfg.MinEvents = *minEvents
 	if *verbose {
 		cfg.Bus = obs.NewBus(nil)
 		sub := cfg.Bus.SubscribeFunc(func(ev obs.Event) {
@@ -202,6 +215,44 @@ func runReplay(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "replayed %d counterexample(s): all reproduce byte-identically\n", len(results))
+	return nil
+}
+
+func runVerify(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("riotchaos verify", flag.ContinueOnError)
+	corpusDir := fs.String("corpus", "corpus/chaos", "counterexample corpus directory")
+	parallel := fs.Int("parallel", 1, "worker count (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ces, err := chaos.LoadCorpus(*corpusDir)
+	if err != nil {
+		return err
+	}
+	if len(ces) == 0 {
+		return fmt.Errorf("verify: no counterexamples in %s", *corpusDir)
+	}
+	results, err := chaos.VerifyAll(ces, *parallel)
+	fixed := 0
+	for _, r := range results {
+		mark := "ok  "
+		if r.Err != nil {
+			mark = "FAIL"
+		}
+		if r.Status == chaos.ExpectFixed {
+			fixed++
+		}
+		fmt.Fprintf(out, "%s  %-12s %-44s R=%.3f (was %.3f) expect=%s\n",
+			mark, r.Status, r.Name, r.R, r.RecordedR, r.Expect)
+		if r.Detail != "" {
+			fmt.Fprintf(out, "      %s\n", r.Detail)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "verified %d counterexample(s) against the hardened profile: %d fixed, %d still-fail — all as expected\n",
+		len(results), fixed, len(results)-fixed)
 	return nil
 }
 

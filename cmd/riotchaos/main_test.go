@@ -8,6 +8,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chaos"
+	"repro/internal/core"
 	"repro/internal/fault"
 )
 
@@ -108,4 +110,54 @@ func TestCLIErrors(t *testing.T) {
 	if err := run([]string{"replay", "-corpus", "/does/not/exist"}, &out); err == nil {
 		t.Fatal("empty corpus accepted")
 	}
+}
+
+func TestVerifySubcommand(t *testing.T) {
+	dir := t.TempDir()
+	cfg, err := verifyFixtureConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := chaos.NewOracle(cfg)
+	s := &fault.Schedule{}
+	s.Crash(time.Minute, "gw-0", 0)
+	v := o.Run(s)
+	if !v.Failed() {
+		t.Fatal("fixture schedule passes")
+	}
+	ce := chaos.NewCounterexample(cfg, chaos.Shrink(o, s, v, 0))
+	// ML1 has no mechanism against a dead gateway: still-fails (the
+	// empty-Expect default) must verify green.
+	if _, err := ce.WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"verify", "-corpus", dir, "-parallel", "2"}, &out); err != nil {
+		t.Fatalf("verify: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "0 fixed, 1 still-fail — all as expected") {
+		t.Fatalf("verify output:\n%s", out.String())
+	}
+
+	// Declaring the same entry fixed must fail the run.
+	ce.Expect = chaos.ExpectFixed
+	if _, err := ce.WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = run([]string{"verify", "-corpus", dir}, &out)
+	if err == nil || !strings.Contains(err.Error(), "corpus expects fixed") {
+		t.Fatalf("expectation mismatch not reported: %v\n%s", err, out.String())
+	}
+}
+
+// verifyFixtureConfig is the short ML1 scenario the verify test pins.
+func verifyFixtureConfig() (chaos.Config, error) {
+	arch, err := core.ParseArchetype("ML1")
+	if err != nil {
+		return chaos.Config{}, err
+	}
+	sc := core.DefaultScenario()
+	sc.Duration = 4 * time.Minute
+	return chaos.Config{Scenario: sc, Archetype: arch}, nil
 }

@@ -41,6 +41,12 @@ type Config struct {
 	// MinPersistence is the floor on Report.GoalPersistence. Zero
 	// selects DefaultMinPersistence; negative disables the check.
 	MinPersistence float64
+	// MinEvents floors the number of events per generated candidate
+	// schedule (counting repairs), so post-hardening campaigns explore
+	// fault *combinations* instead of re-finding single events the
+	// corpus already pins. Zero keeps the generator's historical 1–4
+	// action sampling.
+	MinEvents int
 	// Bus receives chaos.* progress events (candidate verdicts,
 	// violations found, shrink results). Nil disables instrumentation;
 	// the obs fast path makes an idle bus near-free.

@@ -46,6 +46,30 @@ type Counterexample struct {
 	Failures        []FailureKind `json:"failures"`
 	GoalPersistence float64       `json:"goal_persistence"`
 	JournalHash     string        `json:"journal_hash"`
+
+	// Expect states what `riotchaos verify` should see when the entry
+	// replays against the *hardened* scenario profile
+	// (core.ScenarioConfig.Hardened): ExpectFixed for counterexamples
+	// the resilience mechanisms close, ExpectStillFails for maturity
+	// gaps that are supposed to stay open (ML1 has no mechanism to fix
+	// them — that ordering is the paper's Table 1 vs Table 2 claim).
+	// Empty means ExpectStillFails. Plain `replay` ignores this field:
+	// its contract pins the default-knob run bit-for-bit.
+	Expect string `json:"expect,omitempty"`
+}
+
+// Expect values.
+const (
+	ExpectStillFails = "still-fails"
+	ExpectFixed      = "fixed"
+)
+
+// expectation normalizes the Expect field.
+func (ce *Counterexample) expectation() string {
+	if ce.Expect == ExpectFixed {
+		return ExpectFixed
+	}
+	return ExpectStillFails
 }
 
 // NewCounterexample captures a minimized search find under the given
@@ -100,6 +124,17 @@ func (ce *Counterexample) Config() (Config, error) {
 	sc.Cloudlets = ce.Cloudlets
 	sc.Duration = dur
 	return Config{Scenario: sc, Archetype: arch, MinPersistence: ce.MinPersistence}, nil
+}
+
+// HardenedConfig rebuilds the oracle configuration with every
+// resilience knob on — the profile verify runs against.
+func (ce *Counterexample) HardenedConfig() (Config, error) {
+	cfg, err := ce.Config()
+	if err != nil {
+		return Config{}, err
+	}
+	cfg.Scenario = cfg.Scenario.Hardened()
+	return cfg, nil
 }
 
 // Replay re-runs the counterexample and verifies it reproduces: every
@@ -162,6 +197,81 @@ func LoadCorpus(dir string) ([]*Counterexample, error) {
 		out = append(out, &ce)
 	}
 	return out, nil
+}
+
+// VerifyResult is one corpus entry's outcome under the hardened
+// profile.
+type VerifyResult struct {
+	Name   string
+	Expect string // what the corpus entry declares
+	Status string // what the hardened run produced
+	// R is the hardened run's goal persistence; RecordedR the
+	// persistence recorded when the entry was found (default knobs).
+	R         float64
+	RecordedR float64
+	// Detail summarizes the surviving failures when Status is
+	// still-fails ("" when fixed).
+	Detail string
+	// Err is set on a config error or an expectation mismatch.
+	Err error
+}
+
+// Verify replays the counterexample's schedule against the hardened
+// scenario profile and classifies the entry: ExpectFixed when the
+// oracle passes the run outright (no failure of any kind — stricter
+// than "the recorded kinds no longer recur", so a fix cannot trade one
+// failure class for another), ExpectStillFails otherwise. Unlike
+// Replay it does not compare journal hashes: the hardened run is a
+// different execution by design; the recorded hash pins only the
+// default-knob replay.
+func (ce *Counterexample) Verify() VerifyResult {
+	res := VerifyResult{Name: ce.Name, Expect: ce.expectation(), RecordedR: ce.GoalPersistence}
+	cfg, err := ce.HardenedConfig()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	v := NewOracle(cfg).Run(ce.Schedule)
+	res.R = v.Report.GoalPersistence
+	if v.Failed() {
+		res.Status = ExpectStillFails
+		res.Detail = v.String()
+	} else {
+		res.Status = ExpectFixed
+	}
+	if res.Status != res.Expect {
+		res.Err = fmt.Errorf("counterexample %s: hardened run is %s (R=%.3f), corpus expects %s",
+			ce.Name, res.Status, res.R, res.Expect)
+	}
+	return res
+}
+
+// VerifyAll verifies every counterexample against the hardened profile,
+// fanning over a RunPool at the given worker count. Results come back
+// in corpus order whatever the parallelism; the returned error is the
+// first expectation mismatch (all entries are verified regardless).
+func VerifyAll(ces []*Counterexample, workers int) ([]VerifyResult, error) {
+	results := make([]VerifyResult, len(ces))
+	jobs := make([]experiments.Job, len(ces))
+	for i, ce := range ces {
+		i, ce := i, ce
+		jobs[i] = experiments.Job{
+			ID: ce.Name,
+			Run: func(int) error {
+				results[i] = ce.Verify()
+				return nil // mismatches are reported per entry, not as pool aborts
+			},
+		}
+	}
+	if err := experiments.RunPool(workers, jobs); err != nil {
+		return results, err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return results, fmt.Errorf("%s: %w", r.Name, r.Err)
+		}
+	}
+	return results, nil
 }
 
 // ReplayResult is one corpus entry's replay outcome.

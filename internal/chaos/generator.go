@@ -23,6 +23,10 @@ type Generator struct {
 	devices []simnet.NodeID
 	all     []simnet.NodeID
 	domains []string
+	// minEvents floors the schedule-event count of every candidate
+	// (repairs count: each is an event the system must ride through).
+	// Zero keeps the historical 1–4 action sampling byte-identical.
+	minEvents int
 }
 
 // NewGenerator derives a generator for the config's scenario topology.
@@ -34,11 +38,16 @@ func NewGenerator(cfg Config) *Generator {
 		horizon = core.DefaultScenario().Duration
 	}
 	devices := append(append([]simnet.NodeID(nil), topo.Sensors...), topo.Actuators...)
+	minEvents := cfg.MinEvents
+	if minEvents < 0 {
+		minEvents = 0
+	}
 	return &Generator{
-		horizon: horizon,
-		infra:   topo.Infrastructure(),
-		devices: devices,
-		all:     topo.All(),
+		minEvents: minEvents,
+		horizon:   horizon,
+		infra:     topo.Infrastructure(),
+		devices:   devices,
+		all:       topo.All(),
 		// Destination domains for transfer events: one the spatial
 		// model knows (cloudprov) and one it does not.
 		domains: []string{"cloudprov", "foreign"},
@@ -58,10 +67,22 @@ func (g *Generator) Candidate(seed int64, i int) *fault.Schedule {
 	return g.fresh(rng)
 }
 
-// fresh samples a schedule of 1–4 disruption actions.
+// fresh samples a schedule of 1–4 disruption actions, topped up to the
+// multi-fault floor when one is configured.
 func (g *Generator) fresh(rng *rand.Rand) *fault.Schedule {
 	s := &fault.Schedule{}
 	for n := 1 + rng.Intn(4); n > 0; n-- {
+		g.addAction(s, rng)
+	}
+	return g.topUp(s, rng)
+}
+
+// topUp appends fresh actions until the schedule holds at least
+// minEvents events. Each action adds one or two events (fault, maybe
+// repair), so the loop terminates; with minEvents zero it draws no
+// randomness at all, keeping historical candidate streams untouched.
+func (g *Generator) topUp(s *fault.Schedule, rng *rand.Rand) *fault.Schedule {
+	for s.Len() < g.minEvents {
 		g.addAction(s, rng)
 	}
 	return s
@@ -142,7 +163,7 @@ func (g *Generator) mutate(base *fault.Schedule, rng *rand.Rand) *fault.Schedule
 	for _, ev := range events {
 		out.Add(ev)
 	}
-	return out
+	return g.topUp(out, rng)
 }
 
 // at samples an injection time in the first 85% of the run, leaving a

@@ -67,6 +67,12 @@ type Config struct {
 	// leader they refuse, so the node's term never inflates and its
 	// return does not depose the leader.
 	DisablePreVote bool
+	// CheckQuorum makes a leader surrender leadership when it has not
+	// heard AppendEntries responses from a quorum within
+	// ElectionTimeoutMax: a leader stranded on the minority side of a
+	// partition stops believing its own lease instead of serving stale
+	// reads/placements forever. Off by default.
+	CheckQuorum bool
 }
 
 func (c Config) withDefaults() Config {
@@ -200,6 +206,11 @@ type Node struct {
 	// lastLeaderContact is when a valid AppendEntries last arrived;
 	// pre-votes are refused while a leader is recent.
 	lastLeaderContact time.Duration
+	// peerContact is, on the leader, when each peer's last
+	// AppendEntries response arrived (indexed like matchIndex).
+	// QuorumContact derives quorum connectivity from it.
+	peerContact    []time.Duration
+	contactScratch []time.Duration
 
 	electionTimer *simnet.Timer
 	heartbeat     *simnet.Ticker
@@ -334,6 +345,12 @@ func (n *Node) onRecover() {
 	}
 	n.commitIndex = 0
 	n.lastApplied = 0
+	// Restart the quorum-contact clock: a node that was down for
+	// longer than the island grace window should get a fresh grace
+	// period on recovery, not flap straight into island mode. Behavior-
+	// neutral otherwise — pre-vote refusal reads this only while
+	// leaderID is set, and becomeFollower below clears it.
+	n.lastLeaderContact = n.ep.Now()
 	n.becomeFollower(n.currentTerm, "")
 }
 
@@ -477,17 +494,60 @@ func (n *Node) maybeWin() {
 		n.matchIndex[i] = 0
 	}
 	n.matchIndex[n.selfIdx] = n.lastLogIndex()
+	// Winning means a quorum just granted votes: contact is fresh.
+	if n.peerContact == nil {
+		n.peerContact = make([]time.Duration, len(n.peers))
+	}
+	for i := range n.peerContact {
+		n.peerContact[i] = n.ep.Now()
+	}
 	if n.electionTimer != nil {
 		n.electionTimer.Stop()
 		n.electionTimer = nil
 	}
 	n.broadcastAppend()
-	n.heartbeat = n.ep.Every(n.cfg.HeartbeatInterval, n.broadcastAppend)
+	n.heartbeat = n.ep.Every(n.cfg.HeartbeatInterval, n.heartbeatTick)
 	n.bus.Emit("raft.leader", string(n.ep.ID()), 0, 0, "won term %d", n.currentTerm)
 	n.notifyLeader(n.ep.ID())
 }
 
 func (n *Node) quorum() int { return len(n.peers)/2 + 1 }
+
+// heartbeatTick is the leader's periodic duty: surrender a stale lease
+// when CheckQuorum is on, then replicate.
+func (n *Node) heartbeatTick() {
+	if n.cfg.CheckQuorum && n.role == Leader &&
+		n.ep.Now()-n.QuorumContact() > n.cfg.ElectionTimeoutMax {
+		n.bus.Emit("raft.election", string(n.ep.ID()), 0, 0, "leader stepping down: quorum contact lost at term %d", n.currentTerm)
+		n.becomeFollower(n.currentTerm, "")
+		return
+	}
+	n.broadcastAppend()
+}
+
+// QuorumContact reports the last time this node was demonstrably in
+// contact with a cluster quorum: for a follower or candidate, the last
+// valid AppendEntries from a leader; for a leader, the quorum-th most
+// recent AppendEntries response across peers (counting itself as
+// always current). `now - QuorumContact()` growing beyond a grace
+// window is the island-mode trigger (core wiring, DESIGN.md §9).
+func (n *Node) QuorumContact() time.Duration {
+	if n.role != Leader || n.peerContact == nil {
+		return n.lastLeaderContact
+	}
+	times := n.contactScratch[:0]
+	for i := range n.peers {
+		if i == n.selfIdx {
+			times = append(times, n.ep.Now())
+		} else {
+			times = append(times, n.peerContact[i])
+		}
+	}
+	slices.Sort(times)
+	n.contactScratch = times
+	// The quorum-th newest of an ascending sort is times[len-quorum].
+	return times[len(times)-n.quorum()]
+}
 
 func (n *Node) lastLogIndex() uint64 { return uint64(len(n.log) - 1) }
 
@@ -752,6 +812,11 @@ func (n *Node) handleAppendResp(from simnet.NodeID, m appendEntriesResp) {
 	fi := n.peerIdx(from)
 	if fi < 0 {
 		return
+	}
+	if n.peerContact != nil {
+		// Any same-term response — success or log mismatch — proves the
+		// peer is reachable.
+		n.peerContact[fi] = n.ep.Now()
 	}
 	if m.Success {
 		if m.MatchIndex > n.matchIndex[fi] {

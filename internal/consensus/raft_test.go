@@ -451,3 +451,80 @@ func TestMessageSizes(t *testing.T) {
 		t.Fatal("entries must add to message size")
 	}
 }
+
+// groupWith builds an n-node Raft group with a shared config.
+func groupWith(t *testing.T, sim *simnet.Sim, n int, cfg Config) []*Node {
+	t.Helper()
+	ids := make([]simnet.NodeID, n)
+	for i := range ids {
+		ids[i] = simnet.NodeID(fmt.Sprintf("r%d", i))
+	}
+	nodes := make([]*Node, n)
+	for i := range ids {
+		nodes[i] = New(sim.AddNode(ids[i]), ids, cfg, nil)
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	return nodes
+}
+
+// TestCheckQuorumLeaderStepsDownWhenIsolated strands a leader on the
+// minority side of a partition: with CheckQuorum it must surrender
+// leadership within ElectionTimeoutMax of losing quorum contact —
+// the signal the island guard keys off — instead of reigning over a
+// one-node fiefdom forever.
+func TestCheckQuorumLeaderStepsDownWhenIsolated(t *testing.T) {
+	sim := simnet.New(simnet.WithSeed(9), simnet.WithDefaultLatency(2*time.Millisecond))
+	nodes := groupWith(t, sim, 3, Config{CheckQuorum: true})
+	lead := waitForLeader(t, sim, nodes, 3*time.Second)
+
+	var rest []simnet.NodeID
+	for _, nd := range nodes {
+		if nd != lead {
+			rest = append(rest, nd.ep.ID())
+		}
+	}
+	sim.Partition([]simnet.NodeID{lead.ep.ID()}, rest)
+	sim.RunUntil(sim.Now() + time.Second)
+	if lead.Role() == Leader {
+		t.Fatal("isolated leader kept leadership with CheckQuorum on")
+	}
+	if stale := sim.Now() - lead.QuorumContact(); stale < time.Second {
+		t.Fatalf("QuorumContact only %v stale after a 1s isolation", stale)
+	}
+
+	// The majority side elects its own leader; after healing there is
+	// exactly one, and its quorum contact stays fresh.
+	sim.HealPartition()
+	lead2 := waitForLeader(t, sim, nodes, sim.Now()+3*time.Second)
+	sim.RunUntil(sim.Now() + time.Second)
+	if ls := leaders(nodes, sim); len(ls) != 1 {
+		t.Fatalf("%d leaders after heal", len(ls))
+	}
+	if stale := sim.Now() - lead2.QuorumContact(); stale > 300*time.Millisecond {
+		t.Fatalf("healthy leader's QuorumContact is %v stale", stale)
+	}
+}
+
+// TestWithoutCheckQuorumIsolatedLeaderPersists pins the contrast: with
+// the knob off (the default every pinned journal runs under), the same
+// isolation leaves the old leader in place — the legacy behavior the
+// determinism contract depends on.
+func TestWithoutCheckQuorumIsolatedLeaderPersists(t *testing.T) {
+	sim := simnet.New(simnet.WithSeed(9), simnet.WithDefaultLatency(2*time.Millisecond))
+	nodes := groupWith(t, sim, 3, Config{})
+	lead := waitForLeader(t, sim, nodes, 3*time.Second)
+
+	var rest []simnet.NodeID
+	for _, nd := range nodes {
+		if nd != lead {
+			rest = append(rest, nd.ep.ID())
+		}
+	}
+	sim.Partition([]simnet.NodeID{lead.ep.ID()}, rest)
+	sim.RunUntil(sim.Now() + time.Second)
+	if lead.Role() != Leader {
+		t.Fatal("isolated leader stepped down without CheckQuorum")
+	}
+}

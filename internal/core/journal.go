@@ -28,6 +28,10 @@ const (
 	EventRecovery  = "recovery"
 	EventPrivacy   = "privacy"
 	EventAlert     = "models@runtime"
+	// EventIsland marks island-mode transitions (enter/rejoin). Only
+	// emitted under the hardened profile (ScenarioConfig.IslandMode),
+	// so default-knob journals never contain it.
+	EventIsland = "island"
 )
 
 // record appends one journal entry at the current virtual time.

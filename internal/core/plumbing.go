@@ -58,6 +58,17 @@ func directActuate(port simnet.Port) func(z int, engage bool) {
 	}
 }
 
+// sendActTo ships one actuation command to an explicit target — the
+// backup-actuator failover path. directActuate stays the fixed-primary
+// fast path; callers resolve ec once and pass it in.
+func sendActTo(port simnet.Port, ec simnet.EnvelopeCarrier, to simnet.NodeID, z int, engage bool) {
+	if ec != nil {
+		ec.SendEnvelope(to, simnet.Envelope{Kind: envActuate, A: uint64(z), Flag: engage, Bytes: 16})
+		return
+	}
+	port.Send(to, actuateMsg{Zone: z, Engage: engage})
+}
+
 // zoneTempKey is the data key of a zone's temperature stream.
 func zoneTempKey(z int) string {
 	if z >= 0 && z < keyTableSize {
@@ -109,6 +120,14 @@ type reporter struct {
 	seq        uint64
 	pending    map[uint64]*simnet.Timer
 	bus        *obs.Bus
+	// sticky (ScenarioConfig.StickyFailover) makes a failed home retry
+	// jump straight back to the last acked candidate instead of walking
+	// the list from the top. Inside a device-side island most of the
+	// list is unreachable, and the walk (reporterMissLimit × ackTimeout
+	// per dead candidate, restarted every reporterHomeInterval) would
+	// keep freshness flapping at the island's controller.
+	sticky   bool
+	lastGood int // last candidate index that acked; -1 if none
 }
 
 // newReporter wires a reporter onto port. The port's message handler is
@@ -118,6 +137,7 @@ func newReporter(port simnet.Port, candidates []simnet.NodeID) *reporter {
 		port:       port,
 		candidates: append([]simnet.NodeID(nil), candidates...),
 		pending:    make(map[uint64]*simnet.Timer),
+		lastGood:   -1,
 	}
 	r.argSched, _ = port.(simnet.ArgScheduler)
 	r.timeoutFn = r.onAckTimeout
@@ -154,6 +174,7 @@ func (r *reporter) onAck(seq uint64) {
 		t.Stop()
 		delete(r.pending, seq)
 		r.misses = 0
+		r.lastGood = r.cur
 	}
 }
 
@@ -166,7 +187,14 @@ func (r *reporter) onAckTimeout(seq uint64) {
 	delete(r.pending, seq)
 	r.misses++
 	if r.misses >= reporterMissLimit && len(r.candidates) > 1 {
-		r.cur = (r.cur + 1) % len(r.candidates)
+		if r.sticky && r.lastGood >= 0 && r.lastGood != r.cur {
+			r.cur = r.lastGood
+		} else {
+			if r.sticky && r.lastGood == r.cur {
+				r.lastGood = -1 // the remembered candidate died; walk again
+			}
+			r.cur = (r.cur + 1) % len(r.candidates)
+		}
 		r.misses = 0
 	}
 }

@@ -107,6 +107,51 @@ type ScenarioConfig struct {
 	// either way — enforced by TestSchedulerDifferential, which is the
 	// knob's reason to exist.
 	UseHeapScheduler bool
+
+	// Resilience hardening knobs (DESIGN.md §9). All default off/zero
+	// so every pinned journal — paper scale, city tier, and the chaos
+	// corpus replay contract — stays bit-identical. Hardened() turns
+	// them on as a profile; `riotchaos verify` runs the corpus against
+	// that profile.
+
+	// IslandMode lets an ML4 edge node that has lost Raft quorum
+	// contact for IslandGrace fall back to a local planner: the node
+	// keeps its zones' sensing→analysis→actuation chains running from
+	// locally-cached state and hands control back deterministically
+	// when quorum contact returns (CRDT merge + placement handoff).
+	IslandMode bool
+	// IslandGrace is how long quorum contact must be lost before a
+	// node enters island mode. Zero means 3 × ControlInterval — long
+	// enough that an election-timeout flap never trips it.
+	IslandGrace time.Duration
+	// PlacementSpread makes the ML4 planner place each zone controller
+	// on PlacementSpread distinct hosts spanning connectivity domains
+	// (primary + off-zone backups), so no single partition isolates
+	// every replica. 0 or 1 keeps single-replica placement.
+	PlacementSpread int
+	// BackupActuators adds that many standby actuators per zone to the
+	// topology. The ML4 actuation path fails over to the first
+	// gossip-alive candidate when the primary dies; other archetypes
+	// keep commanding only the primary (the maturity gap under test).
+	BackupActuators int
+	// StickyFailover makes sensor reporters return to the last node
+	// that acked them — instead of restarting the candidate walk from
+	// their home gateway — after the periodic home retry fails. Without
+	// it a reporter inside a device-side island spends most of each
+	// retry cycle walking dead candidates and freshness flaps.
+	StickyFailover bool
+}
+
+// Hardened returns a copy of the config with every resilience knob
+// turned on: island-mode degraded operation, 2-way placement spread,
+// one backup actuator per zone, and sticky reporter failover. This is
+// the profile `riotchaos verify` replays the corpus against.
+func (c ScenarioConfig) Hardened() ScenarioConfig {
+	c.IslandMode = true
+	c.PlacementSpread = 2
+	c.BackupActuators = 1
+	c.StickyFailover = true
+	return c
 }
 
 // DefaultScenario returns the configuration used by the Table 1/2
@@ -267,6 +312,10 @@ func occSensorID(zone int) simnet.NodeID {
 
 func actuatorID(zone int) simnet.NodeID {
 	return simnet.NodeID(fmt.Sprintf("z%d-act", zone))
+}
+
+func backupActuatorID(zone, i int) simnet.NodeID {
+	return simnet.NodeID(fmt.Sprintf("z%d-act-b%d", zone, i))
 }
 
 // cloudID is the single cloud node.

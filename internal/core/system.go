@@ -53,6 +53,10 @@ type actRig struct {
 	// away (a standard hardware failsafe, present at every maturity
 	// level).
 	lastCmd time.Duration
+	// gossip joins actuator rigs to the ML4 membership group when
+	// BackupActuators is on, so controllers detect actuator death and
+	// fail actuation over (DESIGN.md §9).
+	gossip *gossip.Protocol
 }
 
 // edgeStack is one edge or cloud node with whatever subsystems its
@@ -76,6 +80,13 @@ type edgeStack struct {
 	loop    *mape.Loop                // ML2+: analysis at this node
 	syncer  *mape.Syncer              // ML4 knowledge sharing
 
+	// appliedBackups mirrors applied for the raft-replicated backup
+	// controller replicas (PlacementSpread > 1); guard is the
+	// island-mode state machine (IslandMode). Both stay nil with the
+	// hardening knobs off.
+	appliedBackups map[int][]simnet.NodeID
+	guard          *mape.IslandGuard
+
 	// ml4Replan's models@runtime verdict depends only on the alive
 	// membership set; the leader re-checks every tick, so the verdict
 	// for the last-seen set is cached under its signature.
@@ -95,8 +106,11 @@ type System struct {
 
 	sensors   []*sensorRig
 	actuators []*actRig
-	gateways  []*edgeStack
-	cloudlets []*edgeStack
+	// actCandidates lists each zone's actuation targets in failover
+	// priority order: the primary first, then the backup rigs.
+	actCandidates [][]simnet.NodeID
+	gateways      []*edgeStack
+	cloudlets     []*edgeStack
 	// Caches over the fixed post-buildWorld topology.
 	edgeStackCache []*edgeStack
 	edgeIDCache    []simnet.NodeID
@@ -312,6 +326,26 @@ func (sys *System) buildWorld() {
 		actR.mux = simnet.NewMux(actR.ep)
 		sys.actuators = append(sys.actuators, actR)
 		place(act, z, 40, 40, "campus")
+
+		cands := []simnet.NodeID{act}
+		for b := 0; b < cfg.BackupActuators; b++ {
+			bid := backupActuatorID(z, b)
+			bDev := device.New(device.ID(bid), device.Config{
+				Class:        device.ClassActuatorNode,
+				Resources:    &device.Resources{Mains: true},
+				Capabilities: []device.Capability{device.ActuateCap("hvac")},
+			})
+			bR := &actRig{
+				id: bid, zone: z, dev: bDev,
+				actuator: &device.Actuator{Device: bDev, Zone: zoneID(z), Variable: env.Temperature, Effect: cfg.CoolRate},
+			}
+			bR.ep = sys.sim.AddNode(bid)
+			bR.mux = simnet.NewMux(bR.ep)
+			sys.actuators = append(sys.actuators, bR)
+			place(bid, z, 35+float64(b)*3, 42, "campus")
+			cands = append(cands, bid)
+		}
+		sys.actCandidates = append(sys.actCandidates, cands)
 
 		gw := gatewayID(z)
 		sys.gateways = append(sys.gateways, sys.newEdgeStack(gw, z, device.ClassGateway))

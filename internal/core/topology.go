@@ -12,7 +12,8 @@ type Topology struct {
 	Gateways  []simnet.NodeID
 	Cloudlets []simnet.NodeID
 	// Sensors holds the temperature sensors then the occupancy sensor
-	// of each zone; Actuators one HVAC rig per zone.
+	// of each zone; Actuators the primary HVAC rig of each zone
+	// followed by its backups when ScenarioConfig.BackupActuators > 0.
 	Sensors   []simnet.NodeID
 	Actuators []simnet.NodeID
 	Cloud     simnet.NodeID
@@ -30,6 +31,9 @@ func TopologyOf(cfg ScenarioConfig) Topology {
 		}
 		t.Sensors = append(t.Sensors, occSensorID(z))
 		t.Actuators = append(t.Actuators, actuatorID(z))
+		for b := 0; b < cfg.BackupActuators; b++ {
+			t.Actuators = append(t.Actuators, backupActuatorID(z, b))
+		}
 	}
 	for i := 0; i < cfg.Cloudlets; i++ {
 		t.Cloudlets = append(t.Cloudlets, cloudletID(i))

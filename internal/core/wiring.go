@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 	"time"
 
@@ -47,6 +48,7 @@ func (sys *System) startSensorsWithReporter(candidates func(*sensorRig) []simnet
 		rig := rig
 		rig.reporter = newReporter(rig.mux.Port("data"), candidates(rig))
 		rig.reporter.bus = sys.bus
+		rig.reporter.sticky = sys.cfg.StickyFailover
 		rig.ep.Every(sys.cfg.SampleInterval, func() {
 			val, ok := rig.sensor.Sample(sys.envm, sys.sim.Rand().NormFloat64())
 			if !ok {
@@ -448,16 +450,26 @@ func (sys *System) wireML4() {
 	}
 
 	// Gossip membership across the edge group.
+	gossipCfg := gossip.Config{
+		ProbeInterval:      time.Second,
+		ProbeTimeout:       200 * time.Millisecond,
+		SuspicionTimeout:   3 * time.Second,
+		StrictResurrection: sys.cfg.StrictMembership,
+	}
 	seeds := []simnet.NodeID{sys.gateways[0].id, sys.cloudlets[0].id}
 	for _, st := range edge {
-		st.gossip = gossip.New(st.mux.Port("gossip"), gossip.Config{
-			ProbeInterval:      time.Second,
-			ProbeTimeout:       200 * time.Millisecond,
-			SuspicionTimeout:   3 * time.Second,
-			StrictResurrection: sys.cfg.StrictMembership,
-		})
+		st.gossip = gossip.New(st.mux.Port("gossip"), gossipCfg)
 		st.gossip.SetBus(sys.bus)
 		st.gossip.Start(seeds...)
+	}
+	// With backup actuators the rigs join the membership group too, so
+	// controllers learn of actuator death and fail actuation over.
+	if sys.cfg.BackupActuators > 0 {
+		for _, rig := range sys.actuators {
+			rig.gossip = gossip.New(rig.mux.Port("gossip"), gossipCfg)
+			rig.gossip.SetBus(sys.bus)
+			rig.gossip.Start(seeds...)
+		}
 	}
 
 	// Raft-replicated controller placements computed by a
@@ -479,6 +491,9 @@ func (sys *System) wireML4() {
 			raftCfg.ElectionTimeoutMin = 3 * hb
 			raftCfg.ElectionTimeoutMax = 10 * hb
 		}
+		// Island mode needs lease surrender: a leader stranded on the
+		// minority side must stop believing its stale placements.
+		raftCfg.CheckQuorum = sys.cfg.IslandMode
 		st.raft = consensus.New(st.mux.Port("raft"), edgeIDs, raftCfg, func(_ uint64, cmd consensus.Command) {
 			pc, ok := cmd.(placementCmd)
 			if !ok {
@@ -488,9 +503,18 @@ func (sys *System) wireML4() {
 			for z, host := range pc.Assignments {
 				st.applied[z] = host
 			}
+			if len(pc.Backups) > 0 || st.appliedBackups != nil {
+				st.appliedBackups = make(map[int][]simnet.NodeID, len(pc.Backups))
+				for z, hosts := range pc.Backups {
+					st.appliedBackups[z] = hosts
+				}
+			}
 		})
 		st.raft.SetBus(sys.bus)
 		st.raft.Start()
+		if sys.cfg.IslandMode {
+			sys.armIslandGuard(st)
+		}
 		if sys.cfg.ML4Ablation == "no-replan" {
 			// Ablation A2: one initial placement, never revisited.
 			st.ep.After(2*sys.cfg.ControlInterval, func() { sys.ml4Replan(st) })
@@ -498,12 +522,28 @@ func (sys *System) wireML4() {
 			st.ep.Every(2*sys.cfg.ControlInterval, func() { sys.ml4Replan(st) })
 		}
 
-		// Controller: runs the zones this node is assigned.
+		// Controller: runs the zones this node is assigned. The
+		// hardened profile widens both halves: claim resolution gains
+		// island-mode takeover and backup-replica failover, and the
+		// actuation sender targets the first gossip-alive rig instead
+		// of only the primary.
 		actPort := st.mux.Port("act")
-		st.ep.Every(sys.cfg.ControlInterval, sys.controlTick(st,
-			func(z int) bool { return st.applied[z] == st.id },
-			directActuate(actPort),
-		))
+		controls := func(z int) bool { return st.applied[z] == st.id }
+		if sys.ml4Hardened() {
+			controls = func(z int) bool { return sys.ml4Controls(st, z) }
+		}
+		sendAct := directActuate(actPort)
+		if sys.cfg.BackupActuators > 0 {
+			ec, _ := actPort.(simnet.EnvelopeCarrier)
+			sendAct = func(z int, engage bool) {
+				target, ok := mape.Failover(sys.actCandidates[z], st.gossip.IsAlive)
+				if !ok {
+					target = actuatorID(z)
+				}
+				sendActTo(actPort, ec, target, z, engage)
+			}
+		}
+		st.ep.Every(sys.cfg.ControlInterval, sys.controlTick(st, controls, sendAct))
 	}
 
 	// Sensors fail over across the whole edge, nearest first (the
@@ -607,13 +647,107 @@ func (sys *System) wireML4() {
 	}
 }
 
+// ml4Hardened reports whether any hardened-profile claim rule is on;
+// with every knob off the legacy applied-only resolution is kept
+// byte-for-byte (pinned journals).
+func (sys *System) ml4Hardened() bool {
+	return sys.cfg.IslandMode || sys.cfg.PlacementSpread > 1 || sys.cfg.BackupActuators > 0
+}
+
+// islandGrace resolves the island-mode grace window.
+func (sys *System) islandGrace() time.Duration {
+	if g := sys.cfg.IslandGrace; g > 0 {
+		return g
+	}
+	return 3 * sys.cfg.ControlInterval
+}
+
+// armIslandGuard ticks the stack's island-mode state machine: enter
+// degraded local operation after a full grace window without Raft
+// quorum contact, reconcile and hand control back on rejoin. The
+// rejoin order matters: pull peer deltas first (SyncNow), then push
+// the island's accumulated knowledge (ShareNow), so both sides hold
+// the merged CRDT state before the next placement pass reads it.
+func (sys *System) armIslandGuard(st *edgeStack) {
+	grace := sys.islandGrace()
+	st.guard = mape.NewIslandGuard(grace)
+	st.ep.Every(sys.cfg.ControlInterval, func() {
+		if !st.guard.Observe(sys.sim.Now(), st.raft.QuorumContact()) {
+			return
+		}
+		if st.guard.Island() {
+			sys.recordSpan(EventIsland, 0, sys.lastFaultSpan,
+				"%s enters island mode: no quorum contact for %s", st.id, grace)
+		} else {
+			sys.recordSpan(EventIsland, 0, sys.lastFaultSpan,
+				"%s rejoins the quorum: merging island state", st.id)
+			st.store.SyncNow()
+			if st.syncer != nil {
+				st.syncer.ShareNow()
+			}
+		}
+	})
+}
+
+// ml4Controls is the hardened claim rule: does stack st currently
+// control zone z?
+//
+// In island mode the Raft-applied placements are untrustworthy — the
+// quorum may have moved them, or frozen — so the island elects locally
+// (islandController). Otherwise the applied primary controls, unless
+// the stack's membership view says it is dead, in which case the first
+// alive applied backup replica takes over until the next replan lands.
+func (sys *System) ml4Controls(st *edgeStack, z int) bool {
+	if st.guard != nil && st.guard.Island() {
+		return sys.islandController(st, z) == st.id
+	}
+	primary := st.applied[z]
+	if primary == st.id {
+		return true
+	}
+	if primary == "" || st.gossip.IsAlive(primary) {
+		return false
+	}
+	if id, ok := mape.Failover(st.appliedBackups[z], st.gossip.IsAlive); ok {
+		return id == st.id
+	}
+	return false
+}
+
+// islandController elects zone z's controller inside st's island: the
+// zone's home gateway while the island still sees it alive, else the
+// first alive applied backup replica, else the lowest-ID alive edge
+// node. Every island member computes the same answer from the same
+// local membership view, so the election needs no coordination — and a
+// data-less claimant is harmless, since both the control tick and the
+// measurement path require fresh local data to act.
+func (sys *System) islandController(st *edgeStack, z int) simnet.NodeID {
+	if home := gatewayID(z); st.gossip.IsAlive(home) {
+		return home
+	}
+	if id, ok := mape.Failover(st.appliedBackups[z], st.gossip.IsAlive); ok {
+		return id
+	}
+	for _, id := range sys.edgeIDs() {
+		if st.gossip.IsAlive(id) {
+			return id
+		}
+	}
+	return st.id
+}
+
 // ml4Replan runs on every edge node's ticker; only the current Raft
 // leader computes and proposes placements.
 func (sys *System) ml4Replan(st *edgeStack) {
 	if st.raft.Role() != consensus.Leader {
 		return
 	}
+	spread := sys.cfg.PlacementSpread
 	desired := make(map[int]simnet.NodeID, sys.cfg.Zones)
+	var backups map[int][]simnet.NodeID
+	if spread > 1 {
+		backups = make(map[int][]simnet.NodeID, sys.cfg.Zones)
+	}
 	for z := 0; z < sys.cfg.Zones; z++ {
 		fn := orchestrate.Function{
 			Name:       controlFnName(z),
@@ -628,14 +762,31 @@ func (sys *System) ml4Replan(st *edgeStack) {
 		if err != nil {
 			host, err = st.orch.Deploy(fn)
 		}
-		if err == nil {
-			desired[z] = simnet.NodeID(host)
+		if err != nil {
+			continue
+		}
+		desired[z] = simnet.NodeID(host)
+		if spread > 1 {
+			// Partition-aware spreading: replicas avoid the primary's
+			// host AND the zone's own gateway, so severing the zone
+			// never isolates every replica.
+			avoid := map[device.ID]bool{host: true, device.ID(gatewayID(z)): true}
+			for k := 1; k < spread; k++ {
+				rep := fn
+				rep.Name = fmt.Sprintf("%s#b%d", controlFnName(z), k)
+				bHost, bErr := st.orch.DeployAvoiding(rep, avoid)
+				if bErr != nil {
+					break
+				}
+				backups[z] = append(backups[z], simnet.NodeID(bHost))
+				avoid[bHost] = true
+			}
 		}
 	}
-	if !placementsEqual(desired, st.applied) {
-		st.raft.Propose(placementCmd{Assignments: desired})
+	if !placementsEqual(desired, st.applied) || !backupsEqual(backups, st.appliedBackups) {
+		st.raft.Propose(placementCmd{Assignments: desired, Backups: backups})
 		sys.recordSpan(EventPlacement, 0, sys.lastFaultSpan,
-			"leader %s proposes %s", st.id, formatPlacements(desired))
+			"leader %s proposes %s%s", st.id, formatPlacements(desired), formatBackups(backups))
 	}
 
 	// models@runtime (roadmap, validation vector): re-verify the
@@ -645,6 +796,11 @@ func (sys *System) ml4Replan(st *edgeStack) {
 	// no longer holds — before it actually bites.
 	sys.runtimeChecks++
 	alive := st.gossip.Alive()
+	if sys.cfg.BackupActuators > 0 {
+		// Actuator rigs share the membership group then; the control-
+		// availability model is over edge hosts only.
+		alive = sys.edgeSubset(alive)
+	}
 	key := nodeSetKey(alive)
 	if key != st.ctlCheckKey {
 		hosts := alive
@@ -710,7 +866,58 @@ func placementsEqual(a, b map[int]simnet.NodeID) bool {
 	return true
 }
 
-// placementCmd is the Raft command replicating controller placements.
+func backupsEqual(a, b map[int][]simnet.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for z, hosts := range a {
+		other, ok := b[z]
+		if !ok || len(other) != len(hosts) {
+			return false
+		}
+		for i, h := range hosts {
+			if other[i] != h {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// formatBackups renders the backup replica map (empty string when
+// spreading is off, keeping default-knob journals unchanged).
+func formatBackups(m map[int][]simnet.NodeID) string {
+	if len(m) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(m))
+	seen := 0
+	for z := 0; z < len(m)+16 && seen < len(m); z++ { // zones are small dense ints
+		if hosts, ok := m[z]; ok {
+			seen++
+			for _, h := range hosts {
+				parts = append(parts, fmt.Sprintf("z%d⇢%s", z, h))
+			}
+		}
+	}
+	return " backups " + strings.Join(parts, " ")
+}
+
+// edgeSubset filters a sorted membership list down to edge hosts.
+func (sys *System) edgeSubset(ids []simnet.NodeID) []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(ids))
+	for _, id := range ids {
+		if _, found := slices.BinarySearch(sys.edgeIDs(), id); found {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// placementCmd is the Raft command replicating controller placements:
+// the per-zone primary plus, under PlacementSpread, the ordered backup
+// replicas.
 type placementCmd struct {
 	Assignments map[int]simnet.NodeID
+	Backups     map[int][]simnet.NodeID
 }

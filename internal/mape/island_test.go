@@ -1,0 +1,112 @@
+package mape
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// TestIslandGuardFlapInsideGrace drives the guard through quorum-contact
+// flaps that always refresh inside the grace window: an election blip
+// must never trip island mode, or every leader change would fork the
+// control plane.
+func TestIslandGuardFlapInsideGrace(t *testing.T) {
+	g := NewIslandGuard(30 * time.Second)
+	steps := []struct{ now, contact time.Duration }{
+		{10 * time.Second, 0},                // 10s stale
+		{29 * time.Second, 0},                // 29s stale — one tick short of grace
+		{30 * time.Second, 30 * time.Second}, // contact refreshes exactly at the brink
+		{59 * time.Second, 30 * time.Second}, // stale again, still inside the window
+		{60 * time.Second, 59 * time.Second}, // and refreshes again
+		{89 * time.Second, 60 * time.Second}, // third near-miss
+		{90 * time.Second, 89 * time.Second}, // recovered
+	}
+	for _, s := range steps {
+		if changed := g.Observe(s.now, s.contact); changed {
+			t.Fatalf("Observe(%v, %v) flipped island state on a flap inside grace", s.now, s.contact)
+		}
+	}
+	if g.Island() {
+		t.Fatal("guard islanded without a full grace window of silence")
+	}
+}
+
+// TestIslandGuardEntersAndRejoins checks both transitions: a full grace
+// window of staleness islands the loop (inclusive boundary), and the
+// first fresh contact rejoins it immediately — no symmetric exit delay.
+func TestIslandGuardEntersAndRejoins(t *testing.T) {
+	g := NewIslandGuard(30 * time.Second)
+	if g.Observe(29*time.Second, 0) {
+		t.Fatal("islanded one observation early")
+	}
+	if !g.Observe(30*time.Second, 0) || !g.Island() {
+		t.Fatal("did not island after a full grace window of stale contact")
+	}
+	if g.Observe(40*time.Second, 0) {
+		t.Fatal("reported a change while still islanded")
+	}
+	if !g.Observe(41*time.Second, 41*time.Second) || g.Island() {
+		t.Fatal("did not rejoin on the first fresh quorum contact")
+	}
+}
+
+// TestFailoverDoubleFailover walks an actuator candidate chain
+// [primary, b0, b1] through successive deaths and a revival: selection
+// must always be the first alive candidate, so a second failure fails
+// over again and a revived primary wins back immediately.
+func TestFailoverDoubleFailover(t *testing.T) {
+	chain := []simnet.NodeID{"z0-act", "z0-act-b0", "z0-act-b1"}
+	up := map[simnet.NodeID]bool{"z0-act": true, "z0-act-b0": true, "z0-act-b1": true}
+	alive := func(id simnet.NodeID) bool { return up[id] }
+
+	pickWant := func(want simnet.NodeID) {
+		t.Helper()
+		got, ok := Failover(chain, alive)
+		if !ok || got != want {
+			t.Fatalf("Failover = %q/%v, want %q", got, ok, want)
+		}
+	}
+	pickWant("z0-act")
+	up["z0-act"] = false
+	pickWant("z0-act-b0")
+	up["z0-act-b0"] = false // double failure: backup dies too
+	pickWant("z0-act-b1")
+	up["z0-act-b1"] = false
+	if got, ok := Failover(chain, alive); ok {
+		t.Fatalf("Failover with no survivors = %q, want none", got)
+	}
+	up["z0-act"] = true // primary repaired: selection snaps back
+	pickWant("z0-act")
+}
+
+// TestRejoinShareNowReconciliation exercises the island-rejoin ordering:
+// knowledge accumulated while partitioned must reach the healed side via
+// ShareNow immediately, not an interval later. The syncer interval is
+// set far beyond the test horizon so any delivery is attributable to the
+// explicit rejoin share alone.
+func TestRejoinShareNowReconciliation(t *testing.T) {
+	sim := simnet.New(simnet.WithSeed(3))
+	epA := sim.AddNode("a")
+	epB := sim.AddNode("b")
+	la := NewLoop(NewKnowledge("a", sim.Now), sim.Now)
+	lb := NewLoop(NewKnowledge("b", sim.Now), sim.Now)
+	sa := NewSyncer(epA, la, []simnet.NodeID{"b"}, time.Hour)
+	NewSyncer(epB, lb, []simnet.NodeID{"a"}, time.Hour)
+	sa.Start()
+
+	sim.Partition([]simnet.NodeID{"a"}, []simnet.NodeID{"b"})
+	sim.RunUntil(100 * time.Millisecond)
+	la.Knowledge().Put("island/obs", 7.0) // written while islanded
+
+	sim.HealPartition()
+	sim.RunUntil(200 * time.Millisecond)
+	if _, ok := lb.Knowledge().Get("island/obs"); ok {
+		t.Fatal("island knowledge crossed without a share")
+	}
+	sa.ShareNow()
+	sim.RunUntil(300 * time.Millisecond)
+	if v, ok := lb.Knowledge().GetFloat("island/obs"); !ok || v != 7.0 {
+		t.Fatalf("island knowledge after ShareNow = %v/%v, want 7", v, ok)
+	}
+}

@@ -66,6 +66,11 @@ func (s *Syncer) Stop() {
 // how much context arrived from peers.
 func (s *Syncer) Absorbed() int { return s.absorbed }
 
+// ShareNow ships the pending delta immediately, outside the periodic
+// cadence. Island rejoin calls it so the healed side sees the island's
+// locally-accumulated knowledge before the next scheduled round.
+func (s *Syncer) ShareNow() { s.share() }
+
 func (s *Syncer) share() {
 	delta := s.loop.Knowledge().Delta(s.lastSent)
 	if len(delta) == 0 {

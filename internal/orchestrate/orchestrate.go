@@ -265,6 +265,25 @@ func (o *Orchestrator) DeployReplicated(fn Function, n int) ([]device.ID, error)
 	return hosts, nil
 }
 
+// DeployAvoiding places fn like Deploy but never on a host in avoid.
+// The partition-aware planner uses it to spread a zone's controller
+// replicas across connectivity domains: the backup replica avoids the
+// primary's host and the zone's own gateway, so no single partition
+// isolates every replica (DESIGN.md §9).
+func (o *Orchestrator) DeployAvoiding(fn Function, avoid map[device.ID]bool) (device.ID, error) {
+	if old, ok := o.placements[fn.Name]; ok {
+		o.release(old)
+	}
+	host, ok := o.pickExcluding(fn, avoid)
+	if !ok {
+		o.stats.FailedDeploys++
+		return "", fmt.Errorf("orchestrate: no feasible host outside avoid set for function %q", fn.Name)
+	}
+	o.place(fn, host)
+	o.stats.Deployments++
+	return host, nil
+}
+
 // pickExcluding is pick with an exclusion set for anti-affinity.
 func (o *Orchestrator) pickExcluding(fn Function, excluded map[device.ID]bool) (device.ID, bool) {
 	best := device.ID("")

@@ -365,3 +365,42 @@ func TestPlacementsSortedAndHosts(t *testing.T) {
 		t.Fatal("ghost function operational")
 	}
 }
+
+func TestDeployAvoidingSpreadsReplicas(t *testing.T) {
+	o := pool(t, alwaysAlive)
+	primary, err := o.Deploy(Function{Name: "ctl", CPUMIPS: 100, MemMB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A replica avoiding the primary's host must land elsewhere — the
+	// partition-aware spreading rule.
+	backup, err := o.DeployAvoiding(Function{Name: "ctl#b1", CPUMIPS: 100, MemMB: 64},
+		map[device.ID]bool{primary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backup == primary {
+		t.Fatalf("replica landed on the avoided host %s", backup)
+	}
+	if !o.Operational("ctl#b1") {
+		t.Fatal("replica not operational after DeployAvoiding")
+	}
+	// Redeploying the same replica releases the old placement first, so
+	// repeated replans do not leak capacity.
+	again, err := o.DeployAvoiding(Function{Name: "ctl#b1", CPUMIPS: 100, MemMB: 64},
+		map[device.ID]bool{primary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again == primary {
+		t.Fatalf("redeployed replica landed on the avoided host %s", again)
+	}
+}
+
+func TestDeployAvoidingAllHostsInfeasible(t *testing.T) {
+	o := pool(t, alwaysAlive)
+	avoid := map[device.ID]bool{"gw": true, "cl": true, "cloud": true}
+	if _, err := o.DeployAvoiding(Function{Name: "f", CPUMIPS: 1, MemMB: 1}, avoid); err == nil {
+		t.Fatal("DeployAvoiding succeeded with every host excluded")
+	}
+}

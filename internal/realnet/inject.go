@@ -1,0 +1,89 @@
+package realnet
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/simnet"
+)
+
+// Injector replays the crash faults of a fault.Schedule against live
+// realnet nodes: the same minimized counterexample a chaos search
+// committed against the simulator can be rehearsed on real processes.
+// Only KindCrash and KindRecover are portable — the remaining kinds
+// (partitions, link shaping, model-level events) need network-layer
+// control realnet does not own and are skipped, with the skip count
+// reported by Arm so callers notice schedule coverage loss.
+type Injector struct {
+	nodes map[simnet.NodeID]*Node
+	scale float64
+
+	mu     sync.Mutex
+	timers []*time.Timer
+	log    []fault.Event
+}
+
+// NewInjector builds an injector over the given nodes. scale multiplies
+// every event's virtual offset into a wall-clock delay — e.g. 0.01
+// compresses a six-minute simulated schedule into a 3.6 s rehearsal;
+// values <= 0 mean 1 (real time).
+func NewInjector(nodes map[simnet.NodeID]*Node, scale float64) *Injector {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Injector{nodes: nodes, scale: scale}
+}
+
+// Arm schedules the portable events of s on the wall clock and returns
+// how many were armed and how many were skipped (unportable kind or
+// unknown target node). Faults fire asynchronously; Stop cancels the
+// ones still pending.
+func (inj *Injector) Arm(s *fault.Schedule) (armed, skipped int) {
+	for _, ev := range s.Events() {
+		ev := ev
+		var apply func()
+		switch ev.Kind {
+		case fault.KindCrash:
+			if n := inj.nodes[ev.Node]; n != nil {
+				apply = func() { n.SetDown(true) }
+			}
+		case fault.KindRecover:
+			if n := inj.nodes[ev.Node]; n != nil {
+				apply = func() { n.SetDown(false) }
+			}
+		}
+		if apply == nil {
+			skipped++
+			continue
+		}
+		armed++
+		delay := time.Duration(float64(ev.At) * inj.scale)
+		inj.mu.Lock()
+		inj.timers = append(inj.timers, time.AfterFunc(delay, func() {
+			apply()
+			inj.mu.Lock()
+			inj.log = append(inj.log, ev)
+			inj.mu.Unlock()
+		}))
+		inj.mu.Unlock()
+	}
+	return armed, skipped
+}
+
+// Stop cancels every pending fault. Already-fired faults stay applied.
+func (inj *Injector) Stop() {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for _, t := range inj.timers {
+		t.Stop()
+	}
+	inj.timers = nil
+}
+
+// Log returns the events injected so far, in firing order.
+func (inj *Injector) Log() []fault.Event {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return append([]fault.Event(nil), inj.log...)
+}

@@ -5,7 +5,10 @@
 // funneling every event — incoming datagram, timer fire, tick —
 // through one event-loop goroutine, so the exact same gossip,
 // consensus and data-plane code that runs deterministically in the
-// simulator also runs on real infrastructure.
+// simulator also runs on real infrastructure. Crash faults port too:
+// Node.SetDown mirrors simnet's crashed-node semantics and Injector
+// replays the crash events of a fault.Schedule (e.g. a committed chaos
+// counterexample) against live nodes on the wall clock.
 //
 // Wire format: gob. Protocol packages register their message types via
 // their RegisterWire functions before nodes start.
@@ -52,6 +55,9 @@ type Node struct {
 	peers   map[simnet.NodeID]*net.UDPAddr
 	handler simnet.Handler
 	closed  bool
+	down    bool
+	onUp    []func()
+	onDown  []func()
 
 	events chan func()
 	done   chan struct{}
@@ -134,8 +140,9 @@ func (n *Node) readLoop() {
 		n.post(func() {
 			n.mu.Lock()
 			h := n.handler
+			down := n.down
 			n.mu.Unlock()
-			if h != nil {
+			if h != nil && !down {
 				h(env.From, env.Payload)
 			}
 		})
@@ -209,22 +216,63 @@ func (n *Node) OnMessage(h simnet.Handler) {
 	n.handler = h
 }
 
-// OnUp registers a recovery callback. Real nodes do not crash-recover
-// in place; the callback is retained for interface compatibility but
-// never invoked.
-func (n *Node) OnUp(func()) {}
+// OnUp registers a recovery callback, invoked on the event loop when
+// SetDown(false) revives a crashed node — the hook protocols use to
+// reset volatile state after a restart, exactly as in the simulator.
+func (n *Node) OnUp(fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onUp = append(n.onUp, fn)
+}
 
-// OnDown registers a crash callback; never invoked (see OnUp).
-func (n *Node) OnDown(func()) {}
+// OnDown registers a crash callback, invoked on the event loop when
+// SetDown(true) takes the node down.
+func (n *Node) OnDown(fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onDown = append(n.onDown, fn)
+}
+
+// SetDown injects or repairs a crash fault: while down the node drops
+// incoming datagrams, refuses Send, and silences timer and ticker
+// callbacks — the realnet analogue of simnet's crashed-node semantics,
+// except the process (socket, goroutines, timers) stays alive so
+// SetDown(false) restarts it in place. Transition callbacks run on the
+// event loop; setting the current state again is a no-op.
+func (n *Node) SetDown(down bool) {
+	n.mu.Lock()
+	if n.closed || n.down == down {
+		n.mu.Unlock()
+		return
+	}
+	n.down = down
+	hooks := n.onUp
+	if down {
+		hooks = n.onDown
+	}
+	n.mu.Unlock()
+	n.post(func() {
+		for _, fn := range hooks {
+			fn()
+		}
+	})
+}
+
+// Down reports whether a crash fault is currently injected.
+func (n *Node) Down() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down
+}
 
 // Send encodes and transmits msg to the peer. Unknown peers and
 // encoding failures report false.
 func (n *Node) Send(to simnet.NodeID, msg simnet.Message) bool {
 	n.mu.Lock()
 	addr, ok := n.peers[to]
-	closed := n.closed
+	blocked := n.closed || n.down
 	n.mu.Unlock()
-	if !ok || closed {
+	if !ok || blocked {
 		return false
 	}
 	var buf bytes.Buffer
@@ -248,7 +296,7 @@ func (n *Node) After(d time.Duration, fn func()) *simnet.Timer {
 			mu.Lock()
 			s := stopped
 			mu.Unlock()
-			if s {
+			if s || n.Down() {
 				return
 			}
 			fired.Do(fn)
@@ -275,7 +323,11 @@ func (n *Node) Every(interval time.Duration, fn func()) *simnet.Ticker {
 		for {
 			select {
 			case <-ticker.C:
-				n.post(fn)
+				n.post(func() {
+					if !n.Down() {
+						fn()
+					}
+				})
 			case <-stop:
 				return
 			case <-n.done:
