@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-city fuzz experiments examples obs-demo bench-baseline bench-gate determinism chaos chaos-replay chaos-verify clean
+.PHONY: all build test race cover bench bench-city fuzz experiments examples obs-demo bench-baseline bench-gate determinism chaos chaos-replay chaos-verify explain clean
 
 all: build test
 
@@ -79,8 +79,15 @@ chaos-replay:
 
 # Verify the corpus against the hardened profile: ML4 entries must be
 # fixed by the resilience mechanisms, ML1 entries must still fail.
+# Each entry prints its incident timeline (-explain).
 chaos-verify:
-	$(GO) run -race ./cmd/riotchaos verify -corpus corpus/chaos -parallel 4
+	$(GO) run -race ./cmd/riotchaos verify -corpus corpus/chaos -parallel 4 -explain
+
+# Explain every corpus entry: R(t) timeline + incident records with
+# MTTD/MTTR, as found (default knobs) and under the hardened profile.
+explain:
+	$(GO) run ./cmd/riotscope corpus -corpus corpus/chaos
+	$(GO) run ./cmd/riotscope corpus -corpus corpus/chaos -hardened
 
 # Short traced smart-city run; open trace.json at chrome://tracing.
 obs-demo:

@@ -44,6 +44,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/observatory"
 )
 
 func main() {
@@ -82,6 +83,16 @@ type benchResult struct {
 	BytesPerOp  uint64  `json:"bytes_per_op"`
 	Runs        int     `json:"runs"`
 	RunsPerSec  float64 `json:"runs_per_sec"`
+
+	// Resilience latencies (virtual time), set only by experiments that
+	// derive an incident analysis from a run journal (the city tier's
+	// ML4 run). benchdiff gates upward drift like ns_per_op — slower
+	// detection or recovery at city scale is a resilience regression
+	// even when wall-clock throughput holds.
+	MTTDP50Ns int64 `json:"mttd_p50_ns,omitempty"`
+	MTTDP99Ns int64 `json:"mttd_p99_ns,omitempty"`
+	MTTRP50Ns int64 `json:"mttr_p50_ns,omitempty"`
+	MTTRP99Ns int64 `json:"mttr_p99_ns,omitempty"`
 }
 
 // benchFile is the schema scripts/benchdiff.go compares.
@@ -121,6 +132,10 @@ func run(args []string, out io.Writer) error {
 		title string
 		run   func(io.Writer) (int, error)
 	}
+	// cityML4 captures the city experiment's ML4 incident analysis so
+	// its MTTD/MTTR percentiles land in the bench JSON next to the
+	// wall-clock figures (deterministic runs: identical across reps).
+	var cityML4 *observatory.Analysis
 	all := []experiment{
 		{"table12", "Tables 1+2 — maturity matrix under the standard disruption schedule", func(w io.Writer) (int, error) {
 			seeds := make([]int64, max(1, *seedRuns))
@@ -203,8 +218,27 @@ func run(args []string, out io.Writer) error {
 				ccfg = core.CityScenarioSmoke()
 			}
 			ccfg.Seed = *seed
-			reports := experiments.Table12(ccfg)
+			// Run the matrix archetype by archetype (same order and
+			// reports as experiments.Table12) so the ML4 journal can be
+			// analyzed for city-scale detection/recovery latencies.
+			var reports []core.Report
+			for _, a := range core.AllArchetypes() {
+				sys := core.NewSystem(ccfg, a)
+				reports = append(reports, sys.Run())
+				if a == core.ML4 {
+					an := observatory.Analyze(sys.Journal(), observatory.Options{
+						Duration: ccfg.Duration, Zones: ccfg.Zones,
+					})
+					cityML4 = &an
+				}
+			}
 			fmt.Fprint(w, experiments.FormatTable12(reports))
+			if cityML4 != nil && cityML4.MTTD.Count > 0 {
+				fmt.Fprintf(w, "ML4 incidents: %d (%d unresolved)  MTTD p50=%s p99=%s  MTTR p50=%s p99=%s\n",
+					len(cityML4.Incidents), cityML4.Unresolved,
+					cityML4.MTTD.P50.Round(time.Millisecond), cityML4.MTTD.P99.Round(time.Millisecond),
+					cityML4.MTTR.P50.Round(time.Millisecond), cityML4.MTTR.P99.Round(time.Millisecond))
+			}
 			return len(reports), nil
 		}},
 	}
@@ -280,6 +314,12 @@ func run(args []string, out io.Writer) error {
 			if rep == 0 {
 				br.ID, br.Runs = cur.ID, cur.Runs
 			}
+		}
+		if ex.id == "city" && cityML4 != nil {
+			br.MTTDP50Ns = int64(cityML4.MTTD.P50)
+			br.MTTDP99Ns = int64(cityML4.MTTD.P99)
+			br.MTTRP50Ns = int64(cityML4.MTTR.P50)
+			br.MTTRP99Ns = int64(cityML4.MTTR.P99)
 		}
 		fmt.Fprintln(ew)
 		ran++

@@ -7,7 +7,7 @@
 //	riotchaos search -arch ML1 -budget 100 -parallel 4 [-min-events 3] [-corpus DIR]
 //	riotchaos shrink -in schedule.json -arch ML1 [-out ce.json]
 //	riotchaos replay -corpus DIR [-parallel 4]
-//	riotchaos verify -corpus DIR [-parallel 4]
+//	riotchaos verify -corpus DIR [-parallel 4] [-explain] [-flight-dir DIR]
 //
 // search judges -budget candidate schedules (deterministically derived
 // from -seed) against the oracle and delta-debugs every violation to a
@@ -24,7 +24,10 @@
 // backup actuators, sticky failover) and checks each entry against its
 // `expect` field: hardened ML4 must fix its partition-island and
 // actuator-loss entries, while ML1 entries must still fail — the
-// maturity ordering the paper claims.
+// maturity ordering the paper claims. With -explain each entry also
+// prints a riotscope incident timeline of its hardened run; with
+// -flight-dir, entries that still fail hardened dump a flight-recorder
+// artifact (the moments leading up to the failure) there.
 package main
 
 import (
@@ -39,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/observatory"
 )
 
 func main() {
@@ -222,6 +226,8 @@ func runVerify(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("riotchaos verify", flag.ContinueOnError)
 	corpusDir := fs.String("corpus", "corpus/chaos", "counterexample corpus directory")
 	parallel := fs.Int("parallel", 1, "worker count (0 = GOMAXPROCS)")
+	explain := fs.Bool("explain", false, "print an incident timeline per entry (riotscope analysis of the hardened run)")
+	flightDir := fs.String("flight-dir", "", "dump flight-recorder artifacts here for entries that still fail hardened")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -232,7 +238,11 @@ func runVerify(args []string, out io.Writer) error {
 	if len(ces) == 0 {
 		return fmt.Errorf("verify: no counterexamples in %s", *corpusDir)
 	}
-	results, err := chaos.VerifyAll(ces, *parallel)
+	byName := make(map[string]*chaos.Counterexample, len(ces))
+	for _, ce := range ces {
+		byName[ce.Name] = ce
+	}
+	results, err := chaos.VerifyAllObserved(ces, *parallel, chaos.VerifyOptions{FlightDir: *flightDir})
 	fixed := 0
 	for _, r := range results {
 		mark := "ok  "
@@ -246,6 +256,16 @@ func runVerify(args []string, out io.Writer) error {
 			mark, r.Status, r.Name, r.R, r.RecordedR, r.Expect)
 		if r.Detail != "" {
 			fmt.Fprintf(out, "      %s\n", r.Detail)
+		}
+		if *explain && r.Journal != nil {
+			cfg, cfgErr := byName[r.Name].HardenedConfig()
+			if cfgErr != nil {
+				return cfgErr
+			}
+			a := observatory.Analyze(r.Journal, observatory.Options{
+				Duration: cfg.Scenario.Duration, Zones: cfg.Scenario.Zones,
+			})
+			fmt.Fprint(out, indent(observatory.FormatAnalysis(a, false)))
 		}
 	}
 	if err != nil {

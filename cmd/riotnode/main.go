@@ -12,8 +12,15 @@
 // second. Stop with ^C (or -duration for a bounded run).
 //
 // With -metrics-addr the node serves Prometheus-format metrics at
-// /metrics and a liveness probe at /healthz (use :0 for an ephemeral
-// port; the chosen address is printed on startup):
+// /metrics, a liveness probe at /healthz, and a readiness probe at
+// /readyz that passes once the node has joined its cluster (a probe
+// of a peer has been acked; a seedless node is ready immediately).
+// The metrics
+// include incident counters derived from membership transitions:
+// riot_incidents_total, riot_incidents_open, and a
+// riot_incident_recovery_seconds histogram of dead-to-alive recovery
+// times. Use :0 for an ephemeral port; the chosen address is printed
+// on startup:
 //
 //	riotnode -id a -bind 127.0.0.1:7946 -metrics-addr 127.0.0.1:9100
 //	curl http://127.0.0.1:9100/metrics
@@ -29,6 +36,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dataflow"
@@ -167,11 +175,54 @@ func run(args []string, out io.Writer) error {
 		reg.WatchBus(bus)
 		aliveGauge = reg.Gauge("riot_members_alive", "members this node believes alive")
 		keysGauge = reg.Gauge("riot_store_keys", "keys in the local replicated store")
+
+		// Incident counters: every peer transition to dead opens an
+		// incident, the next alive transition closes it and records the
+		// recovery time — the live counterpart of the simulator's
+		// observatory. The OnChange callback runs on the node's event
+		// loop, so the tracking map needs no lock; the metrics it
+		// updates are atomic and safe to scrape concurrently.
+		incidentsTotal := reg.Counter("riot_incidents_total", "peer-down incidents observed by membership")
+		incidentsOpen := reg.Gauge("riot_incidents_open", "peer-down incidents currently open")
+		recoverySec := reg.Histogram("riot_incident_recovery_seconds",
+			"peer dead-to-alive recovery time", []float64{1, 5, 15, 60, 300})
+
+		// Readiness: a node with seeds is ready once a probe of any
+		// peer has been acked — confirmed two-way contact, not the
+		// optimistic alive that Start assumes for its seeds. A seedless
+		// node bootstraps its own cluster and is ready immediately.
+		var joined atomic.Bool
+		joined.Store(len(cfg.seeds) == 0)
+		probeSub := bus.SubscribeFunc(func(ev obs.Event) {
+			if ev.Kind == "gossip.probe" {
+				joined.Store(true)
+			}
+		})
+		defer probeSub.Close()
+
+		downSince := make(map[simnet.NodeID]time.Duration)
+		members.OnChange(func(m gossip.Member) {
+			switch m.Status {
+			case gossip.StatusAlive:
+				if at, ok := downSince[m.ID]; ok {
+					delete(downSince, m.ID)
+					recoverySec.Observe((node.Now() - at).Seconds())
+					incidentsOpen.Set(float64(len(downSince)))
+				}
+			case gossip.StatusDead:
+				if _, ok := downSince[m.ID]; !ok {
+					downSince[m.ID] = node.Now()
+					incidentsTotal.Inc()
+					incidentsOpen.Set(float64(len(downSince)))
+				}
+			}
+		})
+
 		ln, err := net.Listen("tcp", cfg.metricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
-		srv := &http.Server{Handler: obs.Handler(reg, node.Up)}
+		srv := &http.Server{Handler: obs.Handler(reg, node.Up, joined.Load)}
 		defer srv.Close()
 		go func() { _ = srv.Serve(ln) }()
 		fmt.Fprintf(out, "metrics: http://%s/metrics\n", ln.Addr())

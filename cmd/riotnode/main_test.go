@@ -129,6 +129,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"# TYPE riot_members_alive gauge",
 		"riot_members_alive 1",
 		"riot_store_keys 1",
+		"riot_incidents_total 0",
+		"riot_incidents_open 0",
+		"riot_incident_recovery_seconds_count 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, body)
@@ -136,6 +139,53 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if health := httpGet(t, base+"/healthz"); health != "ok\n" {
 		t.Fatalf("/healthz = %q", health)
+	}
+	// A seedless node bootstraps its own cluster: ready immediately.
+	if ready := httpGet(t, base+"/readyz"); ready != "ok\n" {
+		t.Fatalf("/readyz = %q", ready)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadinessRequiresJoin starts a node whose only seed does not
+// exist: the node is alive (healthz ok) but must never become ready.
+func TestReadinessRequiresJoin(t *testing.T) {
+	out := &syncWriter{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-id", "lonely", "-bind", "127.0.0.1:0",
+			"-peers", "ghost=127.0.0.1:1", "-seeds", "ghost",
+			"-metrics-addr", "127.0.0.1:0",
+			"-duration", "1s", "-interval", "100ms"}, out)
+	}()
+
+	var base string
+	deadline := time.Now().Add(2 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics address never printed; output: %q", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(line, "metrics: ") {
+				base = strings.TrimSuffix(strings.TrimPrefix(line, "metrics: "), "/metrics")
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before join = %d, want 503", resp.StatusCode)
+	}
+	if health := httpGet(t, base+"/healthz"); health != "ok\n" {
+		t.Fatalf("/healthz while unready = %q", health)
 	}
 
 	if err := <-done; err != nil {

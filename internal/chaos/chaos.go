@@ -51,6 +51,15 @@ type Config struct {
 	// violations found, shrink results). Nil disables instrumentation;
 	// the obs fast path makes an idle bus near-free.
 	Bus *obs.Bus
+	// KeepJournal retains each run's journal on the Verdict so callers
+	// (riotscope, verify -explain) can derive incident timelines without
+	// re-running. Off by default: searches judge thousands of candidates
+	// and only care about pass/fail.
+	KeepJournal bool
+	// FlightDir, when non-empty, attaches a flight recorder to every run
+	// and dumps its ring there whenever the oracle flags a failure. The
+	// recorder only reads the bus, so journals and hashes are unaffected.
+	FlightDir string
 }
 
 // withDefaults normalizes a config.
@@ -100,6 +109,10 @@ type Verdict struct {
 	// JournalHash digests the run's journal; corpus replay compares it
 	// byte-for-byte.
 	JournalHash string
+	// Journal is the run's full event journal, retained only when the
+	// oracle config sets KeepJournal (nil otherwise, and always nil
+	// after a panic).
+	Journal []core.RunEvent
 }
 
 // Failed reports whether the oracle flagged the run.

@@ -212,8 +212,18 @@ type VerifyResult struct {
 	// Detail summarizes the surviving failures when Status is
 	// still-fails ("" when fixed).
 	Detail string
+	// Journal is the hardened run's event journal, for incident
+	// analysis (riotscope, verify -explain). Nil on config errors.
+	Journal []core.RunEvent
 	// Err is set on a config error or an expectation mismatch.
 	Err error
+}
+
+// VerifyOptions tunes corpus verification beyond pass/fail.
+type VerifyOptions struct {
+	// FlightDir, when non-empty, dumps a flight-recorder artifact there
+	// for every entry whose hardened run still fails.
+	FlightDir string
 }
 
 // Verify replays the counterexample's schedule against the hardened
@@ -223,16 +233,26 @@ type VerifyResult struct {
 // failure class for another), ExpectStillFails otherwise. Unlike
 // Replay it does not compare journal hashes: the hardened run is a
 // different execution by design; the recorded hash pins only the
-// default-knob replay.
+// default-knob replay. The hardened run's journal is always retained
+// on the result — twelve short runs make journal capture free, and it
+// is what verify -explain and riotscope analyze.
 func (ce *Counterexample) Verify() VerifyResult {
+	return ce.VerifyObserved(VerifyOptions{})
+}
+
+// VerifyObserved is Verify with observability options applied.
+func (ce *Counterexample) VerifyObserved(opts VerifyOptions) VerifyResult {
 	res := VerifyResult{Name: ce.Name, Expect: ce.expectation(), RecordedR: ce.GoalPersistence}
 	cfg, err := ce.HardenedConfig()
 	if err != nil {
 		res.Err = err
 		return res
 	}
+	cfg.KeepJournal = true
+	cfg.FlightDir = opts.FlightDir
 	v := NewOracle(cfg).Run(ce.Schedule)
 	res.R = v.Report.GoalPersistence
+	res.Journal = v.Journal
 	if v.Failed() {
 		res.Status = ExpectStillFails
 		res.Detail = v.String()
@@ -251,6 +271,12 @@ func (ce *Counterexample) Verify() VerifyResult {
 // in corpus order whatever the parallelism; the returned error is the
 // first expectation mismatch (all entries are verified regardless).
 func VerifyAll(ces []*Counterexample, workers int) ([]VerifyResult, error) {
+	return VerifyAllObserved(ces, workers, VerifyOptions{})
+}
+
+// VerifyAllObserved is VerifyAll with observability options applied to
+// every entry.
+func VerifyAllObserved(ces []*Counterexample, workers int, opts VerifyOptions) ([]VerifyResult, error) {
 	results := make([]VerifyResult, len(ces))
 	jobs := make([]experiments.Job, len(ces))
 	for i, ce := range ces {
@@ -258,7 +284,7 @@ func VerifyAll(ces []*Counterexample, workers int) ([]VerifyResult, error) {
 		jobs[i] = experiments.Job{
 			ID: ce.Name,
 			Run: func(int) error {
-				results[i] = ce.Verify()
+				results[i] = ce.VerifyObserved(opts)
 				return nil // mismatches are reported per entry, not as pool aborts
 			},
 		}

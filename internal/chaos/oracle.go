@@ -2,10 +2,12 @@ package chaos
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/observatory"
 )
 
 // Oracle judges candidate schedules: it runs each one through a fresh,
@@ -34,9 +36,9 @@ func NewOracle(cfg Config) *Oracle {
 // computed once on first use (safe under concurrent callers).
 func (o *Oracle) Baseline() core.Report {
 	o.baselineOnce.Do(func() {
-		report, _, panicMsg := o.execute(&fault.Schedule{})
-		if panicMsg == "" {
-			o.baseline = report
+		res := o.execute(&fault.Schedule{}, false)
+		if res.panicMsg == "" {
+			o.baseline = res.report
 		}
 	})
 	return o.baseline
@@ -47,13 +49,25 @@ func (o *Oracle) Config() Config { return o.cfg }
 
 // Run executes one candidate schedule to the scenario horizon and
 // returns the verdict. A panicking run (the strongest counterexample a
-// search can find) is recovered and reported as FailPanic.
+// search can find) is recovered and reported as FailPanic. When the
+// config sets FlightDir, a failing run additionally dumps the flight
+// recorder's ring there as a structured artifact.
 func (o *Oracle) Run(s *fault.Schedule) Verdict {
-	report, hash, panicMsg := o.execute(s)
-	if panicMsg != "" {
-		return Verdict{Failures: []Failure{{Kind: FailPanic, Detail: panicMsg}}}
+	res := o.execute(s, o.cfg.FlightDir != "")
+	v := o.judge(res)
+	if v.Failed() && res.recorder != nil {
+		o.dumpFlight(res, v)
 	}
-	v := Verdict{Report: report, JournalHash: hash}
+	return v
+}
+
+// judge applies the oracle's properties to an executed run.
+func (o *Oracle) judge(res runResult) Verdict {
+	if res.panicMsg != "" {
+		return Verdict{Failures: []Failure{{Kind: FailPanic, Detail: res.panicMsg}}}
+	}
+	report, hash := res.report, res.hash
+	v := Verdict{Report: report, JournalHash: hash, Journal: res.journal}
 	if o.cfg.MinPersistence > 0 && report.GoalPersistence < o.cfg.MinPersistence {
 		v.Failures = append(v.Failures, Failure{
 			Kind:   FailPersistence,
@@ -84,18 +98,60 @@ func (o *Oracle) Run(s *fault.Schedule) Verdict {
 	return v
 }
 
-// execute runs the simulation, converting a panic into a message.
-func (o *Oracle) execute(s *fault.Schedule) (report core.Report, hash string, panicMsg string) {
+// dumpFlight writes the failing run's flight-recorder ring to the
+// configured FlightDir. Dump errors are reported as oracle progress
+// events, never as verdict failures: the artifact is diagnostic.
+func (o *Oracle) dumpFlight(res runResult, v Verdict) {
+	reasons := make([]string, len(v.Failures))
+	for i, f := range v.Failures {
+		reasons[i] = f.String()
+	}
+	name := fmt.Sprintf("%s-panic", strings.ToLower(o.cfg.Archetype.ShortName()))
+	if res.hash != "" {
+		hash := res.hash
+		if len(hash) > 8 {
+			hash = hash[:8]
+		}
+		name = fmt.Sprintf("%s-%s", strings.ToLower(o.cfg.Archetype.ShortName()), hash)
+	}
+	dump := res.recorder.Dump(name, reasons)
+	if path, err := dump.WriteFile(o.cfg.FlightDir); err != nil {
+		o.cfg.Bus.Emit("chaos.flight.error", "", 0, 0, "%s: %v", name, err)
+	} else {
+		o.cfg.Bus.Emit("chaos.flight", "", 0, 0, "wrote %s (%d events)", path, len(dump.Events))
+	}
+}
+
+// runResult is one simulated execution, pre-judgement.
+type runResult struct {
+	report   core.Report
+	hash     string
+	journal  []core.RunEvent
+	recorder *observatory.FlightRecorder
+	panicMsg string
+}
+
+// execute runs the simulation, converting a panic into a message. With
+// record set it attaches a flight recorder to the run's bus; the caller
+// owns the (already closed) recorder on return.
+func (o *Oracle) execute(s *fault.Schedule, record bool) (res runResult) {
 	defer func() {
 		if r := recover(); r != nil {
-			panicMsg = fmt.Sprintf("%v", r)
+			res.panicMsg = fmt.Sprintf("%v", r)
 		}
 	}()
 	cfg := o.cfg.Scenario
 	cfg.Preset = core.FaultsNone
 	cfg.Faults = s
 	sys := core.NewSystem(cfg, o.cfg.Archetype)
-	report = sys.Run()
-	hash = sys.JournalHash()
-	return report, hash, ""
+	if record {
+		res.recorder = observatory.NewFlightRecorder(sys.Bus(), 0)
+		defer res.recorder.Close()
+	}
+	res.report = sys.Run()
+	res.hash = sys.JournalHash()
+	if o.cfg.KeepJournal {
+		res.journal = sys.Journal()
+	}
+	return res
 }

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFormatJournalEmpty pins the empty-journal rendering: no rows, no
+// header, no trailing newline — and a hash that still digests cleanly
+// (the hash of zero formatted bytes, not an error).
+func TestFormatJournalEmpty(t *testing.T) {
+	if got := FormatJournal(nil); got != "" {
+		t.Fatalf("FormatJournal(nil) = %q, want empty", got)
+	}
+	if got := FormatJournal([]RunEvent{}); got != "" {
+		t.Fatalf("FormatJournal([]) = %q, want empty", got)
+	}
+	// SHA-256 of the empty string — a frozen constant; if this changes,
+	// every pinned corpus hash is invalidated.
+	const emptyHash = "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+	if got := JournalHash(nil); got != emptyHash {
+		t.Fatalf("JournalHash(nil) = %s, want %s", got, emptyHash)
+	}
+}
+
+// TestFormatJournalIslandEvents pins the rendering of island-mode
+// entries, which only hardened-profile journals contain: the kind
+// column must hold the full "island" kind, aligned like every other.
+func TestFormatJournalIslandEvents(t *testing.T) {
+	events := []RunEvent{
+		{At: 90 * time.Second, Kind: EventIsland, Detail: "gw-2 enters island mode: no quorum contact for 6s"},
+		{At: 150*time.Second + 500*time.Millisecond, Kind: EventIsland, Detail: "gw-2 rejoins: quorum contact restored"},
+	}
+	got := FormatJournal(events)
+	want := "   1m30s  island         gw-2 enters island mode: no quorum contact for 6s\n" +
+		" 2m30.5s  island         gw-2 rejoins: quorum contact restored\n"
+	if got != want {
+		t.Fatalf("FormatJournal island rendering drifted:\ngot:\n%swant:\n%s", got, want)
+	}
+	// The hash must digest exactly the formatted bytes.
+	if JournalHash(events) != JournalHash(events) {
+		t.Fatal("JournalHash not deterministic")
+	}
+}
+
+// TestReportRowColumnStability pins the report table geometry: the
+// header and every row must agree on column count and order — the
+// contract external parsers of riotbench output rely on.
+func TestReportRowColumnStability(t *testing.T) {
+	head := header()
+	wantCols := []string{
+		"archetype", "R(goal)", "R(temp)", "pervasive", "invoke", "validate",
+		"MTTR", "manual", "auto", "dataAvail", "staleP95", "privViol", "msgs",
+	}
+	if len(head) != len(wantCols) {
+		t.Fatalf("header has %d columns, want %d", len(head), len(wantCols))
+	}
+	for i, w := range wantCols {
+		if head[i] != w {
+			t.Fatalf("header[%d] = %q, want %q", i, head[i], w)
+		}
+	}
+
+	r := Report{
+		Archetype:       ML4,
+		GoalPersistence: 0.987, TempPersistence: 0.99,
+		Pervasiveness: 1, InvocationSuccess: 0.95, ValidationCoverage: 1,
+		MTTR: 42 * time.Second, ManualInterventions: 1, AutoRecoveries: 3,
+		DataAvailability: 0.9, StalenessP95: 1500 * time.Millisecond,
+		PrivacyViolations: 0, Messages: 1234,
+	}
+	row := r.row()
+	if len(row) != len(head) {
+		t.Fatalf("row has %d cells, header %d columns", len(row), len(head))
+	}
+	for i, cell := range []string{"ML4-resilient", "0.987", "0.990", "1.000", "0.950", "1.00",
+		"42s", "1", "3", "0.900", "1.5s", "0", "1234"} {
+		if row[i] != cell {
+			t.Fatalf("row[%d] = %q, want %q", i, row[i], cell)
+		}
+	}
+}
+
+// TestFormatReportsGeometry checks the rendered table: every line has
+// the same (header-derived) shape, with the dash separator after the
+// header row.
+func TestFormatReportsGeometry(t *testing.T) {
+	reports := RunMatrix(quickCfg(FaultsStandard), ML1, ML4)
+	out := FormatReports(reports)
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 2+len(reports) {
+		t.Fatalf("table has %d lines, want %d:\n%s", len(lines), 2+len(reports), out)
+	}
+	if !strings.HasPrefix(lines[0], "archetype") {
+		t.Fatalf("header line = %q", lines[0])
+	}
+	if strings.Trim(lines[1], "- ") != "" {
+		t.Fatalf("separator line = %q", lines[1])
+	}
+	// Column starts align: each header field begins at the same byte
+	// offset in every row (cells are left-padded to column width).
+	for _, col := range header() {
+		off := strings.Index(lines[0], col)
+		if off < 0 {
+			t.Fatalf("header missing column %q", col)
+		}
+		for _, line := range lines[2:] {
+			if len(line) < off {
+				t.Fatalf("row shorter than header offset %d: %q", off, line)
+			}
+			if off > 0 && line[off-1] != ' ' {
+				t.Fatalf("column %q misaligned in row %q", col, line)
+			}
+		}
+	}
+}

@@ -4,22 +4,31 @@ import (
 	"net/http"
 )
 
-// Handler serves the registry at /metrics (Prometheus text format) and
-// a liveness probe at /healthz. healthy may be nil, in which case the
-// probe always succeeds.
-func Handler(reg *Registry, healthy func() bool) http.Handler {
+// Handler serves the registry at /metrics (Prometheus text format), a
+// liveness probe at /healthz, and a readiness probe at /readyz. The
+// probes follow the Kubernetes convention: liveness means the process
+// is up (restart it when this fails), readiness means it can do useful
+// work (withhold traffic until this passes — e.g. a node that has not
+// yet joined its cluster is alive but not ready). Either check may be
+// nil, in which case that probe always succeeds.
+func Handler(reg *Registry, healthy, ready func() bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.Expose(w)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		if healthy != nil && !healthy() {
-			http.Error(w, "unhealthy", http.StatusServiceUnavailable)
+	mux.HandleFunc("/healthz", probe(healthy, "unhealthy"))
+	mux.HandleFunc("/readyz", probe(ready, "not ready"))
+	return mux
+}
+
+func probe(check func() bool, failMsg string) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		if check != nil && !check() {
+			http.Error(w, failMsg, http.StatusServiceUnavailable)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
-	})
-	return mux
+	}
 }

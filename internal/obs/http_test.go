@@ -26,7 +26,7 @@ func TestHandlerServesMetricsAndHealth(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("riot_events_total", "events", "kind", "test").Add(7)
 	healthy := true
-	srv := httptest.NewServer(Handler(reg, func() bool { return healthy }))
+	srv := httptest.NewServer(Handler(reg, func() bool { return healthy }, nil))
 	defer srv.Close()
 
 	code, body, hdr := get(t, srv, "/metrics")
@@ -53,10 +53,35 @@ func TestHandlerServesMetricsAndHealth(t *testing.T) {
 }
 
 func TestHandlerNilHealthCheck(t *testing.T) {
-	srv := httptest.NewServer(Handler(NewRegistry(), nil))
+	srv := httptest.NewServer(Handler(NewRegistry(), nil, nil))
 	defer srv.Close()
-	code, body, _ := get(t, srv, "/healthz")
+	for _, path := range []string{"/healthz", "/readyz"} {
+		code, body, _ := get(t, srv, path)
+		if code != http.StatusOK || body != "ok\n" {
+			t.Fatalf("%s = %d %q", path, code, body)
+		}
+	}
+}
+
+func TestHandlerReadiness(t *testing.T) {
+	ready := false
+	srv := httptest.NewServer(Handler(NewRegistry(), nil, func() bool { return ready }))
+	defer srv.Close()
+
+	// Not ready yet must not affect liveness: the node is up, just not
+	// serving traffic.
+	code, _, _ := get(t, srv, "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("unready /readyz status = %d", code)
+	}
+	code, _, _ = get(t, srv, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz while unready = %d", code)
+	}
+
+	ready = true
+	code, body, _ := get(t, srv, "/readyz")
 	if code != http.StatusOK || body != "ok\n" {
-		t.Fatalf("/healthz = %d %q", code, body)
+		t.Fatalf("ready /readyz = %d %q", code, body)
 	}
 }

@@ -1,0 +1,125 @@
+package observatory
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obs"
+)
+
+// DefaultFlightRingSize bounds the flight recorder's memory: the
+// newest events win, exactly like a hardware flight recorder.
+const DefaultFlightRingSize = 4096
+
+// FlightSchema tags dump files; bump on incompatible change.
+const FlightSchema = "riotscope/flight/v1"
+
+// FlightRecorder keeps a bounded ring of the most recent observability
+// events of a run — journal entries (mirrored on the bus as core.*) and
+// protocol spans alike — so that when an oracle trips, the moments
+// leading up to the failure can be dumped as a structured artifact.
+// Attaching one to a bus never alters the run: subscribers only read.
+type FlightRecorder struct {
+	sub  *obs.Subscription
+	size int
+}
+
+// NewFlightRecorder attaches a recorder to the bus. size <= 0 selects
+// DefaultFlightRingSize.
+func NewFlightRecorder(bus *obs.Bus, size int) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightRingSize
+	}
+	return &FlightRecorder{sub: bus.Subscribe(size), size: size}
+}
+
+// Close detaches the recorder from the bus. The ring remains drainable.
+func (fr *FlightRecorder) Close() { fr.sub.Close() }
+
+// Snapshot drains the ring, oldest first.
+func (fr *FlightRecorder) Snapshot() []obs.Event { return fr.sub.Events() }
+
+// Dropped reports how many events the ring overwrote before Snapshot.
+func (fr *FlightRecorder) Dropped() uint64 { return fr.sub.Dropped() }
+
+// FlightEvent is one recorded event in dump form: durations rendered as
+// strings so the artifact reads as documentation.
+type FlightEvent struct {
+	At     string `json:"at"`
+	Dur    string `json:"dur,omitempty"`
+	Kind   string `json:"kind"`
+	Node   string `json:"node,omitempty"`
+	Span   uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// FlightDump is the structured artifact written when an oracle fires.
+type FlightDump struct {
+	Schema string `json:"schema"`
+	// Name identifies the failing run (the chaos oracle uses
+	// "<archetype>-<journal-hash-prefix>").
+	Name string `json:"name"`
+	// Reason lists why the oracle fired (failure kind: detail lines).
+	Reason []string `json:"reason,omitempty"`
+	// Dropped counts ring overwrites: non-zero means the window below
+	// is the *tail* of the run, not all of it.
+	Dropped uint64 `json:"dropped,omitempty"`
+	// Events is the recorded window, oldest first.
+	Events []FlightEvent `json:"events"`
+}
+
+// NewFlightDump assembles a dump from a snapshot.
+func NewFlightDump(name string, reason []string, events []obs.Event, dropped uint64) FlightDump {
+	d := FlightDump{Schema: FlightSchema, Name: name, Reason: reason, Dropped: dropped}
+	d.Events = make([]FlightEvent, 0, len(events))
+	for _, ev := range events {
+		fe := FlightEvent{
+			At: ev.At.String(), Kind: ev.Kind, Node: ev.Node,
+			Span: ev.Span, Parent: ev.Parent, Detail: ev.Detail,
+		}
+		if ev.Dur > 0 {
+			fe.Dur = ev.Dur.String()
+		}
+		d.Events = append(d.Events, fe)
+	}
+	return d
+}
+
+// Dump snapshots the recorder into an artifact.
+func (fr *FlightRecorder) Dump(name string, reason []string) FlightDump {
+	events := fr.Snapshot()
+	return NewFlightDump(name, reason, events, fr.Dropped())
+}
+
+// WriteFile writes the dump as <dir>/<name>.flight.json (creating dir)
+// and returns the path.
+func (d FlightDump) WriteFile(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, d.Name+".flight.json")
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFlightDump loads a dump written by WriteFile.
+func ReadFlightDump(path string) (FlightDump, error) {
+	var d FlightDump
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(data, &d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	if d.Schema != FlightSchema {
+		return d, fmt.Errorf("%s: schema %q, want %q", path, d.Schema, FlightSchema)
+	}
+	return d, nil
+}

@@ -25,6 +25,14 @@ type bench struct {
 	BytesPerOp  uint64  `json:"bytes_per_op"`
 	Runs        int     `json:"runs"`
 	RunsPerSec  float64 `json:"runs_per_sec"`
+
+	// Virtual-time resilience latencies (city tier ML4). Zero means the
+	// experiment does not report them; gating starts once a baseline
+	// records a non-zero value.
+	MTTDP50Ns int64 `json:"mttd_p50_ns,omitempty"`
+	MTTDP99Ns int64 `json:"mttd_p99_ns,omitempty"`
+	MTTRP50Ns int64 `json:"mttr_p50_ns,omitempty"`
+	MTTRP99Ns int64 `json:"mttr_p99_ns,omitempty"`
 }
 
 type benchFile struct {
@@ -97,6 +105,7 @@ func diff(base, cand benchFile, threshold float64) (lines, failures []string) {
 		seen[b.ID] = true
 		c, ok := candByID[b.ID]
 		if !ok {
+			lines = append(lines, fmt.Sprintf("%-8s missing (present in baseline, absent from candidate)", b.ID))
 			failures = append(failures, fmt.Sprintf("%s: missing from candidate", b.ID))
 			continue
 		}
@@ -112,6 +121,28 @@ func diff(base, cand benchFile, threshold float64) (lines, failures []string) {
 		if allocRatio > 1+threshold {
 			failures = append(failures, fmt.Sprintf("%s: allocs_per_op regressed %.1f%% (%d -> %d)",
 				b.ID, (allocRatio-1)*100, b.AllocsPerOp, c.AllocsPerOp))
+		}
+		for _, m := range []struct {
+			name       string
+			base, cand int64
+		}{
+			{"mttd_p50_ns", b.MTTDP50Ns, c.MTTDP50Ns},
+			{"mttd_p99_ns", b.MTTDP99Ns, c.MTTDP99Ns},
+			{"mttr_p50_ns", b.MTTRP50Ns, c.MTTRP50Ns},
+			{"mttr_p99_ns", b.MTTRP99Ns, c.MTTRP99Ns},
+		} {
+			if b.MTTDP50Ns == 0 && b.MTTDP99Ns == 0 && b.MTTRP50Ns == 0 && b.MTTRP99Ns == 0 {
+				break // baseline predates resilience latencies for this ID
+			}
+			r := ratio(float64(m.cand), float64(m.base))
+			lines = append(lines, fmt.Sprintf("%-8s %s %12d -> %12d (%+.1f%%)",
+				b.ID, m.name, m.base, m.cand, (r-1)*100))
+			// Upward drift only: these are virtual-time latencies, so
+			// getting faster is always fine.
+			if r > 1+threshold {
+				failures = append(failures, fmt.Sprintf("%s: %s regressed %.1f%% (%d -> %d)",
+					b.ID, m.name, (r-1)*100, m.base, m.cand))
+			}
 		}
 	}
 	for _, c := range cand.Benches {

@@ -51,9 +51,43 @@ func TestDiffImprovementPasses(t *testing.T) {
 func TestDiffMissingExperimentFails(t *testing.T) {
 	base := bf(bench{ID: "table12", NsPerOp: 1000, AllocsPerOp: 100})
 	cand := bf()
-	_, failures := diff(base, cand, 0.25)
+	lines, failures := diff(base, cand, 0.25)
 	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
 		t.Fatalf("failures = %v", failures)
+	}
+	// The disappearance must be visible in the stdout comparison lines
+	// too, mirroring the "added" labeling of new experiments.
+	if len(lines) != 1 || !strings.Contains(lines[0], "missing") {
+		t.Fatalf("lines = %v", lines)
+	}
+}
+
+func TestDiffLatencyRegression(t *testing.T) {
+	base := bf(bench{ID: "city", NsPerOp: 1000, AllocsPerOp: 100, MTTDP50Ns: 4000, MTTRP99Ns: 9000})
+	cand := bf(bench{ID: "city", NsPerOp: 1000, AllocsPerOp: 100, MTTDP50Ns: 6000, MTTRP99Ns: 9000})
+	_, failures := diff(base, cand, 0.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "mttd_p50_ns") {
+		t.Fatalf("failures = %v", failures)
+	}
+
+	// Faster detection/recovery never fails the gate.
+	better := bf(bench{ID: "city", NsPerOp: 1000, AllocsPerOp: 100, MTTDP50Ns: 1000, MTTRP99Ns: 10})
+	if _, failures := diff(base, better, 0.25); len(failures) != 0 {
+		t.Fatalf("latency improvement flagged: %v", failures)
+	}
+}
+
+func TestDiffLatencyAbsentFromBaselineIgnored(t *testing.T) {
+	// A baseline written before latency metrics existed must not gate
+	// them (and must not flag growth-from-zero).
+	base := bf(bench{ID: "city", NsPerOp: 1000, AllocsPerOp: 100})
+	cand := bf(bench{ID: "city", NsPerOp: 1000, AllocsPerOp: 100, MTTDP50Ns: 4000, MTTRP50Ns: 2000})
+	lines, failures := diff(base, cand, 0.25)
+	if len(failures) != 0 {
+		t.Fatalf("pre-latency baseline gated: %v", failures)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("unexpected latency lines for pre-latency baseline: %v", lines)
 	}
 }
 
