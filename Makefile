@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-city fuzz experiments examples obs-demo bench-baseline bench-gate determinism chaos chaos-replay chaos-verify explain clean
+.PHONY: all build test race cover bench bench-city fuzz experiments examples obs-demo bench-baseline bench-gate determinism metro metro-smoke chaos chaos-replay chaos-verify explain clean
 
 all: build test
 
@@ -59,12 +59,31 @@ bench-gate:
 	$(GO) run ./cmd/riotbench -quick -parallel 2 -benchreps 3 -out /tmp/bench.json
 	$(GO) run ./scripts BENCH_riot.json /tmp/bench.json
 
-# Serial vs parallel campaign must print byte-identical journal hashes.
+# Serial vs parallel campaign must print byte-identical journal
+# hashes, and the zone-sharded scheduler must print byte-identical
+# city-tier hashes at 1, 2 and 4 shards (the shard-invariance gate;
+# CI runs the same legs in the metropolis-determinism job).
 determinism:
 	$(GO) run ./cmd/riotbench -quick -only table12 -seeds 4 -hashes > /tmp/serial.txt
 	$(GO) run -race ./cmd/riotbench -quick -only table12 -seeds 4 -parallel 4 -hashes > /tmp/parallel.txt
 	diff -u /tmp/serial.txt /tmp/parallel.txt
 	$(GO) test -race -run TestSchedulerDifferential ./internal/core/
+	$(GO) run ./cmd/riotsim -tier city-smoke -matrix -shards 1 -hash > /tmp/shards1.txt
+	$(GO) run ./cmd/riotsim -tier city-smoke -matrix -shards 2 -hash > /tmp/shards2.txt
+	$(GO) run -race ./cmd/riotsim -tier city-smoke -matrix -shards 4 -hash > /tmp/shards4.txt
+	diff -u /tmp/shards1.txt /tmp/shards2.txt
+	diff -u /tmp/shards1.txt /tmp/shards4.txt
+	$(GO) test -race -run 'TestShard' ./internal/simnet/ ./internal/core/
+
+# Metropolis tier (1000 zones, ~102k devices; -zones 10000 reaches the
+# 1M-device target) on the zone-sharded scheduler. The journal hash is
+# shard-count-invariant, so any shard count is a valid run; see
+# README "Running the metropolis tier" for the cores/shards tradeoff.
+metro:
+	$(GO) run ./cmd/riotsim -tier metro -arch ML4 -shards 4 -hash
+
+metro-smoke:
+	$(GO) run ./cmd/riotsim -tier metro-smoke -arch ML4 -shards 4 -hash
 
 # Chaos search: sample disruption schedules, shrink every violation to
 # a minimal counterexample, save new finds into the committed corpus.

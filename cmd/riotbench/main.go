@@ -8,6 +8,7 @@
 //	riotbench -only f3             # one experiment: table12, f1..f5, a1,
 //	                               # a2, x1, x2, city, chaos/<name>
 //	riotbench -parallel 4 -seeds 8 # fan the table12 campaign over workers
+//	riotbench -shards 4            # zone-sharded scheduler in every run
 //	riotbench -out BENCH_riot.json # write per-experiment benchmark JSON
 //
 // The city experiment runs the four-archetype matrix at the Figure-1
@@ -23,6 +24,18 @@
 // identical whichever worker count is used; -hashes prints the
 // per-run journal hashes so serial and parallel output can be diffed
 // directly (the determinism CI job does exactly that).
+//
+// -shards selects the zone-sharded scheduler (DESIGN.md §11) inside
+// every simulation; -shards 1 is the sharded serial reference and
+// higher counts run zone lanes in parallel with identical journals.
+// -parallel and -shards multiply: N workers × S shard lanes would run
+// N*S goroutines hot, so when both exceed one the worker count is
+// capped at GOMAXPROCS/shards — campaign throughput already saturates
+// the machine, and oversubscribing would only serialize the shard
+// windows. The metro/s1, metro/s2 and metro/s4 experiments run the
+// metropolis tier (~104k devices; -quick swaps the 1-minute smoke) at
+// fixed shard counts so the bench JSON records the cores-vs-wall-clock
+// scaling curve.
 //
 // With -trace a dedicated short ML4 run is traced and written as
 // Chrome trace-event JSON (riotbench -trace out.json -only none skips
@@ -112,6 +125,7 @@ func run(args []string, out io.Writer) error {
 	seedRuns := fs.Int("seeds", 1, "number of seeds for the table12 campaign (>1 adds mean/min/max rows)")
 	parallel := fs.Int("parallel", 1, "worker count for the table12 campaign (0 = GOMAXPROCS)")
 	hashes := fs.Bool("hashes", false, "print per-(seed,archetype) journal hashes for the table12 campaign")
+	shards := fs.Int("shards", 0, "zone-shard count for every simulation (0 = legacy serial scheduler, 1 = sharded reference leg)")
 	outPath := fs.String("out", "", "write per-experiment benchmark JSON (ns/op, allocs/op, runs/sec) to this file")
 	benchReps := fs.Int("benchreps", 1, "repetitions per experiment for -out measurements; the minimum is recorded")
 	trace := fs.String("trace", "", "additionally trace a short ML4 run into this Chrome trace JSON file")
@@ -121,10 +135,23 @@ func run(args []string, out io.Writer) error {
 
 	cfg := core.DefaultScenario()
 	cfg.Seed = *seed
+	cfg.Shards = *shards
 	zoneCounts := []int{20, 100, 400, 1000}
 	if *quick {
 		cfg.Duration = 6 * time.Minute
 		zoneCounts = []int{4, 16, 64}
+	}
+
+	// -parallel workers each own a full simulation; with -shards every
+	// simulation additionally runs shard-count lanes. Cap the product at
+	// GOMAXPROCS so the two axes of parallelism cannot oversubscribe the
+	// machine — oversubscription serializes the shard windows and erases
+	// the speedup both flags exist to deliver.
+	workers := *parallel
+	if *shards > 1 {
+		if maxw := max(1, runtime.GOMAXPROCS(0) / *shards); workers <= 0 || workers > maxw {
+			workers = maxw
+		}
 	}
 
 	type experiment struct {
@@ -142,7 +169,7 @@ func run(args []string, out io.Writer) error {
 			for i := range seeds {
 				seeds[i] = *seed + int64(i)
 			}
-			runs, err := experiments.MatrixCampaign(cfg, seeds, *parallel)
+			runs, err := experiments.MatrixCampaign(cfg, seeds, workers)
 			if err != nil {
 				return 0, err
 			}
@@ -241,6 +268,39 @@ func run(args []string, out io.Writer) error {
 			}
 			return len(reports), nil
 		}},
+	}
+	// Metropolis scaling legs: one ML4 run of the metropolis tier per
+	// shard count. The bench JSON then carries ns_per_op for the serial
+	// reference and each sharded leg side by side, so the committed
+	// baseline records the cores-vs-wall-clock curve and benchdiff
+	// gates it like any other figure. Later legs cross-check their
+	// journal hash against the serial leg — a scaling number from a
+	// diverging run would be meaningless.
+	var metroHash string
+	for _, n := range []int{1, 2, 4} {
+		n := n
+		all = append(all, experiment{
+			id:    fmt.Sprintf("metro/s%d", n),
+			title: fmt.Sprintf("Metropolis tier — ML4, %d shard(s) (scaling leg)", n),
+			run: func(w io.Writer) (int, error) {
+				mcfg := core.MetropolisScenario()
+				if *quick {
+					mcfg = core.MetropolisScenarioSmoke()
+				}
+				mcfg.Seed = *seed
+				mcfg.Shards = n
+				sys := core.NewSystem(mcfg, core.ML4)
+				rep := sys.Run()
+				h := sys.JournalHash()
+				fmt.Fprintf(w, "shards=%d R(goal)=%.4f journal %.12s\n", n, rep.GoalPersistence, h)
+				if n == 1 {
+					metroHash = h
+				} else if metroHash != "" && h != metroHash {
+					return 0, fmt.Errorf("shards=%d journal hash %s diverges from serial %s", n, h, metroHash)
+				}
+				return 1, nil
+			},
+		})
 	}
 	// Corpus-driven worst-case benches: every minimized counterexample
 	// in the chaos corpus becomes a named experiment, so the perf gate

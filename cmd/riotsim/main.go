@@ -5,6 +5,16 @@
 //
 //	riotsim -arch ML4 -zones 4 -duration 20m -seed 1 -preset standard
 //
+// -tier selects a scenario preset (default, city, city-smoke, metro,
+// metro-smoke); -zones and -duration still override it when given
+// explicitly. -shards runs the zone-sharded scheduler (DESIGN.md §11):
+// -shards 1 is the serial reference leg and higher counts execute zone
+// lanes in parallel with a byte-identical journal, which -hash prints
+// for differential checks (the metropolis-determinism CI job diffs
+// these across shard counts):
+//
+//	riotsim -tier city-smoke -arch ML4 -shards 4 -hash
+//
 // With -trace the full observability event stream (faults, causal
 // violation/recovery spans, gossip, Raft, MAPE cycles, actuations) is
 // written as Chrome trace-event JSON, viewable in chrome://tracing or
@@ -35,21 +45,47 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("riotsim", flag.ContinueOnError)
 	archName := fs.String("arch", "ML4", "architecture maturity level: ML1, ML2, ML3 or ML4")
+	tier := fs.String("tier", "default", "scenario tier: default, city, city-smoke, metro or metro-smoke")
 	zones := fs.Int("zones", 4, "number of zones")
 	duration := fs.Duration("duration", 20*time.Minute, "virtual run duration")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	shards := fs.Int("shards", 0, "zone-shard count (0 = legacy serial scheduler, 1 = sharded reference leg)")
 	preset := fs.String("preset", "standard", "fault preset: standard, none or heavy")
 	matrix := fs.Bool("matrix", false, "run all four archetypes (Tables 1/2)")
 	events := fs.Bool("events", false, "print the run journal (faults, placements, violations, alerts)")
+	hash := fs.Bool("hash", false, "print the journal hash (per archetype with -matrix)")
 	trace := fs.String("trace", "", "write a Chrome trace-event JSON file of the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := core.DefaultScenario()
-	cfg.Zones = *zones
-	cfg.Duration = *duration
+	var cfg core.ScenarioConfig
+	switch strings.ToLower(*tier) {
+	case "default":
+		cfg = core.DefaultScenario()
+	case "city":
+		cfg = core.CityScenario()
+	case "city-smoke":
+		cfg = core.CityScenarioSmoke()
+	case "metro":
+		cfg = core.MetropolisScenario()
+	case "metro-smoke":
+		cfg = core.MetropolisScenarioSmoke()
+	default:
+		return fmt.Errorf("unknown tier %q", *tier)
+	}
+	// -zones/-duration defaults describe the default tier; only apply
+	// them over a named tier when the user set them explicitly.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *tier == "default" || explicit["zones"] {
+		cfg.Zones = *zones
+	}
+	if *tier == "default" || explicit["duration"] {
+		cfg.Duration = *duration
+	}
 	cfg.Seed = *seed
+	cfg.Shards = *shards
 	switch strings.ToLower(*preset) {
 	case "standard":
 		cfg.Preset = core.FaultsStandard
@@ -64,6 +100,14 @@ func run(args []string, out io.Writer) error {
 	if *matrix {
 		if *trace != "" {
 			return fmt.Errorf("-trace needs a single run; drop -matrix")
+		}
+		if *hash {
+			for _, a := range core.AllArchetypes() {
+				sys := core.NewSystem(cfg, a)
+				sys.Run()
+				fmt.Fprintf(out, "journal arch=%s %s\n", a, sys.JournalHash())
+			}
+			return nil
 		}
 		reports := core.RunMatrix(cfg)
 		fmt.Fprint(out, core.FormatReports(reports))
@@ -81,6 +125,9 @@ func run(args []string, out io.Writer) error {
 	}
 	report := sys.Run()
 	fmt.Fprint(out, report.String())
+	if *hash {
+		fmt.Fprintf(out, "journal %s\n", sys.JournalHash())
+	}
 	if *events {
 		fmt.Fprintf(out, "\nrun journal (%d events):\n", len(sys.Journal()))
 		fmt.Fprint(out, core.FormatJournal(sys.Journal()))

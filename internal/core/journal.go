@@ -4,10 +4,12 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/simnet"
 )
 
 // RunEvent is one entry of a system run's journal: faults as they are
@@ -36,25 +38,87 @@ const (
 
 // record appends one journal entry at the current virtual time.
 func (sys *System) record(kind, format string, args ...any) {
-	sys.recordSpan(kind, 0, 0, format, args...)
+	sys.recordAt(nil, kind, 0, 0, format, args...)
 }
 
-// recordSpan appends one journal entry and mirrors it onto the
+// recordSpan is record with causal span IDs, from coordinator context
+// (environment/measurement loops, fault subscribers).
+func (sys *System) recordSpan(kind string, span, parent uint64, format string, args ...any) {
+	sys.recordAt(nil, kind, span, parent, format, args...)
+}
+
+// recordOn appends one journal entry from a node's event (a shard-side
+// call site). The entry is stamped with the node's lane clock and, in
+// sharded mode, buffered per lane under the executing event's logical
+// key so the post-run merge restores the global order.
+func (sys *System) recordOn(ep *simnet.Endpoint, kind, format string, args ...any) {
+	sys.recordAt(ep, kind, 0, 0, format, args...)
+}
+
+// laneEvent is a journal record tagged with the logical key of the
+// event that emitted it, buffered per lane in sharded mode.
+type laneEvent struct {
+	seq uint64
+	ev  RunEvent
+}
+
+// recordAt appends one journal entry and mirrors it onto the
 // observability bus as a "core.<kind>" event carrying the given causal
 // span IDs. The journal is written directly — not via a bus
 // subscription — so it stays an always-on view while the bus keeps its
-// zero-subscriber fast path.
-func (sys *System) recordSpan(kind string, span, parent uint64, format string, args ...any) {
+// zero-subscriber fast path. In sharded mode the entry goes to the
+// executing lane's buffer (see mergeJournal); in legacy mode straight
+// to the journal, byte-identically to the pre-sharding code.
+func (sys *System) recordAt(ep *simnet.Endpoint, kind string, span, parent uint64, format string, args ...any) {
 	detail := fmt.Sprintf(format, args...)
-	sys.journal = append(sys.journal, RunEvent{
-		At:     sys.sim.Now(),
-		Kind:   kind,
-		Detail: detail,
-	})
+	at := sys.sim.Now()
+	if ep != nil {
+		at = ep.Now()
+	}
+	if lane, seq, ok := sys.sim.ExecContext(ep); ok {
+		sys.laneJournals[lane] = append(sys.laneJournals[lane], laneEvent{
+			seq: seq,
+			ev:  RunEvent{At: at, Kind: kind, Detail: detail},
+		})
+	} else {
+		sys.journal = append(sys.journal, RunEvent{At: at, Kind: kind, Detail: detail})
+	}
 	sys.bus.Publish(obs.Event{
-		At: sys.sim.Now(), Kind: "core." + kind,
+		At: at, Kind: "core." + kind,
 		Span: span, Parent: parent, Detail: detail,
 	})
+}
+
+// mergeJournal flattens the per-lane buffers into the journal in
+// global (At, seq) order. The logical keys are shard-count-invariant,
+// and records sharing a key (several records from one event) keep
+// their append order via the stable sort — so the merged journal, and
+// therefore JournalHash, is byte-identical at any shard count.
+func (sys *System) mergeJournal() {
+	if sys.laneJournals == nil {
+		return
+	}
+	total := 0
+	for _, lj := range sys.laneJournals {
+		total += len(lj)
+	}
+	all := make([]laneEvent, 0, total)
+	for _, lj := range sys.laneJournals {
+		all = append(all, lj...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].ev.At != all[j].ev.At {
+			return all[i].ev.At < all[j].ev.At
+		}
+		return all[i].seq < all[j].seq
+	})
+	merged := make([]RunEvent, 0, len(sys.journal)+len(all))
+	merged = append(merged, sys.journal...)
+	for i := range all {
+		merged = append(merged, all[i].ev)
+	}
+	sys.journal = merged
+	sys.laneJournals = nil
 }
 
 // Journal returns the run's events in chronological order. Call after

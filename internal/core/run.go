@@ -22,6 +22,7 @@ func (sys *System) Run() Report {
 	sys.startEnvironmentLoop()
 	sys.startMeasurementLoop()
 	sys.sim.RunUntil(sys.cfg.Duration)
+	sys.mergeJournal()
 	return sys.report()
 }
 
@@ -70,7 +71,7 @@ func (sys *System) startMeasurementLoop() {
 	invTick = func() {
 		if sys.sim.Now() >= sys.warmup {
 			for z := 0; z < sys.cfg.Zones; z++ {
-				ok := sys.sim.Now()-sys.lastControlOK[z] <= inv+inv/2
+				ok := sys.sim.Now()-time.Duration(sys.lastControlOK[z].Load()) <= inv+inv/2
 				sys.invocations.RecordOutcome(ok)
 			}
 		}
@@ -271,10 +272,10 @@ func (sys *System) report() Report {
 		InvocationSuccess:  sys.invocations.Value(),
 		DataAvailability:   sys.dataAvail.Value(),
 		StalenessP95:       sys.staleness.Percentile(95),
-		PrivacyViolations:  sys.auditor.ViolationCount(),
+		PrivacyViolations:  sys.violationCount(),
 		DesignChecksPassed: sys.designPassed,
-		RuntimeChecks:      sys.runtimeChecks,
-		RuntimeAlerts:      sys.runtimeAlerts,
+		RuntimeChecks:      int(sys.runtimeChecks.Load()),
+		RuntimeAlerts:      int(sys.runtimeAlerts.Load()),
 		Messages:           sys.sim.Stats().Delivered,
 		Bytes:              sys.sim.Stats().Bytes,
 	}

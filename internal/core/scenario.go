@@ -140,6 +140,18 @@ type ScenarioConfig struct {
 	// it a reporter inside a device-side island spends most of each
 	// retry cycle walking dead candidates and freshness flaps.
 	StickyFailover bool
+
+	// Shards selects simnet's zone-sharded deterministic scheduler
+	// (DESIGN.md §11): the zones are block-partitioned across Shards
+	// lanes that advance in conservative lookahead windows, and the
+	// journal is merged by shard-count-invariant logical event keys —
+	// so the JournalHash is byte-identical at any Shards ≥ 1, with
+	// Shards = 1 the serial reference leg. Zero keeps the legacy
+	// single-threaded scheduler and its pinned journal family
+	// (sharded-mode hashes form a separate family: per-node RNG
+	// streams replace the global draw order). Not defaulted by
+	// withDefaults. Supersedes UseHeapScheduler when set.
+	Shards int
 }
 
 // Hardened returns a copy of the config with every resilience knob
@@ -226,6 +238,46 @@ func CityScenarioSmoke() ScenarioConfig {
 	cfg.TempSensorsPerZone = 6
 	cfg.Cloudlets = 4
 	cfg.Duration = 3 * time.Minute
+	return cfg
+}
+
+// MetropolisScenario returns the metropolis tier: 1000 zones × 102
+// devices ≈ 102k simulated devices (100 temperature sensors + occupancy
+// sensor + actuator + gateway per zone, 16 cloudlets, one cloud) — two
+// orders of magnitude past paper scale, the ~100k rung on the way to
+// the 1M-device target (reach it by raising Zones to 10000 via the
+// -zones flag). Zones stay at 1000 and density carries the device
+// count: per-device work is linear, but gossip membership, replanning
+// and placement all grow with the gateway count, so zones are the
+// axis that turns quadratic at this scale. The tier exists to exercise
+// the sharded scheduler: zone-local traffic dominates, so wall clock
+// scales with cores (EXPERIMENTS.md records the curve). Intervals
+// stretch further than the city tier so the event count stays a
+// benchmark, and the fault preset is the standard schedule — the tier
+// measures throughput, not archetype discrimination (the city tier
+// does that).
+func MetropolisScenario() ScenarioConfig {
+	cfg := CityScenario()
+	cfg.Zones = 1000
+	cfg.TempSensorsPerZone = 100
+	cfg.Cloudlets = 16
+	cfg.Duration = 2 * time.Minute
+	cfg.SampleInterval = 10 * time.Second
+	cfg.ControlInterval = 10 * time.Second
+	cfg.EnvStep = 10 * time.Second
+	cfg.Drift = 0.012        // +0.12 per 10 s decision, as at paper scale
+	cfg.CoolRate = -0.06     // −0.6 per 10 s decision, as at paper scale
+	cfg.ShockProb = 0.000025 // ~5 shocks per run metropolis-wide
+	cfg.Preset = FaultsStandard
+	return cfg
+}
+
+// MetropolisScenarioSmoke returns the reduced metropolis tier the CI
+// smoke job runs: the full ~100k-device tier shortened so one ML1 run
+// finishes in CI seconds.
+func MetropolisScenarioSmoke() ScenarioConfig {
+	cfg := MetropolisScenario()
+	cfg.Duration = time.Minute
 	return cfg
 }
 

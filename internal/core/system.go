@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/consensus"
@@ -121,32 +122,46 @@ type System struct {
 	reqTemp  []model.RequirementID
 	reqFresh []model.RequirementID
 	auditor  *dataflow.Engine
+	// auditors replaces the single engine in sharded mode: one engine
+	// per lane, so concurrent shard windows never share auditor state.
+	// The per-item verdict is stateless, so the summed violation count
+	// is shard-count-invariant.
+	auditors []*dataflow.Engine
 	freshWin time.Duration
 	warmup   time.Duration
 	endOfRun time.Duration
 
 	// Measurement state.
-	tempTrace     []*metrics.SatisfactionTrace
-	freshTrace    []*metrics.SatisfactionTrace
-	goalTrace     *metrics.SatisfactionTrace
-	servable      metrics.Ratio
-	invocations   metrics.Ratio
-	dataAvail     metrics.Ratio
-	staleness     *metrics.LatencyRecorder
-	lastControlOK []time.Duration
+	tempTrace   []*metrics.SatisfactionTrace
+	freshTrace  []*metrics.SatisfactionTrace
+	goalTrace   *metrics.SatisfactionTrace
+	servable    metrics.Ratio
+	invocations metrics.Ratio
+	dataAvail   metrics.Ratio
+	staleness   *metrics.LatencyRecorder
+	// lastControlOK[z] is the lane-shared "when did zone z last see a
+	// successful control tick" watermark, advanced monotonically via
+	// CAS-max: writes are time-ordered within a zone, so the maximum
+	// equals the last write and legacy behavior is preserved exactly.
+	lastControlOK []atomic.Int64
 
 	runtimeMonitored int
 	designChecked    int
 	designPassed     bool
 	// models@runtime: the ML4 leader re-verifies the control
 	// availability model against the live membership view on every
-	// replanning pass.
-	runtimeChecks int
-	runtimeAlerts int
+	// replanning pass. Atomic because replanning runs on leader nodes'
+	// events, which execute on shard lanes in sharded mode.
+	runtimeChecks atomic.Int64
+	runtimeAlerts atomic.Int64
 
-	journal    []RunEvent
-	prevTempOK []bool
-	prevFresh  []bool
+	journal []RunEvent
+	// laneJournals buffers journal records per lane in sharded mode,
+	// keyed by logical event sequence; mergeJournal flattens them into
+	// journal after the run. Nil in legacy mode.
+	laneJournals [][]laneEvent
+	prevTempOK   []bool
+	prevFresh    []bool
 
 	// Observability: every subsystem publishes onto one bus reading
 	// virtual time. Causal chaining state links each violation and
@@ -163,6 +178,11 @@ func NewSystem(cfg ScenarioConfig, arch Archetype) *System {
 	simOpts := []simnet.Option{simnet.WithSeed(cfg.Seed), simnet.WithDefaultLatency(2 * time.Millisecond)}
 	if cfg.UseHeapScheduler {
 		simOpts = append(simOpts, simnet.WithHeapScheduler())
+	}
+	if cfg.Shards > 0 {
+		// Sharded deterministic mode supersedes the scheduler choice:
+		// every lane runs its own timing wheel.
+		simOpts = append(simOpts, simnet.WithShards(cfg.Shards))
 	}
 	sys := &System{
 		cfg:          cfg,
@@ -182,6 +202,13 @@ func NewSystem(cfg ScenarioConfig, arch Archetype) *System {
 	}
 	sys.bus = obs.NewBus(sys.sim.Now)
 	sys.injector = fault.NewInjector(sys.sim)
+	if n := sys.sim.ShardCount(); n > 0 {
+		sys.laneJournals = make([][]laneEvent, n+1)
+		sys.auditors = make([]*dataflow.Engine, n+1)
+		for i := range sys.auditors {
+			sys.auditors[i] = dataflow.ObservedEngine()
+		}
+	}
 	sys.buildWorld()
 	sys.buildRequirements()
 	switch arch {
@@ -271,6 +298,18 @@ func (sys *System) buildWorld() {
 		sys.spaces.Place(string(id), space.Point{X: x0 + dx, Y: dy}, dom)
 	}
 
+	// Zone→shard partitioning: contiguous zone blocks, so intra-zone
+	// traffic (sensors↔gateway↔actuators — the overwhelming bulk) stays
+	// shard-local and only gateway↔gateway, gateway↔cloudlet and WAN
+	// traffic crosses lanes. SetShard is a no-op in legacy mode.
+	shards := sys.sim.ShardCount()
+	shardFor := func(z int) int {
+		if shards > 1 && z >= 0 {
+			return z * shards / cfg.Zones
+		}
+		return 0
+	}
+
 	// Devices and nodes.
 	for z := 0; z < cfg.Zones; z++ {
 		for i := 0; i < cfg.TempSensorsPerZone; i++ {
@@ -290,6 +329,7 @@ func (sys *System) buildWorld() {
 			}
 			rig.ep = sys.sim.AddNode(id)
 			rig.mux = simnet.NewMux(rig.ep)
+			sys.sim.SetShard(id, shardFor(z))
 			sys.sensors = append(sys.sensors, rig)
 			place(id, z, 10+float64(i)*5, 10, "campus")
 		}
@@ -309,6 +349,7 @@ func (sys *System) buildWorld() {
 		}
 		occRig.ep = sys.sim.AddNode(occ)
 		occRig.mux = simnet.NewMux(occRig.ep)
+		sys.sim.SetShard(occ, shardFor(z))
 		sys.sensors = append(sys.sensors, occRig)
 		place(occ, z, 20, 20, "campus")
 
@@ -324,6 +365,7 @@ func (sys *System) buildWorld() {
 		}
 		actR.ep = sys.sim.AddNode(act)
 		actR.mux = simnet.NewMux(actR.ep)
+		sys.sim.SetShard(act, shardFor(z))
 		sys.actuators = append(sys.actuators, actR)
 		place(act, z, 40, 40, "campus")
 
@@ -341,6 +383,7 @@ func (sys *System) buildWorld() {
 			}
 			bR.ep = sys.sim.AddNode(bid)
 			bR.mux = simnet.NewMux(bR.ep)
+			sys.sim.SetShard(bid, shardFor(z))
 			sys.actuators = append(sys.actuators, bR)
 			place(bid, z, 35+float64(b)*3, 42, "campus")
 			cands = append(cands, bid)
@@ -349,14 +392,20 @@ func (sys *System) buildWorld() {
 
 		gw := gatewayID(z)
 		sys.gateways = append(sys.gateways, sys.newEdgeStack(gw, z, device.ClassGateway))
+		sys.sim.SetShard(gw, shardFor(z))
 		place(gw, z, 45, 45, "campus")
 	}
 	for i := 0; i < cfg.Cloudlets; i++ {
 		cl := cloudletID(i)
 		sys.cloudlets = append(sys.cloudlets, sys.newEdgeStack(cl, -1, device.ClassCloudlet))
+		if shards > 1 {
+			// Cloudlets have no home zone; spread them across lanes.
+			sys.sim.SetShard(cl, i*shards/cfg.Cloudlets)
+		}
 		place(cl, -1, 50+float64(i)*10, 120, "campus")
 	}
 	sys.cloud = sys.newEdgeStack(cloudID, -1, device.ClassCloudVM)
+	sys.sim.SetShard(cloudID, 0)
 	place(cloudID, -1, 500, 500, "cloudprov")
 
 	// WAN links to the cloud: 40ms each way.
@@ -436,11 +485,11 @@ func (sys *System) buildRequirements() {
 	sys.tempTrace = make([]*metrics.SatisfactionTrace, cfg.Zones)
 	sys.freshTrace = make([]*metrics.SatisfactionTrace, cfg.Zones)
 	sys.goalTrace = &metrics.SatisfactionTrace{}
-	sys.lastControlOK = make([]time.Duration, cfg.Zones)
+	sys.lastControlOK = make([]atomic.Int64, cfg.Zones)
 	for z := 0; z < cfg.Zones; z++ {
 		sys.tempTrace[z] = &metrics.SatisfactionTrace{}
 		sys.freshTrace[z] = &metrics.SatisfactionTrace{}
-		sys.lastControlOK[z] = -time.Hour
+		sys.lastControlOK[z].Store(int64(-time.Hour))
 		tempID := model.RequirementID(fmt.Sprintf("R-temp-%d", z))
 		freshID := model.RequirementID(fmt.Sprintf("R-fresh-%d", z))
 		sys.reqTemp = append(sys.reqTemp, tempID)
@@ -517,8 +566,11 @@ func (sys *System) deviceOf(id simnet.NodeID) *device.Device {
 
 // auditArrival counts privacy violations: the uniform observe-only
 // auditor checks every item that actually landed on a node, whatever
-// mechanism carried it there.
-func (sys *System) auditArrival(item dataflow.Item, at simnet.NodeID) {
+// mechanism carried it there. ep is the landing node's endpoint — the
+// event runs on its lane in sharded mode, so the check uses that
+// lane's engine and clock. The per-item verdict is stateless, so the
+// summed count is shard-count-invariant.
+func (sys *System) auditArrival(item dataflow.Item, at simnet.NodeID, ep *simnet.Endpoint) {
 	fromDom, _ := sys.spaces.Domain(item.Label.Origin)
 	pl, ok := sys.spaces.PlacementOf(string(at))
 	if !ok {
@@ -528,9 +580,44 @@ func (sys *System) auditArrival(item dataflow.Item, at simnet.NodeID) {
 	if fromDom.ID == toDom.ID {
 		return // intra-domain placement is never a flow violation
 	}
-	before := sys.auditor.ViolationCount()
-	sys.auditor.Admit(dataflow.FlowContext{Item: item, From: fromDom, To: toDom}, sys.sim.Now())
-	if sys.auditor.ViolationCount() > before {
-		sys.record(EventPrivacy, "item %s observed at %s (origin %s)", item.Key, at, item.Label.Origin)
+	eng := sys.auditor
+	if sys.auditors != nil {
+		laneIdx, _, _ := sys.sim.ExecContext(ep)
+		eng = sys.auditors[laneIdx]
 	}
+	before := eng.ViolationCount()
+	eng.Admit(dataflow.FlowContext{Item: item, From: fromDom, To: toDom}, ep.Now())
+	if eng.ViolationCount() > before {
+		sys.recordOn(ep, EventPrivacy, "item %s observed at %s (origin %s)", item.Key, at, item.Label.Origin)
+	}
+}
+
+// noteControlOK advances zone z's control watermark to t. CAS-max:
+// writes within a zone are time-ordered, so the maximum is the latest
+// write, and concurrent writers from different lanes cannot lose an
+// update.
+func (sys *System) noteControlOK(z int, t time.Duration) {
+	a := &sys.lastControlOK[z]
+	for {
+		old := a.Load()
+		if int64(t) <= old {
+			return
+		}
+		if a.CompareAndSwap(old, int64(t)) {
+			return
+		}
+	}
+}
+
+// violationCount sums privacy violations across whichever auditor
+// layout is active.
+func (sys *System) violationCount() int {
+	if sys.auditors == nil {
+		return sys.auditor.ViolationCount()
+	}
+	n := 0
+	for _, e := range sys.auditors {
+		n += e.ViolationCount()
+	}
+	return n
 }

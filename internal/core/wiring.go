@@ -50,12 +50,12 @@ func (sys *System) startSensorsWithReporter(candidates func(*sensorRig) []simnet
 		rig.reporter.bus = sys.bus
 		rig.reporter.sticky = sys.cfg.StickyFailover
 		rig.ep.Every(sys.cfg.SampleInterval, func() {
-			val, ok := rig.sensor.Sample(sys.envm, sys.sim.Rand().NormFloat64())
+			val, ok := rig.sensor.Sample(sys.envm, rig.ep.Rand().NormFloat64())
 			if !ok {
 				return
 			}
 			rig.reporter.send(dataflow.Item{
-				Key: rig.key, Value: val, Label: rig.label, ProducedAt: sys.sim.Now(),
+				Key: rig.key, Value: val, Label: rig.label, ProducedAt: rig.ep.Now(),
 			})
 		})
 	}
@@ -70,14 +70,14 @@ func (sys *System) wireActuatorsDirect() {
 		actPort := rig.mux.Port("act")
 		actPort.OnMessage(func(_ simnet.NodeID, msg simnet.Message) {
 			if m, ok := msg.(actuateMsg); ok && m.Zone == rig.zone {
-				rig.lastCmd = sys.sim.Now()
+				rig.lastCmd = rig.ep.Now()
 				rig.actuator.SetEngaged(m.Engage)
 			}
 		})
 		if ec, ok := actPort.(simnet.EnvelopeCarrier); ok {
 			ec.OnEnvelope(func(_ simnet.NodeID, e *simnet.Envelope) {
 				if e.Kind == envActuate && int(e.A) == rig.zone {
-					rig.lastCmd = sys.sim.Now()
+					rig.lastCmd = rig.ep.Now()
 					rig.actuator.SetEngaged(e.Flag)
 				}
 			})
@@ -92,7 +92,7 @@ func (sys *System) wireActuatorsDirect() {
 func (sys *System) armActuatorWatchdog(rig *actRig) {
 	rig.ep.OnDown(func() { rig.actuator.SetEngaged(false) })
 	rig.ep.Every(sys.freshWin, func() {
-		if rig.actuator.Engaged() && sys.sim.Now()-rig.lastCmd > sys.freshWin {
+		if rig.actuator.Engaged() && rig.ep.Now()-rig.lastCmd > sys.freshWin {
 			rig.actuator.SetEngaged(false)
 		}
 	})
@@ -113,7 +113,7 @@ func (sys *System) controlTick(st *edgeStack, controls func(z int) bool, sendAct
 			if !ok {
 				continue
 			}
-			if sys.sim.Now()-item.ProducedAt > sys.freshWin {
+			if st.ep.Now()-item.ProducedAt > sys.freshWin {
 				continue
 			}
 			temp, ok := item.Value.(float64)
@@ -132,7 +132,7 @@ func (sys *System) controlTick(st *edgeStack, controls func(z int) bool, sendAct
 			if sys.bus.Active() {
 				sys.bus.Emit("control.actuate", string(st.id), 0, 0, "zone %d engage=%v", z, engage)
 			}
-			sys.lastControlOK[z] = sys.sim.Now()
+			sys.noteControlOK(z, st.ep.Now())
 		}
 	}
 }
@@ -144,15 +144,15 @@ func (sys *System) controlTick(st *edgeStack, controls func(z int) bool, sendAct
 // on a dead edge node — the point of the F5 experiment).
 func (sys *System) installLoop(st *edgeStack, zones []int) {
 	cfg := sys.cfg
-	k := mape.NewKnowledge(knowledgeReplica(st.id), sys.sim.Now)
-	loop := mape.NewLoop(k, sys.sim.Now)
+	k := mape.NewKnowledge(knowledgeReplica(st.id), st.ep.Now)
+	loop := mape.NewLoop(k, st.ep.Now)
 	for _, z := range zones {
 		z := z
 		loop.AddMonitor(func(k *mape.Knowledge) {
 			if item, ok := st.view(zoneTempKey(z)); ok {
 				if v, isF := item.Value.(float64); isF {
 					k.Put(zoneTempKey(z), v)
-					k.Put(zoneTempAgeKey(z), float64(sys.sim.Now()-item.ProducedAt))
+					k.Put(zoneTempAgeKey(z), float64(st.ep.Now()-item.ProducedAt))
 				}
 			}
 		})
@@ -193,7 +193,7 @@ func (sys *System) wireML1() {
 		st.view = st.table.get
 		newCollector(st.mux.Port("data"), func(item dataflow.Item, _ simnet.NodeID) {
 			st.table.put(item)
-			sys.auditArrival(item, st.id)
+			sys.auditArrival(item, st.id, st.ep)
 		})
 		actPort := st.mux.Port("act")
 		home := st.zone
@@ -221,7 +221,7 @@ func (sys *System) wireML2() {
 	sys.broker.SubscribeLocal(readingsTopic, func(_ string, payload any) {
 		if item, ok := payload.(dataflow.Item); ok {
 			cloud.table.put(item)
-			sys.auditArrival(item, cloud.id)
+			sys.auditArrival(item, cloud.id, cloud.ep)
 		}
 	})
 
@@ -240,12 +240,12 @@ func (sys *System) wireML2() {
 		})
 		rig.client.SetBus(sys.bus)
 		rig.ep.Every(sys.cfg.SampleInterval, func() {
-			val, ok := rig.sensor.Sample(sys.envm, sys.sim.Rand().NormFloat64())
+			val, ok := rig.sensor.Sample(sys.envm, rig.ep.Rand().NormFloat64())
 			if !ok {
 				return
 			}
 			rig.client.Publish(readingsTopic, dataflow.Item{
-				Key: rig.key, Value: val, Label: rig.label, ProducedAt: sys.sim.Now(),
+				Key: rig.key, Value: val, Label: rig.label, ProducedAt: rig.ep.Now(),
 			}, qos)
 		})
 	}
@@ -259,7 +259,7 @@ func (sys *System) wireML2() {
 		client.SetBus(sys.bus)
 		handler := func(_ string, payload any) {
 			if m, ok := payload.(actuateMsg); ok && m.Zone == rig.zone {
-				rig.lastCmd = sys.sim.Now()
+				rig.lastCmd = rig.ep.Now()
 				rig.actuator.SetEngaged(m.Engage)
 			}
 		}
@@ -297,7 +297,7 @@ func (sys *System) wireML3() {
 		dataPort := st.mux.Port("data")
 		newCollector(dataPort, func(item dataflow.Item, _ simnet.NodeID) {
 			st.table.put(item)
-			sys.auditArrival(item, st.id)
+			sys.auditArrival(item, st.id, st.ep)
 			// Bidirectional edge↔cloud flows: forward upstream,
 			// fire-and-forget.
 			dataPort.Send(cloudID, readingMsg{Seq: 0, Item: item})
@@ -319,7 +319,7 @@ func (sys *System) wireML3() {
 	sys.cloud.view = sys.cloud.table.get
 	newCollector(sys.cloud.mux.Port("data"), func(item dataflow.Item, _ simnet.NodeID) {
 		sys.cloud.table.put(item)
-		sys.auditArrival(item, sys.cloud.id)
+		sys.auditArrival(item, sys.cloud.id, sys.cloud.ep)
 	})
 
 	sys.startSensorsWithReporter(func(rig *sensorRig) []simnet.NodeID {
@@ -417,7 +417,7 @@ func (sys *System) wireML4() {
 			SyncInterval: syncEvery,
 			Engine:       dataflow.DefaultPrivacyEngine(),
 		})
-		st.store.OnApply(func(item dataflow.Item, _ simnet.NodeID) { sys.auditArrival(item, st.id) })
+		st.store.OnApply(func(item dataflow.Item, _ simnet.NodeID) { sys.auditArrival(item, st.id, st.ep) })
 		st.store.Start()
 		st.view = st.store.Get
 	}
@@ -436,7 +436,7 @@ func (sys *System) wireML4() {
 		Engine:       dataflow.DefaultPrivacyEngine(),
 		Relay:        len(cloudPeers) > 0,
 	})
-	sys.cloud.store.OnApply(func(item dataflow.Item, _ simnet.NodeID) { sys.auditArrival(item, sys.cloud.id) })
+	sys.cloud.store.OnApply(func(item dataflow.Item, _ simnet.NodeID) { sys.auditArrival(item, sys.cloud.id, sys.cloud.ep) })
 	sys.cloud.store.Start()
 	sys.cloud.view = sys.cloud.store.Get
 
@@ -445,7 +445,7 @@ func (sys *System) wireML4() {
 		st := st
 		newCollector(st.mux.Port("data"), func(item dataflow.Item, _ simnet.NodeID) {
 			st.store.Put(item)
-			sys.auditArrival(item, st.id)
+			sys.auditArrival(item, st.id, st.ep)
 		})
 	}
 
@@ -672,14 +672,14 @@ func (sys *System) armIslandGuard(st *edgeStack) {
 	grace := sys.islandGrace()
 	st.guard = mape.NewIslandGuard(grace)
 	st.ep.Every(sys.cfg.ControlInterval, func() {
-		if !st.guard.Observe(sys.sim.Now(), st.raft.QuorumContact()) {
+		if !st.guard.Observe(st.ep.Now(), st.raft.QuorumContact()) {
 			return
 		}
 		if st.guard.Island() {
-			sys.recordSpan(EventIsland, 0, sys.lastFaultSpan,
+			sys.recordAt(st.ep, EventIsland, 0, sys.lastFaultSpan,
 				"%s enters island mode: no quorum contact for %s", st.id, grace)
 		} else {
-			sys.recordSpan(EventIsland, 0, sys.lastFaultSpan,
+			sys.recordAt(st.ep, EventIsland, 0, sys.lastFaultSpan,
 				"%s rejoins the quorum: merging island state", st.id)
 			st.store.SyncNow()
 			if st.syncer != nil {
@@ -785,7 +785,7 @@ func (sys *System) ml4Replan(st *edgeStack) {
 	}
 	if !placementsEqual(desired, st.applied) || !backupsEqual(backups, st.appliedBackups) {
 		st.raft.Propose(placementCmd{Assignments: desired, Backups: backups})
-		sys.recordSpan(EventPlacement, 0, sys.lastFaultSpan,
+		sys.recordAt(st.ep, EventPlacement, 0, sys.lastFaultSpan,
 			"leader %s proposes %s%s", st.id, formatPlacements(desired), formatBackups(backups))
 	}
 
@@ -794,7 +794,7 @@ func (sys *System) ml4Replan(st *edgeStack) {
 	// membership view. A false verdict is an early warning that the
 	// failure assumption (any 2 concurrent edge failures survivable)
 	// no longer holds — before it actually bites.
-	sys.runtimeChecks++
+	sys.runtimeChecks.Add(1)
 	alive := st.gossip.Alive()
 	if sys.cfg.BackupActuators > 0 {
 		// Actuator rigs share the membership group then; the control-
@@ -819,8 +819,8 @@ func (sys *System) ml4Replan(st *edgeStack) {
 		st.ctlCheckOK = err == nil && verify.Check(k, verify.AG(verify.AP(model.ServiceProp("control"))))
 	}
 	if !st.ctlCheckOK {
-		sys.runtimeAlerts++
-		sys.record(EventAlert, "failure assumption unsatisfiable with %d alive edge nodes", len(alive))
+		sys.runtimeAlerts.Add(1)
+		sys.recordOn(st.ep, EventAlert, "failure assumption unsatisfiable with %d alive edge nodes", len(alive))
 	}
 }
 

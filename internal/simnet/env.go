@@ -63,6 +63,9 @@ type EnvelopeCarrier interface {
 // switched from Send(struct) to SendEnvelope produces a bit-identical
 // simulation provided Bytes matches the struct's Size().
 func (s *Sim) sendProtoEnv(src *node, proto string, to NodeID, env Envelope) bool {
+	if s.shd != nil {
+		return s.shardSend(src, proto, to, nil, env)
+	}
 	if src.down {
 		return false
 	}

@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 )
 
@@ -50,6 +51,15 @@ type node struct {
 	protoHandlers []protoEntry
 	onUp          []func()
 	onDown        []func()
+
+	// Sharded deterministic mode (see shard.go). rank is the node's
+	// AddNode position (the tie-break half of its logical event keys),
+	// ctr its private event counter, rng its private random stream and
+	// ln the lane that executes its events. All nil/zero in legacy mode.
+	rank uint32
+	ctr  uint64
+	rng  *rand.Rand
+	ln   *lane
 }
 
 // setProtoHandler installs (or replaces) the handler for proto.
@@ -128,6 +138,9 @@ func (s *Sim) AddNode(id NodeID) *Endpoint {
 		panic(fmt.Sprintf("simnet: duplicate node %q", id))
 	}
 	n := &node{id: id}
+	if s.shd != nil {
+		s.shardNode(n)
+	}
 	s.nodes[id] = n
 	return &Endpoint{sim: s, node: n}
 }
@@ -180,6 +193,9 @@ func (s *Sim) HealPartition() {
 // SetLink overrides latency and loss for the directed link from→to.
 func (s *Sim) SetLink(from, to NodeID, latency time.Duration, loss float64) {
 	s.net.links[linkKey{from, to}] = linkOverride{latency: latency, loss: loss}
+	if s.shd != nil {
+		s.shd.laDirty = true // link floors bound the sharded lookahead
+	}
 }
 
 // SetLinkBidirectional overrides both directions of a link.
@@ -191,6 +207,9 @@ func (s *Sim) SetLinkBidirectional(a, b NodeID, latency time.Duration, loss floa
 // ClearLink removes any override for the directed link from→to.
 func (s *Sim) ClearLink(from, to NodeID) {
 	delete(s.net.links, linkKey{from, to})
+	if s.shd != nil {
+		s.shd.laDirty = true
+	}
 }
 
 // CutLink blocks all traffic from→to (both directions must be cut
@@ -221,8 +240,21 @@ func (s *Sim) Tap(t MessageTap) {
 	s.taps = append(s.taps, t)
 }
 
-// Stats returns a copy of the traffic counters.
-func (s *Sim) Stats() Stats { return s.stats }
+// Stats returns a copy of the traffic counters. In sharded mode the
+// per-lane counters are summed.
+func (s *Sim) Stats() Stats {
+	if sh := s.shd; sh != nil {
+		total := s.stats
+		for _, ln := range sh.lanes {
+			total.Sent += ln.stats.Sent
+			total.Delivered += ln.stats.Delivered
+			total.Dropped += ln.stats.Dropped
+			total.Bytes += ln.stats.Bytes
+		}
+		return total
+	}
+	return s.stats
+}
 
 // Reachable reports whether traffic from→to would currently traverse
 // the network (no cut link, same partition group), ignoring loss and
@@ -279,6 +311,9 @@ func (s *Sim) sendFrom(src *node, to NodeID, msg Message) bool {
 // of every ML4 run) avoids one interface boxing per message. An empty
 // proto is plain traffic delivered to the node's main handler.
 func (s *Sim) sendProto(src *node, proto string, to NodeID, msg Message) bool {
+	if s.shd != nil {
+		return s.shardSend(src, proto, to, msg, Envelope{})
+	}
 	if src.down {
 		return false
 	}

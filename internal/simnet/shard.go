@@ -1,0 +1,735 @@
+package simnet
+
+// Sharded deterministic mode: conservative parallel discrete-event
+// simulation (Chandy–Misra–Bryant style) behind WithShards.
+//
+// The simulation is split into n shard lanes plus one coordinator lane.
+// Every node is assigned to a lane (SetShard); sim-level timers
+// (Sim.At/After — environment stepping, fault injection, measurement)
+// run on the coordinator lane. Each lane owns a full scheduler — timing
+// wheel, event arena, timer arena, traffic stats — so lanes execute
+// without sharing any scheduler state.
+//
+// Correctness rests on three mechanisms:
+//
+//  1. Logical event keys. In legacy mode events are ordered by
+//     (at, seq) with seq a global allocation counter — an order that
+//     only exists on one thread. Sharded mode packs seq as
+//     rank<<ctrBits | counter, where rank is the scheduling node's
+//     AddNode position (coordinator = rank 0) and counter is that
+//     node's private event count. The key depends only on per-node
+//     history, so it is identical at any shard count, and the total
+//     order (at, seq) is reconstructible after the fact — that is what
+//     makes journals byte-identical at 1, 2, 4 or 8 shards.
+//
+//  2. Per-node random streams. The shared rng would be consumed in
+//     nondeterministic order across lanes, so every node draws loss/
+//     jitter/duplication and application randomness (Endpoint.Rand)
+//     from its own splitmix-seeded stream. Draw sequences then depend
+//     only on the node's own event history. (This makes sharded runs a
+//     different — but internally consistent — universe from legacy
+//     runs; the invariance contract is across shard counts, not
+//     against the legacy rng.)
+//
+//  3. Conservative lookahead windows. Cross-lane influence travels
+//     only through messages, and every link has a latency floor (the
+//     minimum cross-lane link latency; jitter only adds). With
+//     lookahead la > 0, all lanes may run [W0, W0+la) in parallel:
+//     any message sent inside the window arrives at or after its end.
+//     Cross-lane sends are buffered in per-lane outboxes and injected
+//     into the destination wheel at the window barrier, in fixed lane
+//     order — injection order is irrelevant because the logical key is
+//     the total order. Coordinator events are barriers by construction:
+//     a window never extends past the next coordinator event, so
+//     global mutations (partitions, link changes, crashes, environment
+//     stepping) happen single-threaded between windows.
+//
+// When the lookahead collapses to zero (a cross-lane link override
+// with zero latency) or n == 1, the simulation falls back to executing
+// all lanes' events serially in global (at, seq) order — the same
+// total order the parallel mode realizes, minus the parallelism.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ctrBits is the width of the per-node event counter inside a packed
+// logical key; the node rank occupies the bits above it. 2^40 events
+// per node and 2^24 nodes are both far beyond any simulated scenario.
+const ctrBits = 40
+
+// packKey builds the logical event key for a node's next event.
+func packKey(rank uint32, ctr uint64) uint64 {
+	return uint64(rank)<<ctrBits | ctr
+}
+
+// lane is one independently schedulable slice of the simulation: its
+// own clock, timing wheel, event/timer arenas and traffic counters.
+// Lane index n (== sharding.n) is the coordinator lane.
+type lane struct {
+	idx        int
+	now        time.Duration
+	wheel      *timerWheel
+	pages      [][]event
+	free       []uint32
+	timerArena []Timer
+	stats      Stats
+	// outbox buffers cross-lane transfers generated during a parallel
+	// window; the barrier drains it into destination wheels.
+	outbox []xfer
+	// curAt/curSeq are the key of the event currently executing — the
+	// journal context handed out by Sim.ExecContext.
+	curAt  time.Duration
+	curSeq uint64
+}
+
+// xfer is one cross-lane message in flight between window barriers.
+// The key (at, seq) was assigned by the sender at send time, so the
+// barrier's injection order cannot affect the delivery order.
+type xfer struct {
+	at    time.Duration
+	seq   uint64
+	dst   *node
+	from  NodeID
+	proto string
+	msg   Message
+	env   Envelope
+}
+
+// laneJob dispatches one lane's window to a worker goroutine.
+type laneJob struct {
+	ln   *lane
+	end  time.Duration
+	incl bool
+}
+
+// sharding is the Sim extension state for sharded mode.
+type sharding struct {
+	n     int     // shard lanes; lanes[n] is the coordinator
+	lanes []*lane // length n+1
+
+	nextRank uint32 // rank allocator; 0 is reserved for the coordinator
+	coordCtr uint64 // coordinator logical-event counter
+
+	la      time.Duration // cached lookahead: min cross-lane link latency
+	laDirty bool          // recompute la before the next window
+
+	// inPar is true while shard workers execute a window. Written by
+	// the coordinating goroutine before worker dispatch and after the
+	// join, so worker reads are ordered by the dispatch channel.
+	inPar     bool
+	windowEnd time.Duration // current window end, for the outbox guard
+
+	serialized bool // degraded permanently to the serial merged path
+
+	jobs    chan laneJob
+	wg      sync.WaitGroup
+	started bool
+}
+
+// WithShards enables sharded deterministic mode with n shard lanes.
+// n == 1 runs the same logical-key scheduler without parallelism — the
+// serial reference the invariance gate diffs against. Nodes default to
+// lane 0; assign them with SetShard before scheduling anything.
+func WithShards(n int) Option {
+	return func(s *Sim) {
+		if n < 1 {
+			panic(fmt.Sprintf("simnet: WithShards(%d): need at least one shard", n))
+		}
+		sh := &sharding{n: n, laDirty: true}
+		sh.lanes = make([]*lane, n+1)
+		for i := range sh.lanes {
+			sh.lanes[i] = &lane{idx: i, wheel: newTimerWheel()}
+		}
+		s.shd = sh
+	}
+}
+
+// ShardCount returns the number of shard lanes, 0 in legacy mode.
+func (s *Sim) ShardCount() int {
+	if s.shd == nil {
+		return 0
+	}
+	return s.shd.n
+}
+
+// Lookahead returns the conservative window width currently in effect
+// (the minimum cross-lane link latency), 0 in legacy mode.
+func (s *Sim) Lookahead() time.Duration {
+	sh := s.shd
+	if sh == nil {
+		return 0
+	}
+	if sh.laDirty {
+		sh.la = s.computeLookahead()
+		sh.laDirty = false
+	}
+	return sh.la
+}
+
+// SetShard assigns a node to a shard lane. It must be called during
+// topology construction, before anything is scheduled on or sent to
+// the node — moving a node with queued events would strand them on the
+// old lane. In legacy mode it is a no-op, so scenario builders call it
+// unconditionally.
+func (s *Sim) SetShard(id NodeID, shard int) {
+	sh := s.shd
+	if sh == nil {
+		return
+	}
+	if shard < 0 || shard >= sh.n {
+		panic(fmt.Sprintf("simnet: SetShard(%q, %d): shard out of range [0,%d)", id, shard, sh.n))
+	}
+	n, ok := s.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("simnet: SetShard(%q): unknown node", id))
+	}
+	if n.ctr != 0 {
+		panic(fmt.Sprintf("simnet: SetShard(%q) after the node scheduled events", id))
+	}
+	n.ln = sh.lanes[shard]
+	sh.laDirty = true
+}
+
+// Shard returns the endpoint's lane index (0 in legacy mode).
+func (e *Endpoint) Shard() int {
+	if e.node.ln == nil {
+		return 0
+	}
+	return e.node.ln.idx
+}
+
+// ExecContext reports the lane index and logical key of the event
+// currently executing on behalf of ep — the node's lane during a
+// parallel window, the coordinator lane during barrier execution (and
+// for ep == nil). ok is false in legacy mode. Callers use it to route
+// side records (journals, audit engines) to per-lane storage that is
+// merged by key after the run.
+func (s *Sim) ExecContext(ep *Endpoint) (laneIdx int, seq uint64, ok bool) {
+	sh := s.shd
+	if sh == nil {
+		return 0, 0, false
+	}
+	ln := sh.lanes[sh.n]
+	if sh.inPar && ep != nil {
+		ln = ep.node.ln
+	}
+	return ln.idx, ln.curSeq, true
+}
+
+// mixSeed derives a node's private stream seed from the simulation
+// seed and the node's rank (splitmix64 finalizer).
+func mixSeed(seed int64, rank uint32) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(rank+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// shardNode initializes the sharded-mode fields of a freshly added
+// node: its rank (and thereby its key space and rng stream) and its
+// default lane.
+func (s *Sim) shardNode(n *node) {
+	sh := s.shd
+	sh.nextRank++
+	n.rank = sh.nextRank
+	n.rng = rand.New(rand.NewSource(mixSeed(s.seed, n.rank)))
+	n.ln = sh.lanes[0]
+	sh.laDirty = true
+}
+
+// --- per-lane scheduler plumbing (mirrors the Sim methods) ---
+
+func (l *lane) eventAt(idx uint32) *event {
+	return &l.pages[idx>>eventPageShift][idx&eventPageMask]
+}
+
+func (l *lane) alloc() (uint32, *event) {
+	if n := len(l.free); n > 0 {
+		idx := l.free[n-1]
+		l.free = l.free[:n-1]
+		return idx, l.eventAt(idx)
+	}
+	page := make([]event, eventPageSize)
+	base := uint32(len(l.pages)) << eventPageShift
+	l.pages = append(l.pages, page)
+	for i := eventPageSize - 1; i >= 1; i-- {
+		l.free = append(l.free, base+uint32(i))
+	}
+	return base, &page[0]
+}
+
+func (l *lane) recycle(idx uint32, ev *event) {
+	ev.gen++
+	ev.dead = false
+	ev.fn = nil
+	ev.argFn = nil
+	ev.arg = 0
+	ev.owner = nil
+	ev.dst = nil
+	ev.from = ""
+	ev.proto = ""
+	ev.msg = nil
+	ev.env = Envelope{}
+	ev.tick = nil
+	l.free = append(l.free, idx)
+}
+
+func (l *lane) newTimer(ev *event) *Timer {
+	if len(l.timerArena) == 0 {
+		l.timerArena = make([]Timer, eventArenaSize)
+	}
+	t := &l.timerArena[0]
+	l.timerArena = l.timerArena[1:]
+	t.ev = ev
+	t.gen = ev.gen
+	return t
+}
+
+// peekLive returns the lane's next live entry, recycling cancelled
+// entries it skips over.
+func (l *lane) peekLive() (heapEntry, bool) {
+	for {
+		entry, ok := l.wheel.peek()
+		if !ok {
+			return heapEntry{}, false
+		}
+		if ev := l.eventAt(entry.idx); ev.dead {
+			l.wheel.pop()
+			l.recycle(entry.idx, ev)
+			continue
+		}
+		return entry, true
+	}
+}
+
+// pending counts the lane's live entries.
+func (l *lane) pending(scratch []heapEntry) (int, []heapEntry) {
+	scratch = l.wheel.entries(scratch[:0])
+	n := 0
+	for _, entry := range scratch {
+		if !l.eventAt(entry.idx).dead {
+			n++
+		}
+	}
+	return n, scratch
+}
+
+// shardSchedule allocates and queues an event at absolute time t on
+// n's lane (the coordinator lane when n is nil), keyed by the
+// scheduler's next logical sequence.
+func (s *Sim) shardSchedule(n *node, t time.Duration) (*event, *lane) {
+	sh := s.shd
+	var ln *lane
+	var seq uint64
+	if n == nil {
+		if sh.inPar {
+			panic("simnet: coordinator scheduling from inside a shard window")
+		}
+		ln = sh.lanes[sh.n]
+		sh.coordCtr++
+		seq = sh.coordCtr // rank 0: sorts before node events at equal times
+	} else {
+		ln = n.ln
+		n.ctr++
+		seq = packKey(n.rank, n.ctr)
+	}
+	if t < ln.now {
+		t = ln.now
+	}
+	idx, ev := ln.alloc()
+	ln.wheel.push(t, seq, idx)
+	return ev, ln
+}
+
+// shardSend is the sharded counterpart of sendProto/sendProtoEnv: all
+// random draws come from the sender's private stream and the delivery
+// key is assigned by the sender, so the outcome depends only on the
+// sender's own history. Same-lane deliveries are pushed directly;
+// cross-lane deliveries are buffered in the sender lane's outbox
+// during parallel windows and pushed directly between windows.
+func (s *Sim) shardSend(src *node, proto string, to NodeID, msg Message, env Envelope) bool {
+	if src.down {
+		return false
+	}
+	ln := src.ln
+	ln.stats.Sent++
+	dst, ok := s.nodes[to]
+	if !ok || !s.reachable(src.id, to) {
+		ln.stats.Dropped++
+		return false
+	}
+	latency, loss := s.linkParams(src.id, to)
+	rng := src.rng
+	if loss > 0 && rng.Float64() < loss {
+		ln.stats.Dropped++
+		return false
+	}
+	if latency > 0 {
+		latency += time.Duration(rng.Int63n(int64(latency)/10 + 1))
+	}
+	deliveries := 1
+	if s.defDup > 0 && rng.Float64() < s.defDup {
+		deliveries = 2
+	}
+	for i := 0; i < deliveries; i++ {
+		at := ln.now + latency + time.Duration(i)*latency
+		src.ctr++
+		seq := packKey(src.rank, src.ctr)
+		if s.shd.inPar && dst.ln != ln {
+			if at < s.shd.windowEnd {
+				panic(fmt.Sprintf("simnet: lookahead violated: %s→%s arrives %v inside window ending %v",
+					src.id, to, at, s.shd.windowEnd))
+			}
+			ln.outbox = append(ln.outbox, xfer{at: at, seq: seq, dst: dst, from: src.id, proto: proto, msg: msg, env: env})
+			continue
+		}
+		idx, ev := dst.ln.alloc()
+		dst.ln.wheel.push(at, seq, idx)
+		ev.dst = dst
+		ev.from = src.id
+		ev.proto = proto
+		ev.msg = msg
+		ev.env = env
+	}
+	return true
+}
+
+// shardDeliver executes a delivery on the destination's lane,
+// accounting traffic in that lane's counters. The logic mirrors
+// deliver/deliverEnv; taps must be safe for concurrent invocation when
+// combined with shards (core does not tap).
+func (s *Sim) shardDeliver(ln *lane, ev *event) {
+	dst := ev.dst
+	if dst.down || !s.reachable(ev.from, dst.id) {
+		ln.stats.Dropped++
+		return
+	}
+	ln.stats.Delivered++
+	if ev.env.Kind != 0 {
+		ln.stats.Bytes += int(ev.env.Bytes) + protoOverhead
+		if len(s.taps) > 0 {
+			var m Message = ev.env
+			for _, tap := range s.taps {
+				tap(ev.from, dst.id, m)
+			}
+		}
+		for i := range dst.protoHandlers {
+			if e := &dst.protoHandlers[i]; e.proto == ev.proto {
+				if e.eh != nil {
+					e.eh(ev.from, &ev.env)
+				} else if e.h != nil {
+					e.h(ev.from, ev.env)
+				}
+				return
+			}
+		}
+		return
+	}
+	size := messageSize(ev.msg)
+	if ev.proto != "" {
+		size += protoOverhead
+	}
+	ln.stats.Bytes += size
+	for _, tap := range s.taps {
+		tap(ev.from, dst.id, ev.msg)
+	}
+	if ev.proto != "" {
+		if h := dst.protoHandler(ev.proto); h != nil {
+			h(ev.from, ev.msg)
+		}
+		return
+	}
+	if dst.handler != nil {
+		dst.handler(ev.from, ev.msg)
+	}
+}
+
+// shardRunTick fires a ticker on its lane and re-arms the same storage
+// under the owner's next logical key.
+func (s *Sim) shardRunTick(ln *lane, idx uint32, ev *event) {
+	t := ev.tick
+	if t.stopped {
+		ln.recycle(idx, ev)
+		return
+	}
+	if !t.owner.down {
+		t.fn()
+	}
+	if t.stopped {
+		ln.recycle(idx, ev)
+		return
+	}
+	n := t.owner
+	n.ctr++
+	ln.wheel.push(ln.now+t.interval, packKey(n.rank, n.ctr), idx)
+}
+
+// laneExec pops and executes one event (the lane's current head).
+func (s *Sim) laneExec(ln *lane, entry heapEntry) {
+	ln.wheel.pop()
+	ev := ln.eventAt(entry.idx)
+	ln.now = entry.at
+	ln.curAt = entry.at
+	ln.curSeq = entry.seq
+	switch {
+	case ev.dst != nil:
+		s.shardDeliver(ln, ev)
+		ln.recycle(entry.idx, ev)
+	case ev.tick != nil:
+		s.shardRunTick(ln, entry.idx, ev)
+	default:
+		fn, argFn, arg, owner := ev.fn, ev.argFn, ev.arg, ev.owner
+		ln.recycle(entry.idx, ev)
+		if owner == nil || !owner.down {
+			if fn != nil {
+				fn()
+			} else if argFn != nil {
+				argFn(arg)
+			}
+		}
+	}
+}
+
+// laneRun executes ln's events with at < end (at <= end when incl) in
+// key order, leaving the lane clock at end.
+func (s *Sim) laneRun(ln *lane, end time.Duration, incl bool) {
+	for {
+		entry, ok := ln.peekLive()
+		if !ok || entry.at > end || (entry.at == end && !incl) {
+			break
+		}
+		s.laneExec(ln, entry)
+	}
+	ln.now = end
+}
+
+// syncLanes advances every lane clock that is behind t to t.
+func (s *Sim) syncLanes(t time.Duration) {
+	for _, ln := range s.shd.lanes {
+		if ln.now < t {
+			ln.now = t
+		}
+	}
+}
+
+// computeLookahead returns the smallest latency of any cross-lane
+// link: the conservative window width. Only link overrides can lower
+// it below the default latency; partitions and cuts drop traffic
+// entirely and never make it faster.
+func (s *Sim) computeLookahead() time.Duration {
+	la := s.defLat
+	for k, ov := range s.net.links {
+		if ov.latency >= la {
+			continue
+		}
+		from, to := s.nodes[k.from], s.nodes[k.to]
+		if from == nil || to == nil || from.ln == to.ln {
+			continue
+		}
+		la = ov.latency
+	}
+	return la
+}
+
+// drainOutboxes injects buffered cross-lane transfers into their
+// destination wheels. Lane iteration order is fixed but irrelevant:
+// delivery order is governed by the sender-assigned keys.
+func (s *Sim) drainOutboxes() {
+	for _, ln := range s.shd.lanes[:s.shd.n] {
+		for i := range ln.outbox {
+			x := &ln.outbox[i]
+			idx, ev := x.dst.ln.alloc()
+			x.dst.ln.wheel.push(x.at, x.seq, idx)
+			ev.dst = x.dst
+			ev.from = x.from
+			ev.proto = x.proto
+			ev.msg = x.msg
+			ev.env = x.env
+			*x = xfer{} // drop the payload reference
+		}
+		ln.outbox = ln.outbox[:0]
+	}
+}
+
+// startWorkers spins up the persistent window executors (one per shard
+// lane beyond the first; the coordinating goroutine runs one lane
+// inline).
+func (sh *sharding) startWorkers(s *Sim) {
+	if sh.started || sh.n < 2 {
+		return
+	}
+	sh.jobs = make(chan laneJob)
+	for i := 0; i < sh.n-1; i++ {
+		go func() {
+			for j := range sh.jobs {
+				s.laneRun(j.ln, j.end, j.incl)
+				sh.wg.Done()
+			}
+		}()
+	}
+	sh.started = true
+}
+
+func (sh *sharding) stopWorkers() {
+	if !sh.started {
+		return
+	}
+	close(sh.jobs)
+	sh.jobs = nil
+	sh.started = false
+}
+
+// runShards executes one parallel window across all lanes that have
+// work before end. With one active lane the window runs inline.
+func (s *Sim) runShards(end time.Duration, incl bool) {
+	sh := s.shd
+	var active []*lane
+	for _, ln := range sh.lanes[:sh.n] {
+		if entry, ok := ln.peekLive(); ok && (entry.at < end || (incl && entry.at == end)) {
+			active = append(active, ln)
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+	sh.windowEnd = end
+	if len(active) == 1 {
+		sh.inPar = true
+		s.laneRun(active[0], end, incl)
+		sh.inPar = false
+		return
+	}
+	sh.inPar = true
+	sh.wg.Add(len(active) - 1)
+	for _, ln := range active[1:] {
+		sh.jobs <- laneJob{ln: ln, end: end, incl: incl}
+	}
+	s.laneRun(active[0], end, incl)
+	sh.wg.Wait()
+	sh.inPar = false
+}
+
+// minLaneAt returns the lane holding the globally minimal live event
+// no later than horizon, by (at, seq).
+func (s *Sim) minLaneAt(horizon time.Duration) (*lane, heapEntry, bool) {
+	var best *lane
+	var bestE heapEntry
+	for _, ln := range s.shd.lanes {
+		entry, ok := ln.peekLive()
+		if !ok || entry.at > horizon {
+			continue
+		}
+		if best == nil || entry.at < bestE.at || (entry.at == bestE.at && entry.seq < bestE.seq) {
+			best, bestE = ln, entry
+		}
+	}
+	return best, bestE, best != nil
+}
+
+// shardRunSerial executes all lanes' events up to horizon in global
+// (at, seq) order on one goroutine — the fallback when the lookahead
+// is zero and the reference semantics the parallel windows realize.
+func (s *Sim) shardRunSerial(horizon time.Duration) {
+	coord := s.shd.lanes[s.shd.n]
+	for {
+		ln, entry, ok := s.minLaneAt(horizon)
+		if !ok {
+			break
+		}
+		if ln == coord {
+			// Coordinator events mutate global state and their callbacks
+			// send from arbitrary nodes' endpoints; park every lane clock
+			// at the event time first, exactly as the windowed path does
+			// before its coordinator drains — otherwise an OnUp send is
+			// stamped with the node lane's stale clock.
+			s.syncLanes(entry.at)
+		}
+		s.laneExec(ln, entry)
+	}
+	s.syncLanes(horizon)
+}
+
+// shardStep executes the single globally next event, in (at, seq)
+// order — Step's sharded-mode semantics.
+func (s *Sim) shardStep() bool {
+	ln, entry, ok := s.minLaneAt(1<<62 - 1)
+	if !ok {
+		return false
+	}
+	if ln == s.shd.lanes[s.shd.n] {
+		s.syncLanes(entry.at) // see shardRunSerial
+	}
+	s.laneExec(ln, entry)
+	return true
+}
+
+// shardRunUntil is RunUntil in sharded mode: alternate single-threaded
+// coordinator drains (global mutations) with parallel lane windows
+// bounded by the lookahead and the next coordinator event.
+func (s *Sim) shardRunUntil(horizon time.Duration) {
+	sh := s.shd
+	if sh.serialized {
+		s.shardRunSerial(horizon)
+		return
+	}
+	coord := sh.lanes[sh.n]
+	sh.startWorkers(s)
+	defer sh.stopWorkers()
+	for {
+		if sh.laDirty {
+			sh.la = s.computeLookahead()
+			sh.laDirty = false
+		}
+		if sh.n == 1 || sh.la <= 0 {
+			// Zero lookahead cannot window; fall back for good. (A later
+			// link restore could re-enable windows, but a scenario that
+			// zeroes a cross-lane link has chosen correctness over speed.)
+			sh.serialized = sh.la <= 0
+			s.shardRunSerial(horizon)
+			return
+		}
+		coordEntry, coordOK := coord.peekLive()
+		if coordOK && coordEntry.at > horizon {
+			coordOK = false
+		}
+		minNext := time.Duration(-1)
+		for _, ln := range sh.lanes[:sh.n] {
+			if entry, ok := ln.peekLive(); ok && entry.at <= horizon {
+				if minNext < 0 || entry.at < minNext {
+					minNext = entry.at
+				}
+			}
+		}
+		if !coordOK && minNext < 0 {
+			break
+		}
+		if coordOK && (minNext < 0 || coordEntry.at <= minNext) {
+			// Coordinator first: rank 0 sorts lowest at equal times, and
+			// its events may mutate global state, so it runs alone with
+			// every lane parked at its timestamp.
+			s.syncLanes(coordEntry.at)
+			s.laneRun(coord, coordEntry.at, true)
+			continue
+		}
+		// A parallel window: no coordinator event before minNext, and
+		// nothing sent after minNext can arrive before minNext+la.
+		end, incl := minNext+sh.la, false
+		if coordOK && coordEntry.at < end {
+			end = coordEntry.at
+		}
+		if end > horizon {
+			// Final window: events exactly at the horizon execute, to
+			// match legacy RunUntil semantics. Safe: their sends arrive
+			// strictly later and stay queued past the horizon.
+			end, incl = horizon, true
+		}
+		s.runShards(end, incl)
+		s.syncLanes(end)
+		s.drainOutboxes()
+	}
+	s.syncLanes(horizon)
+}

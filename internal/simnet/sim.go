@@ -142,6 +142,7 @@ type Sim struct {
 	free       []uint32 // free event indices, used as a stack
 	timerArena []Timer
 	rng        *rand.Rand
+	seed       int64 // the WithSeed value; derives per-node streams in sharded mode
 	nodes      map[NodeID]*node
 	net        netState
 	stats      Stats
@@ -149,6 +150,7 @@ type Sim struct {
 	defLat     time.Duration
 	defLoss    float64
 	defDup     float64
+	shd        *sharding // non-nil in sharded deterministic mode (see shard.go)
 }
 
 // Option configures a Sim at construction time.
@@ -157,7 +159,10 @@ type Option func(*Sim)
 // WithSeed sets the seed of the simulation's random source. The default
 // seed is 1.
 func WithSeed(seed int64) Option {
-	return func(s *Sim) { s.rng = rand.New(rand.NewSource(seed)) }
+	return func(s *Sim) {
+		s.seed = seed
+		s.rng = rand.New(rand.NewSource(seed))
+	}
 }
 
 // WithDefaultLatency sets the one-way delivery latency used for links that
@@ -196,6 +201,7 @@ func WithHeapScheduler() Option {
 func New(opts ...Option) *Sim {
 	s := &Sim{
 		rng:    rand.New(rand.NewSource(1)),
+		seed:   1,
 		nodes:  make(map[NodeID]*node),
 		defLat: 5 * time.Millisecond,
 	}
@@ -245,8 +251,15 @@ func (s *Sim) qlen() int {
 
 var _ Clock = (*Sim)(nil)
 
-// Now returns the current virtual time.
-func (s *Sim) Now() time.Duration { return s.now }
+// Now returns the current virtual time. In sharded mode this is the
+// coordinator lane's clock; node code should prefer Endpoint.Now,
+// which reads the node's own lane.
+func (s *Sim) Now() time.Duration {
+	if sh := s.shd; sh != nil {
+		return sh.lanes[sh.n].now
+	}
+	return s.now
+}
 
 // Rand returns the simulation's deterministic random source.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
@@ -321,6 +334,11 @@ func (s *Sim) schedule(t time.Duration) *event {
 // error in the caller; the event is clamped to now to keep the clock
 // monotonic.
 func (s *Sim) At(t time.Duration, fn func()) *Timer {
+	if s.shd != nil {
+		ev, ln := s.shardSchedule(nil, t)
+		ev.fn = fn
+		return ln.newTimer(ev)
+	}
 	ev := s.schedule(t)
 	ev.fn = fn
 	return s.newTimer(ev)
@@ -328,12 +346,16 @@ func (s *Sim) At(t time.Duration, fn func()) *Timer {
 
 // After schedules fn to run d from now.
 func (s *Sim) After(d time.Duration, fn func()) *Timer {
-	return s.At(s.now+d, fn)
+	return s.At(s.Now()+d, fn)
 }
 
 // Step executes the next pending event. It reports whether an event was
-// executed.
+// executed. In sharded mode the next event is the globally minimal one
+// across all lanes, executed on the calling goroutine.
 func (s *Sim) Step() bool {
+	if s.shd != nil {
+		return s.shardStep()
+	}
 	for s.qlen() > 0 {
 		entry := s.qpop()
 		ev := s.eventAt(entry.idx)
@@ -391,6 +413,10 @@ func (s *Sim) runTick(idx uint32, ev *event) {
 // next event is later than t. The clock is left at min(t, last event time)
 // advanced to exactly t if the horizon is reached.
 func (s *Sim) RunUntil(t time.Duration) {
+	if s.shd != nil {
+		s.shardRunUntil(t)
+		return
+	}
 	for {
 		at, ok := s.peek()
 		if !ok || at > t {
@@ -429,6 +455,16 @@ func (s *Sim) peek() (time.Duration, bool) {
 
 // Pending returns the number of live scheduled events.
 func (s *Sim) Pending() int {
+	if sh := s.shd; sh != nil {
+		total := 0
+		var scratch []heapEntry
+		for _, ln := range sh.lanes {
+			var n int
+			n, scratch = ln.pending(scratch)
+			total += n
+		}
+		return total
+	}
 	entries := s.queue.e
 	if s.wheel != nil {
 		entries = s.wheel.entries(nil)
@@ -444,5 +480,5 @@ func (s *Sim) Pending() int {
 
 // String summarizes the simulator state, mainly for debugging.
 func (s *Sim) String() string {
-	return fmt.Sprintf("simnet: t=%v nodes=%d pending=%d", s.now, len(s.nodes), s.Pending())
+	return fmt.Sprintf("simnet: t=%v nodes=%d pending=%d", s.Now(), len(s.nodes), s.Pending())
 }

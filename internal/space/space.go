@@ -12,6 +12,7 @@ package space
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"time"
 )
@@ -85,6 +86,15 @@ type Map struct {
 	zones      map[ZoneID]Zone
 	placements map[string]Placement
 	zoneOrder  []ZoneID // deterministic iteration
+	// zoneMemo caches ZoneOf results (the first containing zone in
+	// registration order). Orchestrator feasibility checks resolve the
+	// zone of every candidate for every pending service, which at
+	// metropolis scale turns the linear zone scan quadratic. Entries
+	// are dropped when the entity moves and the whole memo flushes
+	// when a zone is added or redefined; only positive results are
+	// cached, so a later zone that newly contains an unmatched entity
+	// is picked up without invalidation.
+	zoneMemo map[string]ZoneID
 }
 
 // NewMap constructs an empty spatial model.
@@ -93,6 +103,7 @@ func NewMap() *Map {
 		domains:    make(map[DomainID]Domain),
 		zones:      make(map[ZoneID]Zone),
 		placements: make(map[string]Placement),
+		zoneMemo:   make(map[string]ZoneID),
 	}
 }
 
@@ -116,6 +127,7 @@ func (m *Map) AddZone(z Zone) error {
 		m.zoneOrder = append(m.zoneOrder, z.ID)
 	}
 	m.zones[z.ID] = z
+	clear(m.zoneMemo) // bounds may have changed for an already-memoized entity
 	return nil
 }
 
@@ -138,6 +150,7 @@ func (m *Map) Zones() []Zone {
 // Place positions an entity and assigns its owning domain.
 func (m *Map) Place(entity string, p Point, domain DomainID) {
 	m.placements[entity] = Placement{Position: p, Domain: domain}
+	delete(m.zoneMemo, entity)
 }
 
 // Move updates an entity's position, keeping its domain.
@@ -148,6 +161,7 @@ func (m *Map) Move(entity string, p Point) error {
 	}
 	pl.Position = p
 	m.placements[entity] = pl
+	delete(m.zoneMemo, entity)
 	return nil
 }
 
@@ -179,8 +193,12 @@ func (m *Map) ZoneOf(entity string) (Zone, bool) {
 	if !ok {
 		return Zone{}, false
 	}
+	if id, ok := m.zoneMemo[entity]; ok {
+		return m.zones[id], true
+	}
 	for _, id := range m.zoneOrder {
 		if z := m.zones[id]; z.Contains(pl.Position) {
+			m.zoneMemo[entity] = id
 			return z, true
 		}
 	}
@@ -243,23 +261,45 @@ func (m *Map) Nearest(entity string, candidates []string) (string, bool) {
 // distance from the entity (ties broken by candidate order); unplaced
 // candidates are dropped. If the entity itself is unplaced, the
 // candidates are returned in their given order.
+//
+// Distances are computed once per candidate, not per comparison: the
+// metropolis tier orders ~1000 edge candidates for each of ~100k
+// sensors at construction, and map lookups inside the comparator were
+// the single largest line in that profile.
 func (m *Map) NearestOrder(entity string, candidates []string) []string {
-	var placed []string
+	pl, entPlaced := m.placements[entity]
+	type cand struct {
+		d float64
+		c string
+	}
+	placed := make([]cand, 0, len(candidates))
 	for _, c := range candidates {
-		if _, ok := m.placements[c]; ok {
-			placed = append(placed, c)
+		pc, ok := m.placements[c]
+		if !ok {
+			continue
 		}
+		var d float64
+		if entPlaced {
+			d = pl.Position.Distance(pc.Position)
+		}
+		placed = append(placed, cand{d: d, c: c})
 	}
-	pl, ok := m.placements[entity]
-	if !ok {
-		return placed
+	out := make([]string, len(placed))
+	if entPlaced {
+		slices.SortStableFunc(placed, func(a, b cand) int {
+			switch {
+			case a.d < b.d:
+				return -1
+			case a.d > b.d:
+				return 1
+			}
+			return 0
+		})
 	}
-	sort.SliceStable(placed, func(i, j int) bool {
-		di := pl.Position.Distance(m.placements[placed[i]].Position)
-		dj := pl.Position.Distance(m.placements[placed[j]].Position)
-		return di < dj
-	})
-	return placed
+	for i, p := range placed {
+		out[i] = p.c
+	}
+	return out
 }
 
 // Entities returns the IDs of all placed entities, sorted.
