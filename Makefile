@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-city fuzz experiments examples obs-demo bench-baseline bench-gate determinism metro metro-smoke chaos chaos-replay chaos-verify explain clean
+.PHONY: all build test race cover bench bench-city fuzz experiments examples obs-demo bench-baseline bench-gate bench-serve serve-demo determinism metro metro-smoke chaos chaos-replay chaos-verify explain clean
 
 all: build test
 
@@ -58,6 +58,24 @@ bench-baseline:
 bench-gate:
 	$(GO) run ./cmd/riotbench -quick -parallel 2 -benchreps 3 -out /tmp/bench.json
 	$(GO) run ./scripts BENCH_riot.json /tmp/bench.json
+
+# Serving-path latency only: the 3-node cluster + open-loop load leg.
+bench-serve:
+	$(GO) run ./cmd/riotbench -quick -benchreps 3 -only serve -out /tmp/bench_serve.json
+
+# Two riotnode processes with the HTTP data API, driven by riotload
+# for 10 seconds — the README "Serving traffic" walkthrough as one
+# command.
+serve-demo:
+	$(GO) build -o /tmp/riotnode ./cmd/riotnode
+	$(GO) build -o /tmp/riotload ./cmd/riotload
+	/tmp/riotnode -id a -bind 127.0.0.1:7946 -peers b=127.0.0.1:7947 \
+		-serve-addr 127.0.0.1:8080 -duration 15s -interval 5s & \
+	/tmp/riotnode -id b -bind 127.0.0.1:7947 -peers a=127.0.0.1:7946 -seeds a \
+		-serve-addr 127.0.0.1:8081 -duration 15s -interval 5s & \
+	sleep 1 && /tmp/riotload -targets http://127.0.0.1:8080,http://127.0.0.1:8081 \
+		-rps 200 -duration 10s -fail-on-5xx -min-writes 1; \
+	wait
 
 # Serial vs parallel campaign must print byte-identical journal
 # hashes, and the zone-sharded scheduler must print byte-identical

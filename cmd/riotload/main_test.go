@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseArgs(t *testing.T) {
+	cfg, err := parseArgs([]string{
+		"-targets", "http://a:1,http://b:2",
+		"-rps", "100", "-duration", "2s", "-read-frac", "0.25",
+		"-out", "bench.json", "-min-writes", "5", "-fail-on-5xx",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.load.Targets) != 2 || cfg.load.RPS != 100 || cfg.load.ReadFraction != 0.25 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.out != "bench.json" || cfg.minWrites != 5 || !cfg.failOn5xx {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+func TestParseArgsWriteOnly(t *testing.T) {
+	cfg, err := parseArgs([]string{"-targets", "http://a:1", "-read-frac", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.load.ReadFraction >= 0 {
+		t.Fatalf("explicit 0 must request write-only, got %v", cfg.load.ReadFraction)
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	bad := [][]string{
+		{},               // missing targets
+		{"-rps", "100"},  // still missing targets
+		{"-notaflag"},    // unknown flag
+		{"-targets", ""}, // empty targets
+	}
+	for _, args := range bad {
+		if _, err := parseArgs(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunAgainstStubWritesBench(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/readyz":
+			w.WriteHeader(http.StatusOK)
+		case r.Method == http.MethodPut:
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(`{"key":"k","value":1}`))
+		}
+	}))
+	defer stub.Close()
+
+	benchPath := filepath.Join(t.TempDir(), "bench.json")
+	var out strings.Builder
+	err := run([]string{"-targets", stub.URL, "-rps", "200", "-duration", "300ms",
+		"-out", benchPath, "-min-writes", "1", "-fail-on-5xx"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := out.String(); !strings.Contains(s, "ok=") || !strings.Contains(s, "p99=") {
+		t.Fatalf("summary missing: %q", s)
+	}
+
+	raw, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf benchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		t.Fatal(err)
+	}
+	if bf.Schema != "riotbench/bench/v1" || len(bf.Benches) != 1 {
+		t.Fatalf("bench file = %+v", bf)
+	}
+	br := bf.Benches[0]
+	if br.ID != "riotload" || br.LatP50Ns <= 0 || br.LatP99Ns < br.LatP50Ns || br.Runs == 0 {
+		t.Fatalf("bench row = %+v", br)
+	}
+}
+
+func TestRunFailsOn5xx(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer stub.Close()
+
+	var out strings.Builder
+	err := run([]string{"-targets", stub.URL, "-rps", "100", "-duration", "200ms",
+		"-fail-on-5xx"}, &out)
+	if err == nil {
+		t.Fatal("expected error on 5xx responses")
+	}
+}
+
+func TestRunFailsBelowMinWrites(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer stub.Close()
+
+	var out strings.Builder
+	err := run([]string{"-targets", stub.URL, "-rps", "100", "-duration", "200ms",
+		"-min-writes", "1"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "writes accepted") {
+		t.Fatalf("err = %v, want min-writes failure", err)
+	}
+}

@@ -24,25 +24,38 @@
 //
 //	riotnode -id a -bind 127.0.0.1:7946 -metrics-addr 127.0.0.1:9100
 //	curl http://127.0.0.1:9100/metrics
+//
+// With -serve-addr the node additionally serves the data-plane HTTP
+// API (PUT/GET /v1/data, /v1/members, /v1/incidents, /v1/stream) with
+// admission control — see internal/serve. SIGINT or SIGTERM drains
+// the serve listener, announces departure via gossip, and exits
+// cleanly:
+//
+//	riotnode -id a -bind 127.0.0.1:7946 -serve-addr 127.0.0.1:8080
+//	curl -X PUT -d '{"value": 21.5}' http://127.0.0.1:8080/v1/data/room1/temp
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/dataflow"
 	"repro/internal/gossip"
 	"repro/internal/obs"
 	"repro/internal/realnet"
+	"repro/internal/serve"
 	"repro/internal/simnet"
 	"repro/internal/space"
 )
@@ -64,6 +77,7 @@ type config struct {
 	duration    time.Duration
 	interval    time.Duration
 	metricsAddr string
+	serveAddr   string
 }
 
 func parseArgs(args []string) (config, error) {
@@ -76,6 +90,7 @@ func parseArgs(args []string) (config, error) {
 	duration := fs.Duration("duration", 0, "run time; 0 runs until interrupted")
 	interval := fs.Duration("interval", time.Second, "status print interval")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty disables)")
+	serveAddr := fs.String("serve-addr", "", "serve the /v1 data API on this address (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -90,6 +105,7 @@ func parseArgs(args []string) (config, error) {
 		duration:    *duration,
 		interval:    *interval,
 		metricsAddr: *metricsAddr,
+		serveAddr:   *serveAddr,
 	}
 	if *peersFlag != "" {
 		for _, kv := range strings.Split(*peersFlag, ",") {
@@ -168,6 +184,21 @@ func run(args []string, out io.Writer) error {
 	// counts bus events and serves scrape endpoints when enabled.
 	bus := obs.NewBus(node.Now)
 	members.SetBus(bus)
+
+	// Readiness: a node with seeds is ready once a probe of any peer
+	// has been acked — confirmed two-way contact, not the optimistic
+	// alive that Start assumes for its seeds. A seedless node
+	// bootstraps its own cluster and is ready immediately. Both the
+	// /readyz probe and the serve front door gate on this.
+	var joined atomic.Bool
+	joined.Store(len(cfg.seeds) == 0)
+	probeSub := bus.SubscribeFunc(func(ev obs.Event) {
+		if ev.Kind == "gossip.probe" {
+			joined.Store(true)
+		}
+	})
+	defer probeSub.Close()
+
 	var reg *obs.Registry
 	var aliveGauge, keysGauge *obs.Gauge
 	if cfg.metricsAddr != "" {
@@ -186,19 +217,6 @@ func run(args []string, out io.Writer) error {
 		incidentsOpen := reg.Gauge("riot_incidents_open", "peer-down incidents currently open")
 		recoverySec := reg.Histogram("riot_incident_recovery_seconds",
 			"peer dead-to-alive recovery time", []float64{1, 5, 15, 60, 300})
-
-		// Readiness: a node with seeds is ready once a probe of any
-		// peer has been acked — confirmed two-way contact, not the
-		// optimistic alive that Start assumes for its seeds. A seedless
-		// node bootstraps its own cluster and is ready immediately.
-		var joined atomic.Bool
-		joined.Store(len(cfg.seeds) == 0)
-		probeSub := bus.SubscribeFunc(func(ev obs.Event) {
-			if ev.Kind == "gossip.probe" {
-				joined.Store(true)
-			}
-		})
-		defer probeSub.Close()
 
 		downSince := make(map[simnet.NodeID]time.Duration)
 		members.OnChange(func(m gossip.Member) {
@@ -231,6 +249,28 @@ func run(args []string, out io.Writer) error {
 		Peers: peerIDs, SyncInterval: time.Second,
 	})
 
+	// The serve front door shares the node's registry when metrics are
+	// on (one scrape surface) and must be constructed before the event
+	// loop starts so its store/membership callbacks are registered
+	// race-free.
+	var srv *serve.Server
+	if cfg.serveAddr != "" {
+		srv = serve.NewServer(serve.Config{
+			Loop:     node,
+			Store:    store,
+			Members:  members,
+			Registry: reg,
+			Ready:    joined.Load,
+			Now:      node.Now,
+		})
+		ln, err := net.Listen("tcp", cfg.serveAddr)
+		if err != nil {
+			return fmt.Errorf("serve listener: %w", err)
+		}
+		go func() { _ = srv.Serve(ln) }()
+		fmt.Fprintf(out, "serve: http://%s\n", ln.Addr())
+	}
+
 	node.Run()
 	node.Do(func() {
 		members.Start(cfg.seeds...)
@@ -246,23 +286,53 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "riotnode %s listening on %s (%d peers, %d seeds)\n",
 		cfg.id, node.Addr(), len(cfg.peers), len(cfg.seeds))
 
-	deadline := time.Time{}
+	// The status loop multiplexes the print ticker, the optional run
+	// deadline, and shutdown signals. A deadline shorter than the
+	// print interval still ends the run on time.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	var deadlineC <-chan time.Time
 	if cfg.duration > 0 {
-		deadline = time.Now().Add(cfg.duration)
+		deadlineTimer := time.NewTimer(cfg.duration)
+		defer deadlineTimer.Stop()
+		deadlineC = deadlineTimer.C
 	}
+	ticker := time.NewTicker(cfg.interval)
+	defer ticker.Stop()
 	for {
-		time.Sleep(cfg.interval)
-		printStatus(out, node, members, store)
-		if aliveGauge != nil {
-			node.Do(func() {
-				aliveGauge.Set(float64(members.AliveCount()))
-				keysGauge.Set(float64(len(store.Keys())))
-			})
-		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			return nil
+		select {
+		case <-ticker.C:
+			printStatus(out, node, members, store)
+			if aliveGauge != nil {
+				node.Do(func() {
+					aliveGauge.Set(float64(members.AliveCount()))
+					keysGauge.Set(float64(len(store.Keys())))
+				})
+			}
+		case <-deadlineC:
+			return shutdown(out, srv, node, members)
+		case sig := <-sigc:
+			fmt.Fprintf(out, "received %s, draining\n", sig)
+			return shutdown(out, srv, node, members)
 		}
 	}
+}
+
+// shutdown drains gracefully: stop accepting API traffic and flush
+// accepted writes, announce departure so peers mark this node left
+// instead of suspect, then let the deferred node.Close stop the loop.
+func shutdown(out io.Writer, srv *serve.Server, node *realnet.Node, members *gossip.Protocol) error {
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(out, "serve drain: %v\n", err)
+		}
+		cancel()
+	}
+	node.Do(func() { members.Leave() })
+	return nil
 }
 
 func printStatus(out io.Writer, node *realnet.Node, members *gossip.Protocol, store *dataflow.Store) {

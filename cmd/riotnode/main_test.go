@@ -3,8 +3,10 @@ package main
 import (
 	"io"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -190,6 +192,154 @@ func TestReadinessRequiresJoin(t *testing.T) {
 
 	if err := <-done; err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestShortDurationDoesNotOverrun: a -duration shorter than the print
+// -interval must still end the run on time (the deadline is a timer in
+// the select, not a check after a full-interval sleep).
+func TestShortDurationDoesNotOverrun(t *testing.T) {
+	start := time.Now()
+	var out strings.Builder
+	err := run([]string{"-id", "brief", "-bind", "127.0.0.1:0",
+		"-duration", "200ms", "-interval", "10s"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("200ms run with 10s interval took %v", elapsed)
+	}
+}
+
+// TestServeAddrServesData starts a node with the serve front door and
+// exercises a write/read round trip plus the members view over HTTP.
+func TestServeAddrServesData(t *testing.T) {
+	out := &syncWriter{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-id", "api", "-bind", "127.0.0.1:0",
+			"-serve-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0",
+			"-duration", "3s", "-interval", "100ms"}, out)
+	}()
+	base := waitForLine(t, out, "serve: ")
+
+	req, _ := http.NewRequest(http.MethodPut, base+"/v1/data/room1/temp",
+		strings.NewReader(`{"value": 21.5}`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT = %d", resp.StatusCode)
+	}
+	body := httpGet(t, base+"/v1/data/room1/temp")
+	if !strings.Contains(body, "21.5") {
+		t.Fatalf("GET body = %q", body)
+	}
+	members := httpGet(t, base+"/v1/members")
+	if !strings.Contains(members, `"api"`) || !strings.Contains(members, "alive") {
+		t.Fatalf("members body = %q", members)
+	}
+	// The serve request metrics land on the shared node registry.
+	metrics := waitForLine(t, out, "metrics: ")
+	if m := httpGet(t, strings.TrimSuffix(metrics, "/metrics")+"/metrics"); !strings.Contains(m, "riot_serve_requests_total") {
+		t.Fatalf("node metrics missing serve family:\n%s", m)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSignalShutdownDrains delivers SIGTERM to the process while a
+// node with an open-ended duration runs: run must return promptly and
+// report the drain.
+func TestSignalShutdownDrains(t *testing.T) {
+	out := &syncWriter{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-id", "sig", "-bind", "127.0.0.1:0",
+			"-serve-addr", "127.0.0.1:0", "-interval", "100ms"}, out)
+	}()
+	waitForLine(t, out, "serve: ")
+
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after SIGTERM")
+	}
+	if s := out.String(); !strings.Contains(s, "draining") {
+		t.Fatalf("no drain message in output: %q", s)
+	}
+}
+
+// TestReadyzFlipsAfterJoin: a two-node cluster where the joining
+// node's /readyz starts 503 and flips to 200 once its first probe of
+// the seed is acked.
+func TestReadyzFlipsAfterJoin(t *testing.T) {
+	addrA, addrB := "127.0.0.1:39471", "127.0.0.1:39472"
+	outA, outB := &syncWriter{}, &syncWriter{}
+	errc := make(chan error, 2)
+	go func() {
+		errc <- run([]string{"-id", "a", "-bind", addrA,
+			"-peers", "b=" + addrB, "-duration", "4s", "-interval", "200ms"}, outA)
+	}()
+	go func() {
+		errc <- run([]string{"-id", "b", "-bind", addrB,
+			"-peers", "a=" + addrA, "-seeds", "a",
+			"-metrics-addr", "127.0.0.1:0",
+			"-duration", "4s", "-interval", "200ms"}, outB)
+	}()
+	base := strings.TrimSuffix(waitForLine(t, outB, "metrics: "), "/metrics")
+
+	// Poll until ready; the flip must happen within the run.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("node b never became ready")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Skipf("port busy or bind failed: %v", err)
+		}
+	}
+}
+
+// waitForLine polls out until a line with the given prefix appears and
+// returns the rest of that line.
+func waitForLine(t *testing.T, out *syncWriter, prefix string) string {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, prefix); ok {
+				return rest
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("line %q never printed; output: %q", prefix, out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -60,6 +61,65 @@ func TestHandlerNilHealthCheck(t *testing.T) {
 		if code != http.StatusOK || body != "ok\n" {
 			t.Fatalf("%s = %d %q", path, code, body)
 		}
+	}
+}
+
+// TestHandlerProbeMatrix pins the full healthy × ready contract: the
+// liveness and readiness probes are independent axes, so an orchestra-
+// tor can distinguish "restart me" (healthz down) from "stop routing
+// to me" (readyz down).
+func TestHandlerProbeMatrix(t *testing.T) {
+	var healthy, ready bool
+	srv := httptest.NewServer(Handler(NewRegistry(),
+		func() bool { return healthy }, func() bool { return ready }))
+	defer srv.Close()
+
+	cases := []struct {
+		healthy, ready         bool
+		wantHealth, wantReadyz int
+	}{
+		{false, false, http.StatusServiceUnavailable, http.StatusServiceUnavailable},
+		{false, true, http.StatusServiceUnavailable, http.StatusOK},
+		{true, false, http.StatusOK, http.StatusServiceUnavailable},
+		{true, true, http.StatusOK, http.StatusOK},
+	}
+	for _, c := range cases {
+		healthy, ready = c.healthy, c.ready
+		if code, _, _ := get(t, srv, "/healthz"); code != c.wantHealth {
+			t.Errorf("healthy=%v ready=%v: /healthz = %d, want %d", c.healthy, c.ready, code, c.wantHealth)
+		}
+		if code, _, _ := get(t, srv, "/readyz"); code != c.wantReadyz {
+			t.Errorf("healthy=%v ready=%v: /readyz = %d, want %d", c.healthy, c.ready, code, c.wantReadyz)
+		}
+	}
+}
+
+// TestHandlerReadyzFlipsOnProbeEvent wires readiness the way riotnode
+// does — an atomic flipped by the first acked gossip probe on the bus
+// — and checks /readyz turns 200 exactly when the event lands.
+func TestHandlerReadyzFlipsOnProbeEvent(t *testing.T) {
+	bus := NewBus(nil)
+	var joined atomic.Bool
+	sub := bus.SubscribeFunc(func(ev Event) {
+		if ev.Kind == "gossip.probe" {
+			joined.Store(true)
+		}
+	})
+	defer sub.Close()
+
+	srv := httptest.NewServer(Handler(NewRegistry(), nil, joined.Load))
+	defer srv.Close()
+
+	if code, _, _ := get(t, srv, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before probe = %d, want 503", code)
+	}
+	bus.Emit("gossip.suspect", "n1", 0, 0, "unrelated event")
+	if code, _, _ := get(t, srv, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after unrelated event = %d, want 503", code)
+	}
+	bus.Emit("gossip.probe", "n1", 0, 0, "ack from peer")
+	if code, _, _ := get(t, srv, "/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz after probe ack = %d, want 200", code)
 	}
 }
 

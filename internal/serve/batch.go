@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"errors"
+
+	"repro/internal/dataflow"
+	"repro/internal/obs"
+)
+
+// ErrDraining is returned by a write submitted while the server drains
+// or after the node's event loop has shut down.
+var ErrDraining = errors.New("serve: draining")
+
+// writeReq is one queued write; done receives the apply outcome.
+type writeReq struct {
+	item dataflow.Item
+	done chan error
+}
+
+// batcher coalesces concurrent writes into single event-loop turns.
+// HTTP handler goroutines submit and block until their write is
+// applied; a single dispatcher goroutine drains whatever is queued (up
+// to max per turn) and applies the whole batch in one Loop.Do. Under a
+// burst of B writers one turn absorbs up to min(B, max) writes, so the
+// event loop spends its time on protocol work instead of per-request
+// handoffs.
+type batcher struct {
+	loop  Loop
+	apply func([]dataflow.Item)
+	max   int
+	reqs  chan writeReq
+	quit  chan struct{}
+	done  chan struct{}
+	sizes *obs.Histogram
+}
+
+// newBatcher starts the dispatcher. queue bounds how many writes may
+// wait; the server's admission control keeps submissions below it.
+func newBatcher(loop Loop, apply func([]dataflow.Item), max, queue int, sizes *obs.Histogram) *batcher {
+	b := &batcher{
+		loop:  loop,
+		apply: apply,
+		max:   max,
+		reqs:  make(chan writeReq, queue),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+		sizes: sizes,
+	}
+	go b.run()
+	return b
+}
+
+// submit queues one write and waits for it to be applied.
+func (b *batcher) submit(item dataflow.Item) error {
+	req := writeReq{item: item, done: make(chan error, 1)}
+	select {
+	case b.reqs <- req:
+	case <-b.quit:
+		return ErrDraining
+	}
+	select {
+	case err := <-req.done:
+		return err
+	case <-b.done:
+		// The dispatcher exited after we enqueued: either it applied us
+		// during its final drain (done is buffered) or we were stranded.
+		select {
+		case err := <-req.done:
+			return err
+		default:
+			return ErrDraining
+		}
+	}
+}
+
+// stop flushes queued writes and waits for the dispatcher to exit.
+// Idempotent; callers already holding no new submissions (the HTTP
+// server is shut down) get every accepted write applied.
+func (b *batcher) stop() {
+	select {
+	case <-b.quit:
+	default:
+		close(b.quit)
+	}
+	<-b.done
+}
+
+func (b *batcher) run() {
+	defer close(b.done)
+	var batch []writeReq
+	for {
+		select {
+		case r := <-b.reqs:
+			batch = b.fill(batch[:0], r)
+			b.flush(batch)
+		case <-b.quit:
+			for {
+				select {
+				case r := <-b.reqs:
+					batch = b.fill(batch[:0], r)
+					b.flush(batch)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// fill drains everything already queued behind the first request, up
+// to the per-turn bound — the coalescing step.
+func (b *batcher) fill(batch []writeReq, first writeReq) []writeReq {
+	batch = append(batch, first)
+	for len(batch) < b.max {
+		select {
+		case r := <-b.reqs:
+			batch = append(batch, r)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush applies one batch in a single event-loop turn and completes
+// every waiter.
+func (b *batcher) flush(batch []writeReq) {
+	items := make([]dataflow.Item, len(batch))
+	for i, r := range batch {
+		items[i] = r.item
+	}
+	var err error
+	if !b.loop.Do(func() { b.apply(items) }) {
+		err = ErrDraining
+	}
+	if b.sizes != nil {
+		b.sizes.Observe(float64(len(batch)))
+	}
+	for _, r := range batch {
+		r.done <- err
+	}
+}

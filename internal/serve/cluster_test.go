@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestClusterEndToEnd is the serving-path acceptance test: a 3-node
+// real-socket cluster where a write accepted by one node becomes
+// readable from another, membership converges, and the stream on a
+// third node carries the replicated item.
+func TestClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket cluster test")
+	}
+	cl, err := StartCluster(3, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	urls := cl.URLs()
+
+	// Readiness: every node joins within the warmup budget.
+	client := &http.Client{Timeout: 2 * time.Second}
+	if err := waitReady(client, urls, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Subscribe on node 2 before writing on node 0.
+	stream, err := client.Get(urls[2] + "/v1/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	events := make(chan StreamEvent, 64)
+	go func() {
+		sc := bufio.NewScanner(stream.Body)
+		for sc.Scan() {
+			if line, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+				var ev StreamEvent
+				if json.Unmarshal([]byte(line), &ev) == nil {
+					events <- ev
+				}
+			}
+		}
+	}()
+
+	req, _ := http.NewRequest(http.MethodPut, urls[0]+"/v1/data/city/temp",
+		strings.NewReader(`{"value": 19.25}`))
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT on node 0 = %d", resp.StatusCode)
+	}
+
+	// The write must become readable from node 2 (two sync hops max).
+	deadline := time.Now().Add(5 * time.Second)
+	var view itemView
+	for {
+		resp, err := client.Get(urls[2] + "/v1/data/city/temp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(body, &view); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("write never reached node 2 (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if view.Value != 19.25 {
+		t.Fatalf("node 2 read %v, want 19.25", view.Value)
+	}
+	// Lineage shows the item travelled: produced on n0, received here.
+	if len(view.Lineage) < 2 || view.Lineage[0].Node != "n0" {
+		t.Fatalf("lineage = %+v", view.Lineage)
+	}
+
+	// Node 2's stream saw the item arrive from a peer.
+	streamDeadline := time.After(3 * time.Second)
+	for {
+		select {
+		case ev := <-events:
+			if ev.Type == "data" && ev.Key == "city/temp" {
+				if ev.From == "local" {
+					t.Fatalf("node 2 stream labeled the item local: %+v", ev)
+				}
+				goto members
+			}
+		case <-streamDeadline:
+			t.Fatal("stream on node 2 never carried the replicated item")
+		}
+	}
+
+members:
+	// Membership view on node 1 has all three alive.
+	resp, err = client.Get(urls[1] + "/v1/members")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var views []memberView
+	if err := json.Unmarshal(body, &views); err != nil {
+		t.Fatal(err)
+	}
+	alive := 0
+	for _, v := range views {
+		if v.Status == "alive" {
+			alive++
+		}
+	}
+	if alive != 3 {
+		t.Fatalf("node 1 sees %d alive members, want 3: %+v", alive, views)
+	}
+}
+
+// TestClusterUnderLoad drives a short riotload run against a live
+// cluster: no server errors, non-zero accepted writes, sane latencies.
+func TestClusterUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket load test")
+	}
+	cl, err := StartCluster(3, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	rep, err := RunLoad(LoadConfig{
+		Targets:  cl.URLs(),
+		RPS:      200,
+		Duration: time.Second,
+		Conns:    32,
+		Keys:     16,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ServerErr != 0 || rep.NetErr != 0 {
+		t.Fatalf("errors under load: %+v", rep)
+	}
+	if rep.WriteOK == 0 {
+		t.Fatalf("no accepted writes: %+v", rep)
+	}
+	if rep.Latency.P50 <= 0 || rep.Latency.P99 < rep.Latency.P50 {
+		t.Fatalf("implausible latency summary: %+v", rep.Latency)
+	}
+}
+
+func TestStartClusterValidation(t *testing.T) {
+	if _, err := StartCluster(0, ClusterOptions{}); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	// A registry slice of the wrong length is a config error.
+	if _, err := StartCluster(2, ClusterOptions{Registries: make([]*obs.Registry, 1)}); err == nil {
+		t.Fatal("mismatched registries accepted")
+	}
+}

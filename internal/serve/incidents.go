@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/gossip"
+)
+
+// maxClosedIncidents bounds the retained history of closed incidents.
+const maxClosedIncidents = 128
+
+// IncidentView is one peer-down incident as served by /v1/incidents.
+type IncidentView struct {
+	Peer       string `json:"peer"`
+	DownAtMs   int64  `json:"down_at_ms"`
+	UpAtMs     int64  `json:"up_at_ms,omitempty"`
+	RecoveryMs int64  `json:"recovery_ms,omitempty"`
+	Open       bool   `json:"open"`
+}
+
+// IncidentsView is the /v1/incidents response.
+type IncidentsView struct {
+	Open      int            `json:"open"`
+	Total     int            `json:"total"`
+	Incidents []IncidentView `json:"incidents"`
+}
+
+// incidentLog derives incident records from membership transitions: a
+// peer turning dead opens an incident, its next alive transition
+// closes it. observe runs on the event loop, snapshot on HTTP handler
+// goroutines, so the log carries its own lock.
+type incidentLog struct {
+	mu     sync.Mutex
+	now    func() time.Duration
+	open   map[string]time.Duration
+	closed []IncidentView
+	total  int
+}
+
+func newIncidentLog(now func() time.Duration) *incidentLog {
+	return &incidentLog{now: now, open: make(map[string]time.Duration)}
+}
+
+func (l *incidentLog) observe(m gossip.Member) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch m.Status {
+	case gossip.StatusDead:
+		if _, ok := l.open[string(m.ID)]; !ok {
+			l.open[string(m.ID)] = l.now()
+			l.total++
+		}
+	case gossip.StatusAlive:
+		if downAt, ok := l.open[string(m.ID)]; ok {
+			delete(l.open, string(m.ID))
+			up := l.now()
+			l.closed = append(l.closed, IncidentView{
+				Peer:       string(m.ID),
+				DownAtMs:   downAt.Milliseconds(),
+				UpAtMs:     up.Milliseconds(),
+				RecoveryMs: (up - downAt).Milliseconds(),
+			})
+			if len(l.closed) > maxClosedIncidents {
+				l.closed = l.closed[len(l.closed)-maxClosedIncidents:]
+			}
+		}
+	}
+}
+
+// snapshot renders open incidents first (most recent down last), then
+// the retained closed history in close order.
+func (l *incidentLog) snapshot() IncidentsView {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	view := IncidentsView{Open: len(l.open), Total: l.total}
+	opens := make([]IncidentView, 0, len(l.open))
+	for peer, downAt := range l.open {
+		opens = append(opens, IncidentView{Peer: peer, DownAtMs: downAt.Milliseconds(), Open: true})
+	}
+	sort.Slice(opens, func(i, j int) bool { return opens[i].DownAtMs < opens[j].DownAtMs })
+	view.Incidents = append(opens, append([]IncidentView(nil), l.closed...)...)
+	if view.Incidents == nil {
+		view.Incidents = []IncidentView{}
+	}
+	return view
+}

@@ -1,0 +1,371 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadConfig parameterizes one open-loop load run against a set of
+// serve endpoints.
+type LoadConfig struct {
+	// Targets are the base URLs of the nodes to drive (round-robin by
+	// the arrival scheduler's rng). Required.
+	Targets []string
+	// RPS is the open-loop arrival rate across all targets. Required.
+	RPS int
+	// Duration is how long arrivals are generated. Required.
+	Duration time.Duration
+	// Conns bounds outstanding requests; arrivals beyond it are counted
+	// as client-side drops rather than queued, keeping the arrival
+	// process open-loop (default 64).
+	Conns int
+	// Keys is the key-space size (default 64).
+	Keys int
+	// ReadFraction is the share of arrivals that are reads; 0 selects
+	// the 0.5 default, negative requests a write-only mix.
+	ReadFraction float64
+	// Seed feeds the arrival scheduler's rng (default 1).
+	Seed int64
+	// Timeout is the per-request client timeout (default 5s).
+	Timeout time.Duration
+	// ReadyWait polls each target's /readyz before starting, up to this
+	// long (default 5s; negative skips the check).
+	ReadyWait time.Duration
+	// KeyPrefix namespaces the generated keys (default "load/k").
+	KeyPrefix string
+}
+
+func (cfg LoadConfig) withDefaults() (LoadConfig, error) {
+	if len(cfg.Targets) == 0 {
+		return cfg, errors.New("load: no targets")
+	}
+	if cfg.RPS <= 0 {
+		return cfg, errors.New("load: rps must be positive")
+	}
+	if cfg.Duration <= 0 {
+		return cfg, errors.New("load: duration must be positive")
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 64
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 64
+	}
+	switch {
+	case cfg.ReadFraction == 0:
+		cfg.ReadFraction = 0.5
+	case cfg.ReadFraction < 0:
+		cfg.ReadFraction = 0
+	case cfg.ReadFraction > 1:
+		return cfg, errors.New("load: read fraction must be at most 1")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.ReadyWait == 0 {
+		cfg.ReadyWait = 5 * time.Second
+	}
+	if cfg.KeyPrefix == "" {
+		cfg.KeyPrefix = "load/k"
+	}
+	return cfg, nil
+}
+
+// LatencySummary is the percentile digest of served-request latencies.
+type LatencySummary struct {
+	Count int
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// LoadReport is the outcome of one load run. Offered counts scheduled
+// arrivals; Dropped are arrivals shed client-side when Conns was
+// exhausted (the open-loop analogue of a connection refusing to
+// dial). Latencies cover served requests only (2xx and 404 reads) and
+// are measured from the scheduled arrival, so server-side queueing
+// counts against the percentile — no coordinated omission.
+type LoadReport struct {
+	Offered   int
+	Issued    int
+	OK        int
+	WriteOK   int
+	ReadOK    int
+	NotFound  int
+	Shed      int // 429 from admission control
+	ServerErr int // 5xx
+	NetErr    int // transport failures
+	Dropped   int // client-side: Conns exhausted
+	Elapsed   time.Duration
+	// AchievedRPS is successfully served requests per wall-clock second.
+	AchievedRPS float64
+	Latency     LatencySummary
+}
+
+// loadStats accumulates outcomes across request goroutines.
+type loadStats struct {
+	issued, writeOK, readOK, notFound atomic.Int64
+	shed, serverErr, netErr           atomic.Int64
+	hist                              *latHist
+}
+
+// RunLoad drives the targets with an open-loop arrival process for
+// cfg.Duration and returns the outcome digest. The run is wall-clock
+// real: latencies are whatever the serving path actually delivered.
+func RunLoad(cfg LoadConfig) (LoadReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return LoadReport{}, err
+	}
+	client := &http.Client{
+		Timeout: cfg.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Conns * len(cfg.Targets),
+			MaxIdleConnsPerHost: cfg.Conns,
+		},
+	}
+	defer client.CloseIdleConnections()
+	if cfg.ReadyWait > 0 {
+		if err := waitReady(client, cfg.Targets, cfg.ReadyWait); err != nil {
+			return LoadReport{}, err
+		}
+	}
+
+	st := &loadStats{hist: newLatHist()}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sem := make(chan struct{}, cfg.Conns)
+	interval := time.Second / time.Duration(cfg.RPS)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	offered, dropped := 0, 0
+	for now := range ticker.C {
+		if now.After(deadline) {
+			break
+		}
+		offered++
+		select {
+		case sem <- struct{}{}:
+		default:
+			dropped++
+			continue
+		}
+		target := cfg.Targets[rng.Intn(len(cfg.Targets))]
+		key := fmt.Sprintf("%s%04d", cfg.KeyPrefix, rng.Intn(cfg.Keys))
+		read := rng.Float64() < cfg.ReadFraction
+		val := rng.Float64() * 100
+		arrival := time.Now()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			doRequest(client, st, target, key, read, val, arrival)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := LoadReport{
+		Offered:   offered,
+		Issued:    int(st.issued.Load()),
+		WriteOK:   int(st.writeOK.Load()),
+		ReadOK:    int(st.readOK.Load()),
+		NotFound:  int(st.notFound.Load()),
+		Shed:      int(st.shed.Load()),
+		ServerErr: int(st.serverErr.Load()),
+		NetErr:    int(st.netErr.Load()),
+		Dropped:   dropped,
+		Elapsed:   elapsed,
+	}
+	rep.OK = rep.WriteOK + rep.ReadOK
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.AchievedRPS = float64(rep.OK) / secs
+	}
+	rep.Latency = st.hist.summary()
+	return rep, nil
+}
+
+func doRequest(client *http.Client, st *loadStats, target, key string, read bool, val float64, arrival time.Time) {
+	st.issued.Add(1)
+	url := target + "/v1/data/" + key
+	var (
+		resp *http.Response
+		err  error
+	)
+	if read {
+		resp, err = client.Get(url)
+	} else {
+		body, _ := json.Marshal(map[string]any{"value": val})
+		var req *http.Request
+		req, err = http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/json")
+			resp, err = client.Do(req)
+		}
+	}
+	if err != nil {
+		st.netErr.Add(1)
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	lat := time.Since(arrival)
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		st.shed.Add(1)
+	case resp.StatusCode >= 500:
+		st.serverErr.Add(1)
+	case resp.StatusCode == http.StatusNotFound && read:
+		// A read of a key no writer has touched yet is served correctly;
+		// it counts toward latency but not toward OK throughput.
+		st.notFound.Add(1)
+		st.hist.record(lat)
+	case resp.StatusCode < 300:
+		if read {
+			st.readOK.Add(1)
+		} else {
+			st.writeOK.Add(1)
+		}
+		st.hist.record(lat)
+	default:
+		st.netErr.Add(1)
+	}
+}
+
+// waitReady polls every target's /readyz until it passes or the
+// deadline expires — load against a cluster still joining would
+// measure bootstrap, not serving.
+func waitReady(client *http.Client, targets []string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for _, t := range targets {
+		for {
+			resp, err := client.Get(t + "/readyz")
+			if err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("load: target %s not ready after %v", t, wait)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// latHist is an HDR-style log-bucketed latency histogram: geometric
+// buckets from 20µs growing 1.25x per step (64 buckets reach ~25s), so
+// percentile error is bounded at ~25% of the value across the whole
+// range — plenty for a p50/p99 gate — with O(1) record cost.
+type latHist struct {
+	mu     sync.Mutex
+	bounds []time.Duration
+	counts []int
+	over   int
+	max    time.Duration
+	count  int
+}
+
+const (
+	latHistBuckets = 64
+	latHistBase    = 20 * time.Microsecond
+	latHistGrowth  = 1.25
+)
+
+func newLatHist() *latHist {
+	bounds := make([]time.Duration, latHistBuckets)
+	b := float64(latHistBase)
+	for i := range bounds {
+		bounds[i] = time.Duration(b)
+		b *= latHistGrowth
+	}
+	return &latHist{bounds: bounds, counts: make([]int, latHistBuckets)}
+}
+
+func (h *latHist) record(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	if d > h.max {
+		h.max = d
+	}
+	// Binary search for the first bound >= d.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(h.bounds) {
+		h.over++
+		return
+	}
+	h.counts[lo]++
+}
+
+// percentile returns the upper bound of the bucket holding the q-th
+// quantile sample (the exact max for the overflow bucket). Callers
+// hold the lock.
+func (h *latHist) percentile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int(q*float64(h.count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	seen := 0
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return h.bounds[i]
+		}
+	}
+	return h.max
+}
+
+func (h *latHist) summary() LatencySummary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return LatencySummary{
+		Count: h.count,
+		P50:   h.percentile(0.50),
+		P90:   h.percentile(0.90),
+		P99:   h.percentile(0.99),
+		Max:   h.max,
+	}
+}
+
+// Format renders the report as a one-line human summary.
+func (r LoadReport) Format() string {
+	return fmt.Sprintf(
+		"offered=%d ok=%d (w=%d r=%d nf=%d) shed=%d 5xx=%d neterr=%d dropped=%d achieved=%.0f/s p50=%s p90=%s p99=%s max=%s",
+		r.Offered, r.OK, r.WriteOK, r.ReadOK, r.NotFound, r.Shed, r.ServerErr, r.NetErr, r.Dropped,
+		r.AchievedRPS,
+		r.Latency.P50.Round(10*time.Microsecond), r.Latency.P90.Round(10*time.Microsecond),
+		r.Latency.P99.Round(10*time.Microsecond), r.Latency.Max.Round(10*time.Microsecond))
+}

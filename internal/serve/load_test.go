@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLatHistPercentiles(t *testing.T) {
+	h := newLatHist()
+	// 100 samples: 1ms .. 100ms.
+	for i := 1; i <= 100; i++ {
+		h.record(time.Duration(i) * time.Millisecond)
+	}
+	s := h.summary()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Fatalf("max = %v", s.Max)
+	}
+	// Log-bucketed: the reported percentile is the bucket upper bound,
+	// within one growth factor (25%) of the true value.
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, 50 * time.Millisecond}, {0.90, 90 * time.Millisecond}, {0.99, 99 * time.Millisecond}}
+	for _, c := range checks {
+		h.mu.Lock()
+		got := h.percentile(c.q)
+		h.mu.Unlock()
+		if got < c.want || got > c.want*5/4 {
+			t.Errorf("p%.0f = %v, want within [%v, %v]", c.q*100, got, c.want, c.want*5/4)
+		}
+	}
+}
+
+func TestLatHistEmptyAndOverflow(t *testing.T) {
+	h := newLatHist()
+	if s := h.summary(); s.P50 != 0 || s.Max != 0 || s.Count != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	h.record(10 * time.Minute) // beyond the last bucket
+	s := h.summary()
+	if s.Max != 10*time.Minute || s.P99 != 10*time.Minute {
+		t.Fatalf("overflow summary = %+v", s)
+	}
+}
+
+func TestRunLoadAgainstStub(t *testing.T) {
+	var puts, gets atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/readyz":
+			w.WriteHeader(http.StatusOK)
+		case r.Method == http.MethodPut:
+			puts.Add(1)
+			w.WriteHeader(http.StatusNoContent)
+		case r.Method == http.MethodGet:
+			gets.Add(1)
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(`{"key":"k","value":1}`))
+		}
+	}))
+	defer stub.Close()
+
+	rep, err := RunLoad(LoadConfig{
+		Targets:  []string{stub.URL},
+		RPS:      400,
+		Duration: 500 * time.Millisecond,
+		Conns:    32,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK == 0 || rep.OK != rep.ReadOK+rep.WriteOK {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.ServerErr != 0 || rep.NetErr != 0 || rep.Shed != 0 {
+		t.Fatalf("unexpected errors: %+v", rep)
+	}
+	if rep.Latency.Count != rep.OK {
+		t.Fatalf("latency count %d != ok %d", rep.Latency.Count, rep.OK)
+	}
+	if rep.Latency.P99 == 0 || rep.AchievedRPS <= 0 {
+		t.Fatalf("latency/rps missing: %+v", rep)
+	}
+	if rep.ReadOK == 0 || rep.WriteOK == 0 {
+		t.Fatalf("mix not exercised: %+v", rep)
+	}
+	if got := puts.Load() + gets.Load(); got != int64(rep.Issued) {
+		t.Fatalf("server saw %d requests, client issued %d", got, rep.Issued)
+	}
+}
+
+func TestRunLoadCountsSheds(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer stub.Close()
+
+	rep, err := RunLoad(LoadConfig{
+		Targets:  []string{stub.URL},
+		RPS:      200,
+		Duration: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 0 || rep.Shed == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Shed responses are not service latencies.
+	if rep.Latency.Count != 0 {
+		t.Fatalf("latency count = %d, want 0", rep.Latency.Count)
+	}
+}
+
+func TestRunLoadReadyTimeout(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer stub.Close()
+	_, err := RunLoad(LoadConfig{
+		Targets:   []string{stub.URL},
+		RPS:       10,
+		Duration:  100 * time.Millisecond,
+		ReadyWait: 100 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("expected readiness timeout")
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	bad := []LoadConfig{
+		{},                                      // no targets
+		{Targets: []string{"http://x"}},         // no rps
+		{Targets: []string{"http://x"}, RPS: 1}, // no duration
+		{Targets: []string{"http://x"}, RPS: 1, Duration: time.Second, ReadFraction: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := RunLoad(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}

@@ -33,6 +33,11 @@ type bench struct {
 	MTTDP99Ns int64 `json:"mttd_p99_ns,omitempty"`
 	MTTRP50Ns int64 `json:"mttr_p50_ns,omitempty"`
 	MTTRP99Ns int64 `json:"mttr_p99_ns,omitempty"`
+
+	// Wall-clock serving-path latencies (serve experiment). Same
+	// skip-until-baselined rule as the resilience latencies.
+	LatP50Ns int64 `json:"lat_p50_ns,omitempty"`
+	LatP99Ns int64 `json:"lat_p99_ns,omitempty"`
 }
 
 type benchFile struct {
@@ -139,6 +144,25 @@ func diff(base, cand benchFile, threshold float64) (lines, failures []string) {
 				b.ID, m.name, m.base, m.cand, (r-1)*100))
 			// Upward drift only: these are virtual-time latencies, so
 			// getting faster is always fine.
+			if r > 1+threshold {
+				failures = append(failures, fmt.Sprintf("%s: %s regressed %.1f%% (%d -> %d)",
+					b.ID, m.name, (r-1)*100, m.base, m.cand))
+			}
+		}
+		for _, m := range []struct {
+			name       string
+			base, cand int64
+		}{
+			{"lat_p50_ns", b.LatP50Ns, c.LatP50Ns},
+			{"lat_p99_ns", b.LatP99Ns, c.LatP99Ns},
+		} {
+			if b.LatP50Ns == 0 && b.LatP99Ns == 0 {
+				break // baseline predates serving-path latencies for this ID
+			}
+			r := ratio(float64(m.cand), float64(m.base))
+			lines = append(lines, fmt.Sprintf("%-8s %s %12d -> %12d (%+.1f%%)",
+				b.ID, m.name, m.base, m.cand, (r-1)*100))
+			// Upward drift only: serving faster is always fine.
 			if r > 1+threshold {
 				failures = append(failures, fmt.Sprintf("%s: %s regressed %.1f%% (%d -> %d)",
 					b.ID, m.name, (r-1)*100, m.base, m.cand))

@@ -91,6 +91,35 @@ func TestDiffLatencyAbsentFromBaselineIgnored(t *testing.T) {
 	}
 }
 
+func TestDiffServeLatencyRegression(t *testing.T) {
+	base := bf(bench{ID: "serve", NsPerOp: 1000, AllocsPerOp: 100, LatP50Ns: 200_000, LatP99Ns: 900_000})
+	cand := bf(bench{ID: "serve", NsPerOp: 1000, AllocsPerOp: 100, LatP50Ns: 210_000, LatP99Ns: 2_000_000})
+	_, failures := diff(base, cand, 0.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "lat_p99_ns") {
+		t.Fatalf("failures = %v", failures)
+	}
+
+	// Serving faster never fails the gate.
+	better := bf(bench{ID: "serve", NsPerOp: 1000, AllocsPerOp: 100, LatP50Ns: 50_000, LatP99Ns: 100_000})
+	if _, failures := diff(base, better, 0.25); len(failures) != 0 {
+		t.Fatalf("latency improvement flagged: %v", failures)
+	}
+}
+
+func TestDiffServeLatencyAbsentFromBaselineIgnored(t *testing.T) {
+	// A baseline written before the serve leg reported latencies must
+	// not gate them (and must not flag growth-from-zero).
+	base := bf(bench{ID: "serve", NsPerOp: 1000, AllocsPerOp: 100})
+	cand := bf(bench{ID: "serve", NsPerOp: 1000, AllocsPerOp: 100, LatP50Ns: 200_000, LatP99Ns: 900_000})
+	lines, failures := diff(base, cand, 0.25)
+	if len(failures) != 0 {
+		t.Fatalf("pre-latency baseline gated: %v", failures)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("unexpected latency lines for pre-latency baseline: %v", lines)
+	}
+}
+
 func TestDiffNewExperimentPasses(t *testing.T) {
 	base := bf()
 	cand := bf(bench{ID: "x9", NsPerOp: 1000, AllocsPerOp: 100})
