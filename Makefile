@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-city fuzz experiments examples obs-demo bench-baseline bench-gate bench-serve serve-demo determinism metro metro-smoke chaos chaos-replay chaos-verify explain clean
+.PHONY: all build test race cover bench bench-city fuzz experiments examples obs-demo bench-baseline bench-gate bench-serve bench-sync serve-demo determinism metro metro-smoke chaos chaos-replay chaos-verify explain clean
 
 all: build test
 
@@ -62,6 +62,12 @@ bench-gate:
 # Serving-path latency only: the 3-node cluster + open-loop load leg.
 bench-serve:
 	$(GO) run ./cmd/riotbench -quick -benchreps 3 -only serve -out /tmp/bench_serve.json
+
+# Replication bytes-on-wire only: the city and metropolis sync legs
+# record sync_bytes, the upward-gated bandwidth metric.
+bench-sync:
+	$(GO) run ./cmd/riotbench -quick -benchreps 3 -only sync/city -out /tmp/bench_sync_city.json
+	$(GO) run ./cmd/riotbench -quick -benchreps 3 -only sync/metro -out /tmp/bench_sync_metro.json
 
 # Two riotnode processes with the HTTP data API, driven by riotload
 # for 10 seconds — the README "Serving traffic" walkthrough as one

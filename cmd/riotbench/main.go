@@ -118,6 +118,11 @@ type benchResult struct {
 	// against a live 3-node cluster. benchdiff gates upward drift.
 	LatP50Ns int64 `json:"lat_p50_ns,omitempty"`
 	LatP99Ns int64 `json:"lat_p99_ns,omitempty"`
+
+	// Replication bytes-on-wire (virtual wire, deterministic), set only
+	// by the sync experiments. benchdiff gates upward drift: shipping
+	// more sync bytes for the same scenario is a bandwidth regression.
+	SyncBytes int64 `json:"sync_bytes,omitempty"`
 }
 
 // benchFile is the schema scripts/benchdiff.go compares.
@@ -131,7 +136,7 @@ const benchSchema = "riotbench/bench/v1"
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("riotbench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "shorter runs")
-	only := fs.String("only", "", "run a single experiment: table12, f1..f5, a1, a2, x1, x2, city, serve, chaos/<name>")
+	only := fs.String("only", "", "run a single experiment: table12, f1..f5, a1, a2, x1, x2, city, serve, sync/city, sync/metro, metro/s<n>, chaos/<name>")
 	corpus := fs.String("corpus", "corpus/chaos", "chaos corpus directory; each counterexample becomes a chaos/<name> experiment (missing directory: skipped)")
 	seed := fs.Int64("seed", 1, "experiment seed")
 	seedRuns := fs.Int("seeds", 1, "number of seeds for the table12 campaign (>1 adds mean/min/max rows)")
@@ -179,6 +184,9 @@ func run(args []string, out io.Writer) error {
 	// the serving path is wall-clock real, so the minimum strips
 	// scheduler noise the same way best-of-reps does for ns_per_op.
 	var serveRep *serve.LoadReport
+	// syncBytes captures the sync experiments' bytes-on-wire figure
+	// (deterministic: identical across reps) for the bench JSON.
+	syncBytes := make(map[string]int64)
 	all := []experiment{
 		{"table12", "Tables 1+2 — maturity matrix under the standard disruption schedule", func(w io.Writer) (int, error) {
 			seeds := make([]int64, max(1, *seedRuns))
@@ -321,6 +329,45 @@ func run(args []string, out io.Writer) error {
 			return rep.OK, nil
 		}},
 	}
+	// Replication-cost legs: one ML4 run per tier, reporting the sync
+	// path's bytes-on-wire (accurate per-entry encoded sizes summed over
+	// every store link). Deterministic, so benchdiff can gate upward
+	// drift tightly — shipping more bytes for the same scenario is a
+	// bandwidth regression even when wall-clock throughput holds.
+	for _, leg := range []struct {
+		id   string
+		cfgf func() core.ScenarioConfig
+	}{
+		{"sync/city", func() core.ScenarioConfig {
+			if *quick {
+				return core.CityScenarioSmoke()
+			}
+			return core.CityScenario()
+		}},
+		{"sync/metro", func() core.ScenarioConfig {
+			if *quick {
+				return core.MetropolisScenarioSmoke()
+			}
+			return core.MetropolisScenario()
+		}},
+	} {
+		leg := leg
+		all = append(all, experiment{
+			id:    leg.id,
+			title: fmt.Sprintf("Sync path — ML4 replication bytes-on-wire (%s)", leg.id),
+			run: func(w io.Writer) (int, error) {
+				scfg := leg.cfgf()
+				scfg.Seed = *seed
+				sys := core.NewSystem(scfg, core.ML4)
+				rep := sys.Run()
+				st := sys.SyncTraffic()
+				fmt.Fprintf(w, "frames=%d entries=%d bytes=%d acks=%d R(goal)=%.4f\n",
+					st.FramesSent, st.EntriesSent, st.BytesSent, st.AcksIn, rep.GoalPersistence)
+				syncBytes[leg.id] = int64(st.BytesSent)
+				return 1, nil
+			},
+		})
+	}
 	// Metropolis scaling legs: one ML4 run of the metropolis tier per
 	// shard count. The bench JSON then carries ns_per_op for the serial
 	// reference and each sharded leg side by side, so the committed
@@ -436,6 +483,9 @@ func run(args []string, out io.Writer) error {
 		if ex.id == "serve" && serveRep != nil {
 			br.LatP50Ns = int64(serveRep.Latency.P50)
 			br.LatP99Ns = int64(serveRep.Latency.P99)
+		}
+		if b, ok := syncBytes[ex.id]; ok {
+			br.SyncBytes = b
 		}
 		fmt.Fprintln(ew)
 		ran++

@@ -8,6 +8,7 @@
 //	riotchaos shrink -in schedule.json -arch ML1 [-out ce.json]
 //	riotchaos replay -corpus DIR [-parallel 4]
 //	riotchaos verify -corpus DIR [-parallel 4] [-explain] [-flight-dir DIR]
+//	riotchaos refresh -corpus DIR
 //
 // search judges -budget candidate schedules (deterministically derived
 // from -seed) against the oracle and delta-debugs every violation to a
@@ -28,6 +29,11 @@
 // prints a riotscope incident timeline of its hardened run; with
 // -flight-dir, entries that still fail hardened dump a flight-recorder
 // artifact (the moments leading up to the failure) there.
+// refresh re-runs every entry at default knobs and re-records its
+// journal hash, goal persistence and hash-suffixed file name — the
+// maintained path after an intentional behavioral change (e.g. a wire-
+// protocol rework) moves every hash; entries whose recorded failures no
+// longer reproduce abort the refresh and must be re-minimized instead.
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/chaos"
@@ -65,8 +72,10 @@ func run(args []string, out io.Writer) error {
 		return runReplay(args[1:], out)
 	case "verify":
 		return runVerify(args[1:], out)
+	case "refresh":
+		return runRefresh(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want search, shrink, replay or verify)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want search, shrink, replay, verify or refresh)", args[0])
 	}
 }
 
@@ -273,6 +282,45 @@ func runVerify(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "verified %d counterexample(s) against the hardened profile: %d fixed, %d still-fail — all as expected\n",
 		len(results), fixed, len(results)-fixed)
+	return nil
+}
+
+func runRefresh(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("riotchaos refresh", flag.ContinueOnError)
+	corpusDir := fs.String("corpus", "corpus/chaos", "counterexample corpus directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ces, err := chaos.LoadCorpus(*corpusDir)
+	if err != nil {
+		return err
+	}
+	if len(ces) == 0 {
+		return fmt.Errorf("refresh: no counterexamples in %s", *corpusDir)
+	}
+	refreshed := 0
+	for _, ce := range ces {
+		oldName := ce.Name
+		changed, err := ce.Refresh()
+		if err != nil {
+			return err
+		}
+		if !changed {
+			fmt.Fprintf(out, "ok         %s\n", ce.Name)
+			continue
+		}
+		if _, err := ce.WriteFile(*corpusDir); err != nil {
+			return err
+		}
+		if ce.Name != oldName {
+			if err := os.Remove(filepath.Join(*corpusDir, oldName+".json")); err != nil {
+				return err
+			}
+		}
+		refreshed++
+		fmt.Fprintf(out, "refreshed  %s -> %s (R=%.3f)\n", oldName, ce.Name, ce.GoalPersistence)
+	}
+	fmt.Fprintf(out, "refreshed %d of %d counterexample(s)\n", refreshed, len(ces))
 	return nil
 }
 

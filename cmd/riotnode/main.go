@@ -201,11 +201,15 @@ func run(args []string, out io.Writer) error {
 
 	var reg *obs.Registry
 	var aliveGauge, keysGauge *obs.Gauge
+	var syncBytesGauge, syncEntriesGauge, syncPendingGauge *obs.Gauge
 	if cfg.metricsAddr != "" {
 		reg = obs.NewRegistry()
 		reg.WatchBus(bus)
 		aliveGauge = reg.Gauge("riot_members_alive", "members this node believes alive")
 		keysGauge = reg.Gauge("riot_store_keys", "keys in the local replicated store")
+		syncBytesGauge = reg.Gauge("riot_sync_bytes_sent", "replication bytes shipped to peers")
+		syncEntriesGauge = reg.Gauge("riot_sync_entries_sent", "replication entries shipped to peers")
+		syncPendingGauge = reg.Gauge("riot_sync_pending_keys", "dirty keys buffered for unreachable peers")
 
 		// Incident counters: every peer transition to dead opens an
 		// incident, the next alive transition closes it and records the
@@ -309,6 +313,14 @@ func run(args []string, out io.Writer) error {
 				node.Do(func() {
 					aliveGauge.Set(float64(members.AliveCount()))
 					keysGauge.Set(float64(len(store.Keys())))
+					st := store.SyncStats()
+					syncBytesGauge.Set(float64(st.BytesSent))
+					syncEntriesGauge.Set(float64(st.EntriesSent))
+					pending := 0
+					for _, p := range peerIDs {
+						pending += store.PendingFor(p)
+					}
+					syncPendingGauge.Set(float64(pending))
 				})
 			}
 		case <-deadlineC:

@@ -94,6 +94,13 @@ func NewCounterexample(cfg Config, sr ShrinkResult) *Counterexample {
 		GoalPersistence:    sr.Verdict.Report.GoalPersistence,
 		JournalHash:        sr.Verdict.JournalHash,
 	}
+	ce.setName()
+	return ce
+}
+
+// setName derives the canonical entry name from the archetype, the
+// leading failure kind and the journal-hash prefix.
+func (ce *Counterexample) setName() {
 	kind := "failure"
 	if len(ce.Failures) > 0 {
 		kind = string(ce.Failures[0])
@@ -103,7 +110,34 @@ func NewCounterexample(cfg Config, sr ShrinkResult) *Counterexample {
 		hash = hash[:8]
 	}
 	ce.Name = fmt.Sprintf("%s-%s-%s", strings.ToLower(ce.Archetype), kind, hash)
-	return ce
+}
+
+// Refresh re-runs the counterexample at default knobs and re-records
+// its expected outcome: failure kinds, goal persistence, journal hash
+// and the hash-suffixed name. It is the maintained path after an
+// intentional behavioral change to the simulated stack (e.g. a wire-
+// protocol rework) moves every journal hash. Every recorded failure
+// kind must still recur — an entry the change actually fixes needs
+// re-minimizing with `search`/`shrink`, not refreshing. Returns true
+// when anything was re-recorded.
+func (ce *Counterexample) Refresh() (bool, error) {
+	cfg, err := ce.Config()
+	if err != nil {
+		return false, err
+	}
+	v := NewOracle(cfg).Run(ce.Schedule)
+	for _, want := range ce.Failures {
+		if !v.HasKind(want) {
+			return false, fmt.Errorf("counterexample %s: failure %q no longer reproduces (got: %s); re-minimize instead of refreshing",
+				ce.Name, want, v)
+		}
+	}
+	changed := v.JournalHash != ce.JournalHash || v.Report.GoalPersistence != ce.GoalPersistence
+	ce.Failures = v.Kinds()
+	ce.GoalPersistence = v.Report.GoalPersistence
+	ce.JournalHash = v.JournalHash
+	ce.setName()
+	return changed, nil
 }
 
 // Config rebuilds the oracle configuration the counterexample was

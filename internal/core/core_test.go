@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -263,6 +264,51 @@ func TestJournalRecordsRunStory(t *testing.T) {
 	}
 	if privacy == 0 {
 		t.Fatal("ML2 journal shows no privacy events")
+	}
+}
+
+func TestSyncTrafficSurfacedInReportAndJournal(t *testing.T) {
+	cfg := quickCfg(FaultsStandard)
+	sys := NewSystem(cfg, ML4)
+	rep := sys.Run()
+
+	st := sys.SyncTraffic()
+	if st.FramesSent == 0 || st.EntriesSent == 0 || st.BytesSent == 0 {
+		t.Fatalf("ML4 run reported no replication traffic: %+v", st)
+	}
+	if rep.SyncFrames != int(st.FramesSent) || rep.SyncEntries != int(st.EntriesSent) ||
+		rep.SyncBytes != int(st.BytesSent) || rep.SyncAcks != int(st.AcksIn) {
+		t.Fatalf("report sync counters %d/%d/%d/%d != link totals %+v",
+			rep.SyncFrames, rep.SyncEntries, rep.SyncBytes, rep.SyncAcks, st)
+	}
+
+	// Exactly one horizon summary event, and its detail matches the
+	// totals (so journal hashes pin bytes-on-wire).
+	var syncs []RunEvent
+	for _, ev := range sys.Journal() {
+		if ev.Kind == EventSync {
+			syncs = append(syncs, ev)
+		}
+	}
+	if len(syncs) != 1 {
+		t.Fatalf("EventSync count = %d, want 1", len(syncs))
+	}
+	want := fmt.Sprintf("frames=%d entries=%d bytes=%d acks=%d",
+		st.FramesSent, st.EntriesSent, st.BytesSent, st.AcksIn)
+	if syncs[0].Detail != want {
+		t.Fatalf("sync event detail = %q, want %q", syncs[0].Detail, want)
+	}
+
+	// ML1 has no replicated stores: zero traffic, no sync event.
+	sys1 := NewSystem(cfg, ML1)
+	rep1 := sys1.Run()
+	if rep1.SyncBytes != 0 {
+		t.Fatalf("ML1 reported sync bytes: %d", rep1.SyncBytes)
+	}
+	for _, ev := range sys1.Journal() {
+		if ev.Kind == EventSync {
+			t.Fatal("ML1 journal has a sync event")
+		}
 	}
 }
 

@@ -34,6 +34,12 @@ const (
 	// emitted under the hardened profile (ScenarioConfig.IslandMode),
 	// so default-knob journals never contain it.
 	EventIsland = "island"
+	// EventSync summarizes the run's replication traffic (frames,
+	// entries, bytes, acks over all store links). Emitted once at the
+	// horizon, only for architectures with replicated stores — the
+	// totals derive from the deterministic delivery sequence, so the
+	// entry is shard-count-invariant like every other journal line.
+	EventSync = "sync"
 )
 
 // record appends one journal entry at the current virtual time.
@@ -75,7 +81,10 @@ func (sys *System) recordAt(ep *simnet.Endpoint, kind string, span, parent uint6
 	if ep != nil {
 		at = ep.Now()
 	}
-	if lane, seq, ok := sys.sim.ExecContext(ep); ok {
+	// Lane buffers exist only until mergeJournal; anything recorded
+	// after the merge (e.g. the horizon sync summary) goes straight to
+	// the journal even if the scheduler still reports a lane context.
+	if lane, seq, ok := sys.sim.ExecContext(ep); ok && sys.laneJournals != nil {
 		sys.laneJournals[lane] = append(sys.laneJournals[lane], laneEvent{
 			seq: seq,
 			ev:  RunEvent{At: at, Kind: kind, Detail: detail},

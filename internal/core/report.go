@@ -65,6 +65,14 @@ type Report struct {
 	// Traffic cost of the architecture.
 	Messages int
 	Bytes    int
+
+	// Replication traffic: totals over every store sync link (zero for
+	// architectures without replicated stores). SyncBytes is the
+	// bytes-on-wire figure the bench gate tracks.
+	SyncFrames  int
+	SyncEntries int
+	SyncBytes   int
+	SyncAcks    int
 }
 
 // header returns the table header rows for Format.

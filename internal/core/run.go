@@ -23,6 +23,12 @@ func (sys *System) Run() Report {
 	sys.startMeasurementLoop()
 	sys.sim.RunUntil(sys.cfg.Duration)
 	sys.mergeJournal()
+	if st := sys.SyncTraffic(); st.FramesSent > 0 || st.FramesIn > 0 {
+		// One summary line at the horizon, after the lane merge so it
+		// lands last regardless of shard count.
+		sys.record(EventSync, "frames=%d entries=%d bytes=%d acks=%d",
+			st.FramesSent, st.EntriesSent, st.BytesSent, st.AcksIn)
+	}
 	return sys.report()
 }
 
@@ -279,6 +285,11 @@ func (sys *System) report() Report {
 		Messages:           sys.sim.Stats().Delivered,
 		Bytes:              sys.sim.Stats().Bytes,
 	}
+	st := sys.SyncTraffic()
+	r.SyncFrames = int(st.FramesSent)
+	r.SyncEntries = int(st.EntriesSent)
+	r.SyncBytes = int(st.BytesSent)
+	r.SyncAcks = int(st.AcksIn)
 	// Each requirement has two assurance slots (runtime monitor,
 	// design-time verdict); coverage is the filled fraction.
 	totalAssurance := 2 * 2 * sys.cfg.Zones

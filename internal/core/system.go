@@ -609,6 +609,22 @@ func (sys *System) noteControlOK(z int, t time.Duration) {
 	}
 }
 
+// SyncTraffic totals the replication link counters across every
+// replicated store in the system (edge stores in deterministic order,
+// then the cloud hub). Zero-valued for architectures without stores.
+func (sys *System) SyncTraffic() dataflow.LinkStats {
+	var total dataflow.LinkStats
+	for _, st := range sys.edgeStacks() {
+		if st.store != nil {
+			total.Add(st.store.SyncStats())
+		}
+	}
+	if sys.cloud != nil && sys.cloud.store != nil {
+		total.Add(sys.cloud.store.SyncStats())
+	}
+	return total
+}
+
 // violationCount sums privacy violations across whichever auditor
 // layout is active.
 func (sys *System) violationCount() int {

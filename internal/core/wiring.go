@@ -405,6 +405,14 @@ func (sys *System) wireML4() {
 	}
 
 	// Replicated governed stores on every edge node and the cloud.
+	// When the cloud acts as a redistribution hub (bounded fanout),
+	// every edge scopes the hub's relay stream to the zones it actually
+	// consumes — home zone, the dashboard it renders, and its
+	// raft-assigned controller zones (declared below and re-declared on
+	// every placement apply). Without the scoping the hub re-broadcasts
+	// every write to every edge, which is almost all of the deployment's
+	// sync bytes.
+	cloudRelays := sys.cfg.EdgePeerFanout > 0 && sys.cfg.ML4Ablation != "no-sync"
 	for _, st := range edge {
 		st := st
 		var peers []simnet.NodeID
@@ -420,6 +428,9 @@ func (sys *System) wireML4() {
 		st.store.OnApply(func(item dataflow.Item, _ simnet.NodeID) { sys.auditArrival(item, st.id, st.ep) })
 		st.store.Start()
 		st.view = st.store.Get
+		if cloudRelays {
+			st.store.DeclareInterest(cloudID, sys.ml4InterestKeys(st))
+		}
 	}
 	// With the full all-to-all edge mesh the cloud can stay a passive
 	// sink. Under a bounded fanout the edge graph is a directed ring
@@ -508,6 +519,12 @@ func (sys *System) wireML4() {
 				for z, hosts := range pc.Backups {
 					st.appliedBackups[z] = hosts
 				}
+			}
+			// Placements moved: refresh this node's relay-interest scope
+			// so the hub starts forwarding its newly assigned zones (and
+			// stops forwarding ones it lost).
+			if cloudRelays && st.store != nil {
+				st.store.DeclareInterest(cloudID, sys.ml4InterestKeys(st))
 			}
 		})
 		st.raft.SetBus(sys.bus)
@@ -645,6 +662,42 @@ func (sys *System) wireML4() {
 			sys.designPassed = false
 		}
 	}
+}
+
+// ml4InterestKeys computes which keys stack st consumes from the cloud
+// hub's relay stream — the paper's "what data should enter a component"
+// scoping (§VI) applied to redistribution. A gateway consumes its home
+// zone (occupancy dashboard) and the zone whose temperature dashboard
+// it renders (measure reads zone z's dashboard at gateways[(z+1)%Z], so
+// gateway g renders zone (g−1) mod Z); every edge node additionally
+// consumes the zones whose controller — primary or backup replica — the
+// raft-applied placements currently assign to it. Everything else still
+// reaches the node's own ring successors and the hub directly; only the
+// hub's re-broadcast is scoped.
+func (sys *System) ml4InterestKeys(st *edgeStack) []string {
+	zones := make(map[int]bool)
+	if st.zone >= 0 {
+		zones[st.zone] = true
+		zones[(st.zone-1+sys.cfg.Zones)%sys.cfg.Zones] = true
+	}
+	for z, host := range st.applied {
+		if host == st.id {
+			zones[z] = true
+		}
+	}
+	for z, hosts := range st.appliedBackups {
+		for _, h := range hosts {
+			if h == st.id {
+				zones[z] = true
+				break
+			}
+		}
+	}
+	keys := make([]string, 0, 2*len(zones))
+	for z := range zones {
+		keys = append(keys, zoneTempKey(z), zoneOccKey(z))
+	}
+	return keys
 }
 
 // ml4Hardened reports whether any hardened-profile claim rule is on;

@@ -53,6 +53,43 @@ func (g *GCounter) Copy() *GCounter {
 	return out
 }
 
+// Frontier returns the per-replica counts as a digest: a peer that
+// sends its frontier receives DeltaSince(frontier) — only the rows it
+// is behind on — instead of the whole counter.
+func (g *GCounter) Frontier() map[ReplicaID]uint64 {
+	out := make(map[ReplicaID]uint64, len(g.counts))
+	for r, c := range g.counts {
+		out[r] = c
+	}
+	return out
+}
+
+// DeltaSince returns the rows strictly ahead of the known frontier —
+// the counter's join-decomposition. Nil when nothing is ahead.
+func (g *GCounter) DeltaSince(known map[ReplicaID]uint64) map[ReplicaID]uint64 {
+	var out map[ReplicaID]uint64
+	for r, c := range g.counts {
+		if c > known[r] {
+			if out == nil {
+				out = make(map[ReplicaID]uint64)
+			}
+			out[r] = c
+		}
+	}
+	return out
+}
+
+// MergeDelta folds a delta (from DeltaSince) into g: pairwise max,
+// idempotent under re-delivery.
+func (g *GCounter) MergeDelta(d map[ReplicaID]uint64) {
+	g.ensure()
+	for r, c := range d {
+		if c > g.counts[r] {
+			g.counts[r] = c
+		}
+	}
+}
+
 // PNCounter is a counter supporting increments and decrements, built
 // from two grow-only counters. The zero value is ready to use.
 type PNCounter struct {
@@ -89,4 +126,36 @@ func (p *PNCounter) Copy() *PNCounter {
 	out.pos = *p.pos.Copy()
 	out.neg = *p.neg.Copy()
 	return out
+}
+
+// PNFrontier is a PN-counter digest: the per-replica increment and
+// decrement counts a replica has observed.
+type PNFrontier struct {
+	Pos map[ReplicaID]uint64
+	Neg map[ReplicaID]uint64
+}
+
+// PNDelta is the PN-counter join-decomposition above some frontier.
+type PNDelta struct {
+	Pos map[ReplicaID]uint64
+	Neg map[ReplicaID]uint64
+}
+
+// Empty reports whether the delta carries nothing.
+func (d PNDelta) Empty() bool { return len(d.Pos) == 0 && len(d.Neg) == 0 }
+
+// Frontier returns the counter's digest.
+func (p *PNCounter) Frontier() PNFrontier {
+	return PNFrontier{Pos: p.pos.Frontier(), Neg: p.neg.Frontier()}
+}
+
+// DeltaSince returns the rows strictly ahead of the known frontier.
+func (p *PNCounter) DeltaSince(known PNFrontier) PNDelta {
+	return PNDelta{Pos: p.pos.DeltaSince(known.Pos), Neg: p.neg.DeltaSince(known.Neg)}
+}
+
+// MergeDelta folds a delta (from DeltaSince) into p.
+func (p *PNCounter) MergeDelta(d PNDelta) {
+	p.pos.MergeDelta(d.Pos)
+	p.neg.MergeDelta(d.Neg)
 }

@@ -21,6 +21,15 @@ type ORSet struct {
 	seq     uint64
 	adds    map[string]map[Tag]struct{}
 	tombs   map[Tag]struct{}
+	// elems maps each add-tag back to its element so deltas can ship
+	// tags with their elements without scanning adds.
+	elems map[Tag]string
+	// rmSeq numbers this replica's remove operations; tombLog records
+	// every tombstone with its recording replica and remove sequence,
+	// which is what lets DeltaSince ship only the removes a peer's
+	// digest has not observed.
+	rmSeq   uint64
+	tombLog map[tombKey]Tomb
 }
 
 // NewORSet returns an empty set owned by replica r.
@@ -29,6 +38,8 @@ func NewORSet(r ReplicaID) *ORSet {
 		replica: r,
 		adds:    make(map[string]map[Tag]struct{}),
 		tombs:   make(map[Tag]struct{}),
+		elems:   make(map[Tag]string),
+		tombLog: make(map[tombKey]Tomb),
 	}
 }
 
@@ -40,6 +51,7 @@ func (s *ORSet) Add(elem string) {
 		s.adds[elem] = make(map[Tag]struct{})
 	}
 	s.adds[elem][tag] = struct{}{}
+	s.elems[tag] = elem
 }
 
 // Remove deletes the element by tombstoning every live tag observed
@@ -48,6 +60,9 @@ func (s *ORSet) Remove(elem string) {
 	for tag := range s.adds[elem] {
 		if _, dead := s.tombs[tag]; !dead {
 			s.tombs[tag] = struct{}{}
+			s.rmSeq++
+			rec := Tomb{By: s.replica, Seq: s.rmSeq, Tag: tag}
+			s.tombLog[tombKey{rec.By, rec.Seq}] = rec
 		}
 	}
 }
@@ -96,10 +111,17 @@ func (s *ORSet) Merge(other *ORSet) {
 		}
 		for tag := range tags {
 			s.adds[elem][tag] = struct{}{}
+			s.elems[tag] = elem
 		}
 	}
 	for tag := range other.tombs {
 		s.tombs[tag] = struct{}{}
+	}
+	for k, rec := range other.tombLog {
+		s.tombLog[k] = rec
+		if rec.By == s.replica && rec.Seq > s.rmSeq {
+			s.rmSeq = rec.Seq
+		}
 	}
 	// Keep local tag generation ahead of anything merged in from our
 	// own past states (e.g. a replica restored from a peer's copy).
@@ -116,14 +138,135 @@ func (s *ORSet) Merge(other *ORSet) {
 func (s *ORSet) Copy() *ORSet {
 	out := NewORSet(s.replica)
 	out.seq = s.seq
+	out.rmSeq = s.rmSeq
 	for elem, tags := range s.adds {
 		out.adds[elem] = make(map[Tag]struct{}, len(tags))
 		for tag := range tags {
 			out.adds[elem][tag] = struct{}{}
+			out.elems[tag] = elem
 		}
 	}
 	for tag := range s.tombs {
 		out.tombs[tag] = struct{}{}
 	}
+	for k, rec := range s.tombLog {
+		out.tombLog[k] = rec
+	}
 	return out
+}
+
+// tombKey identifies one remove operation (recording replica + its
+// remove sequence).
+type tombKey struct {
+	By  ReplicaID
+	Seq uint64
+}
+
+// Tomb is one recorded remove operation: replica By tombstoned Tag as
+// its Seq-th remove. Two replicas removing the same tag concurrently
+// record distinct Tombs for the same Tag; applying either (or both)
+// kills the tag.
+type Tomb struct {
+	By  ReplicaID
+	Seq uint64
+	Tag Tag
+}
+
+// ORDigest is a compact summary of an OR-set's observed operations:
+// per replica, the highest add-tag sequence and remove sequence seen.
+// A peer sends its digest; the reply is DeltaSince(digest) — only the
+// operations the digest has not observed.
+type ORDigest struct {
+	Adds    map[ReplicaID]uint64
+	Removes map[ReplicaID]uint64
+}
+
+// ORDelta is a join-decomposition of an OR-set: the add-tags (with
+// their elements) and remove records above some digest. Applying it
+// elsewhere is a state merge restricted to the missing operations.
+type ORDelta struct {
+	Adds  map[string][]Tag
+	Tombs []Tomb
+}
+
+// Empty reports whether the delta carries nothing.
+func (d ORDelta) Empty() bool { return len(d.Adds) == 0 && len(d.Tombs) == 0 }
+
+// Digest summarizes the set's observed add and remove frontiers.
+func (s *ORSet) Digest() ORDigest {
+	d := ORDigest{
+		Adds:    make(map[ReplicaID]uint64),
+		Removes: make(map[ReplicaID]uint64),
+	}
+	for tag := range s.elems {
+		if tag.Seq > d.Adds[tag.Replica] {
+			d.Adds[tag.Replica] = tag.Seq
+		}
+	}
+	for k := range s.tombLog {
+		if k.Seq > d.Removes[k.By] {
+			d.Removes[k.By] = k.Seq
+		}
+	}
+	return d
+}
+
+// DeltaSince returns the operations the digest has not observed: add
+// tags above the digest's add frontier and remove records above its
+// remove frontier, deterministically ordered.
+func (s *ORSet) DeltaSince(d ORDigest) ORDelta {
+	out := ORDelta{}
+	for tag, elem := range s.elems {
+		if tag.Seq > d.Adds[tag.Replica] {
+			if out.Adds == nil {
+				out.Adds = make(map[string][]Tag)
+			}
+			out.Adds[elem] = append(out.Adds[elem], tag)
+		}
+	}
+	for elem := range out.Adds {
+		tags := out.Adds[elem]
+		sort.Slice(tags, func(i, j int) bool {
+			if tags[i].Replica != tags[j].Replica {
+				return tags[i].Replica < tags[j].Replica
+			}
+			return tags[i].Seq < tags[j].Seq
+		})
+	}
+	for k, rec := range s.tombLog {
+		if k.Seq > d.Removes[k.By] {
+			out.Tombs = append(out.Tombs, rec)
+		}
+	}
+	sort.Slice(out.Tombs, func(i, j int) bool {
+		if out.Tombs[i].By != out.Tombs[j].By {
+			return out.Tombs[i].By < out.Tombs[j].By
+		}
+		return out.Tombs[i].Seq < out.Tombs[j].Seq
+	})
+	return out
+}
+
+// ApplyDelta merges a delta produced by DeltaSince on another replica.
+// Application is idempotent and commutative, like any state merge.
+func (s *ORSet) ApplyDelta(d ORDelta) {
+	for elem, tags := range d.Adds {
+		if s.adds[elem] == nil {
+			s.adds[elem] = make(map[Tag]struct{}, len(tags))
+		}
+		for _, tag := range tags {
+			s.adds[elem][tag] = struct{}{}
+			s.elems[tag] = elem
+			if tag.Replica == s.replica && tag.Seq > s.seq {
+				s.seq = tag.Seq
+			}
+		}
+	}
+	for _, rec := range d.Tombs {
+		s.tombs[rec.Tag] = struct{}{}
+		s.tombLog[tombKey{rec.By, rec.Seq}] = rec
+		if rec.By == s.replica && rec.Seq > s.rmSeq {
+			s.rmSeq = rec.Seq
+		}
+	}
 }

@@ -1,0 +1,51 @@
+package crdt
+
+import "time"
+
+// SizedValue lets a value payload report its own encoded size, so
+// entry sizing reflects real wire cost for structured values (e.g.
+// dataflow.Item with its label and lineage) instead of a flat guess.
+type SizedValue interface {
+	EncodedSize() int
+}
+
+// scalarOverhead is the assumed encoded size of fixed-width scalars
+// (numbers, timestamps) in a compact binary encoding.
+const scalarOverhead = 8
+
+// ValueSize estimates the encoded size of an entry value. Values
+// implementing SizedValue report exactly; scalars use their natural
+// width; unknown payloads fall back to a conservative constant so the
+// estimate never reads as free.
+func ValueSize(v any) int {
+	switch x := v.(type) {
+	case nil:
+		return 1
+	case SizedValue:
+		return x.EncodedSize()
+	case string:
+		return len(x)
+	case bool:
+		return 1
+	case float64, float32, int, int64, int32, uint, uint64, uint32, time.Duration:
+		return scalarOverhead
+	default:
+		return 2 * scalarOverhead
+	}
+}
+
+// EntrySize estimates the encoded size of one LWW entry: key bytes,
+// origin timestamp, replica ID, the deleted flag, and the value
+// payload.
+func EntrySize(e Entry) int {
+	return len(e.Key) + scalarOverhead + len(e.Replica) + 1 + ValueSize(e.Value)
+}
+
+// EntriesSize sums EntrySize over a batch.
+func EntriesSize(entries []Entry) int {
+	n := 0
+	for _, e := range entries {
+		n += EntrySize(e)
+	}
+	return n
+}

@@ -1,6 +1,7 @@
 package dataflow
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -373,8 +374,11 @@ func TestLineageMultiHopRelay(t *testing.T) {
 	producer := NewStore(sim.AddNode("producer"), m, StoreConfig{
 		Peers: []simnet.NodeID{"relay"}, SyncInterval: 100 * time.Millisecond,
 	})
+	// Forwarding received entries onward is the relay role: a plain
+	// store ships only its local writes.
 	relay := NewStore(sim.AddNode("relay"), m, StoreConfig{
 		Peers: []simnet.NodeID{"consumer"}, SyncInterval: 100 * time.Millisecond,
+		Relay: true,
 	})
 	consumer := NewStore(sim.AddNode("consumer"), m, StoreConfig{
 		SyncInterval: 100 * time.Millisecond,
@@ -414,6 +418,222 @@ func TestWithHopDoesNotMutateOriginal(t *testing.T) {
 	}
 	if len(hopped.Lineage) != 2 || hopped.Lineage[1].Node != "b" {
 		t.Fatalf("hopped lineage = %+v", hopped.Lineage)
+	}
+}
+
+func TestStoreQuiescentAfterConvergence(t *testing.T) {
+	// The delta protocol's whole point: once every peer has acked, a
+	// store with no new writes ships nothing — no frames, no entries.
+	// (The old watermark protocol re-shipped its newest entries every
+	// turn thanks to a boundary off-by-one.)
+	sim, edge, peer := storeRig(t, "eu2", DefaultPrivacyEngine)
+	edge.Put(publicItem("k1"))
+	edge.Put(publicItem("k2"))
+	sim.RunUntil(2 * time.Second)
+	if _, ok := peer.Get("k2"); !ok {
+		t.Fatal("not converged")
+	}
+	mid := edge.SyncStats()
+	sim.RunUntil(30 * time.Second)
+	end := edge.SyncStats()
+	if end.FramesSent != mid.FramesSent || end.EntriesSent != mid.EntriesSent {
+		t.Fatalf("converged store kept sending: %+v -> %+v", mid, end)
+	}
+	if end.BytesSent != mid.BytesSent {
+		t.Fatalf("converged store kept spending bytes: %d -> %d", mid.BytesSent, end.BytesSent)
+	}
+}
+
+func TestHealShipsExactlyMissedKeys(t *testing.T) {
+	// While the peer is partitioned away, the edge overwrites one key
+	// many times and writes a second key. On heal the peer must receive
+	// exactly the two coalesced keys — not one entry per overwrite, and
+	// not a full reship of keys it already holds.
+	sim, edge, peer := storeRig(t, "eu2", DefaultPrivacyEngine)
+	edge.Put(publicItem("settled"))
+	sim.RunUntil(2 * time.Second)
+	if _, ok := peer.Get("settled"); !ok {
+		t.Fatal("pre-partition key missing")
+	}
+
+	sim.Partition([]simnet.NodeID{"edge"}, []simnet.NodeID{"peer"})
+	for i := 0; i < 10; i++ {
+		item := publicItem("hot")
+		item.Value = float64(i)
+		edge.Put(item)
+	}
+	edge.Put(publicItem("cold"))
+	// Before any sync turn the backlog is the coalesced key set.
+	if got := edge.PendingFor("peer"); got != 2 {
+		t.Fatalf("pending for downed peer = %d, want 2 coalesced keys", got)
+	}
+	sim.RunUntil(4 * time.Second)
+
+	before := peer.SyncStats()
+	sim.HealPartition()
+	sim.RunUntil(8 * time.Second)
+	after := peer.SyncStats()
+	got, ok := peer.Get("hot")
+	if !ok || got.Value != 9.0 {
+		t.Fatalf("hot = %+v/%v, want final overwrite", got, ok)
+	}
+	if _, ok := peer.Get("cold"); !ok {
+		t.Fatal("cold missing after heal")
+	}
+	// Exactly the missed keys crossed the wire: the settled key did not
+	// reship and the ten overwrites collapsed to one entry.
+	if in := after.EntriesIn - before.EntriesIn; in != 2 {
+		t.Fatalf("entries shipped on heal = %d, want 2", in)
+	}
+}
+
+func TestPolicyRejectedKeysDoNotConsumeFrames(t *testing.T) {
+	// Sensitive items bound for another jurisdiction are dropped from
+	// the delta buffer at the sender — they must not occupy frames,
+	// generate retransmissions, or stall acks for admissible entries.
+	sim, edge, peer := storeRig(t, "us", DefaultPrivacyEngine)
+	for i := 0; i < 5; i++ {
+		edge.Put(sensitiveItem(fmt.Sprintf("secret/%d", i)))
+	}
+	edge.Put(publicItem("open"))
+	sim.RunUntil(2 * time.Second)
+	if _, ok := peer.Get("open"); !ok {
+		t.Fatal("admissible key blocked")
+	}
+	st := edge.SyncStats()
+	if st.EntriesSent != 1 {
+		t.Fatalf("entries sent = %d, want only the admissible one", st.EntriesSent)
+	}
+	if edge.PendingFor("peer") != 0 {
+		t.Fatal("rejected keys stuck in the delta buffer")
+	}
+	mid := st
+	sim.RunUntil(10 * time.Second)
+	end := edge.SyncStats()
+	if end.FramesSent != mid.FramesSent {
+		t.Fatal("rejected keys caused retransmission")
+	}
+}
+
+func TestRelayedFramesStopTheChain(t *testing.T) {
+	// hub → a, with a peered back to hub: a receives a relayed frame
+	// and must not dirty it back toward the hub (or anyone) — a hub
+	// broadcast terminates redistribution.
+	sim := simnet.New(simnet.WithSeed(7))
+	m := twoDomains()
+	m.Place("hub", space.Point{}, "eu")
+	m.Place("origin", space.Point{X: 5}, "eu")
+	m.Place("a", space.Point{X: 10}, "eu")
+
+	hub := NewStore(sim.AddNode("hub"), m, StoreConfig{
+		Peers: []simnet.NodeID{"origin", "a"}, SyncInterval: 100 * time.Millisecond, Relay: true,
+	})
+	origin := NewStore(sim.AddNode("origin"), m, StoreConfig{
+		Peers: []simnet.NodeID{"hub"}, SyncInterval: 100 * time.Millisecond,
+	})
+	a := NewStore(sim.AddNode("a"), m, StoreConfig{
+		Peers: []simnet.NodeID{"hub"}, SyncInterval: 100 * time.Millisecond,
+	})
+	hub.Start()
+	origin.Start()
+	a.Start()
+
+	origin.Put(publicItem("k"))
+	sim.RunUntil(2 * time.Second)
+	if _, ok := a.Get("k"); !ok {
+		t.Fatal("hub did not relay")
+	}
+	// a's only traffic toward the hub is acks: no frames, no entries.
+	if st := a.SyncStats(); st.EntriesSent != 0 {
+		t.Fatalf("non-relay store re-forwarded %d relayed entries", st.EntriesSent)
+	}
+}
+
+func TestRelayInterestScopesRedistribution(t *testing.T) {
+	// Two consumers behind a hub: one declares interest in "temp/*"
+	// only, the other never declares. The hub must relay everything to
+	// the undeclared peer and only the declared keys to the scoped one.
+	sim := simnet.New(simnet.WithSeed(8))
+	m := twoDomains()
+	m.Place("hub", space.Point{}, "eu")
+	m.Place("origin", space.Point{X: 5}, "eu")
+	m.Place("scoped", space.Point{X: 10}, "eu")
+	m.Place("wide", space.Point{X: 15}, "eu")
+
+	hub := NewStore(sim.AddNode("hub"), m, StoreConfig{
+		Peers: []simnet.NodeID{"origin", "scoped", "wide"}, SyncInterval: 100 * time.Millisecond, Relay: true,
+	})
+	origin := NewStore(sim.AddNode("origin"), m, StoreConfig{
+		Peers: []simnet.NodeID{"hub"}, SyncInterval: 100 * time.Millisecond,
+	})
+	scoped := NewStore(sim.AddNode("scoped"), m, StoreConfig{
+		Peers: []simnet.NodeID{"hub"}, SyncInterval: 100 * time.Millisecond,
+	})
+	wide := NewStore(sim.AddNode("wide"), m, StoreConfig{
+		Peers: []simnet.NodeID{"hub"}, SyncInterval: 100 * time.Millisecond,
+	})
+	hub.Start()
+	origin.Start()
+	scoped.Start()
+	wide.Start()
+	scoped.DeclareInterest("hub", []string{"temp/1"})
+
+	origin.Put(publicItem("temp/1"))
+	origin.Put(publicItem("occ/1"))
+	sim.RunUntil(2 * time.Second)
+
+	if _, ok := scoped.Get("temp/1"); !ok {
+		t.Fatal("declared key not relayed")
+	}
+	if _, ok := scoped.Get("occ/1"); ok {
+		t.Fatal("undeclared key relayed to scoped peer")
+	}
+	for _, k := range []string{"temp/1", "occ/1"} {
+		if _, ok := wide.Get(k); !ok {
+			t.Fatalf("undeclared peer missing %s: interest leaked", k)
+		}
+	}
+}
+
+func TestRelayInterestPreSeedsNewKeys(t *testing.T) {
+	// A peer that declares interest in a key the hub already holds gets
+	// the current state immediately — a controller that just gained a
+	// zone must not wait for the next upstream write.
+	sim := simnet.New(simnet.WithSeed(11))
+	m := twoDomains()
+	m.Place("hub", space.Point{}, "eu")
+	m.Place("origin", space.Point{X: 5}, "eu")
+	m.Place("late", space.Point{X: 10}, "eu")
+
+	hub := NewStore(sim.AddNode("hub"), m, StoreConfig{
+		Peers: []simnet.NodeID{"origin", "late"}, SyncInterval: 100 * time.Millisecond, Relay: true,
+	})
+	origin := NewStore(sim.AddNode("origin"), m, StoreConfig{
+		Peers: []simnet.NodeID{"hub"}, SyncInterval: 100 * time.Millisecond,
+	})
+	late := NewStore(sim.AddNode("late"), m, StoreConfig{
+		Peers: []simnet.NodeID{"hub"}, SyncInterval: 100 * time.Millisecond,
+	})
+	hub.Start()
+	origin.Start()
+	late.Start()
+	// Scope "late" to nothing; the hub learns the empty set.
+	late.DeclareInterest("hub", nil)
+
+	origin.Put(publicItem("zone9"))
+	sim.RunUntil(2 * time.Second)
+	if _, ok := late.Get("zone9"); ok {
+		t.Fatal("key outside the declared set was relayed")
+	}
+
+	// Now the peer gains the zone. No further upstream writes happen;
+	// the pre-seed alone must deliver the hub's current entry.
+	sim.At(2*time.Second+time.Millisecond, func() {
+		late.DeclareInterest("hub", []string{"zone9"})
+	})
+	sim.RunUntil(4 * time.Second)
+	if _, ok := late.Get("zone9"); !ok {
+		t.Fatal("newly declared key not pre-seeded from hub state")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/crdt"
 	"repro/internal/space"
 )
 
@@ -82,6 +83,29 @@ func (it Item) WithHop(h Hop) Item {
 	out.Lineage = append(out.Lineage, it.Lineage...)
 	out.Lineage = append(out.Lineage, h)
 	return out
+}
+
+// EncodedSize reports the label's encoded wire size: topic, origin and
+// jurisdiction strings, the sensitivity byte and the TTL.
+func (l Label) EncodedSize() int {
+	return len(l.Topic) + 1 + len(l.Origin) + len(l.Jurisdiction) + 8
+}
+
+// EncodedSize reports one lineage hop's encoded wire size.
+func (h Hop) EncodedSize() int {
+	return len(h.Node) + 8 + len(h.Action)
+}
+
+// EncodedSize reports the item's encoded wire size — key, value
+// payload, label, produced-at stamp and the full lineage chain. It
+// implements crdt.SizedValue, so entries carrying Items are sized
+// accurately by the sync byte accounting instead of by a flat guess.
+func (it Item) EncodedSize() int {
+	n := len(it.Key) + crdt.ValueSize(it.Value) + it.Label.EncodedSize() + 8
+	for _, h := range it.Lineage {
+		n += h.EncodedSize()
+	}
+	return n
 }
 
 // FlowContext describes one prospective item transfer for policy

@@ -9,9 +9,32 @@ import (
 	"repro/internal/space"
 )
 
-// storeSyncMsg carries governed items between stores.
+// storeSyncMsg is one delta frame between stores: a batch of coalesced
+// entries under a per-link sequence number. Relayed marks frames from
+// a redistribution hub — receivers do not re-forward relayed entries
+// (the hub already broadcasts to everyone), which keeps ring
+// forwarding from duplicating the hub's work.
 type storeSyncMsg struct {
+	Seq     uint64
+	Relayed bool
 	Entries []crdt.Entry
+}
+
+// storeSyncAck acknowledges one received frame. The sender evicts the
+// acked keys from the peer's delta buffer; unacked frames are
+// retransmitted (coalesced) on the next sync turn.
+type storeSyncAck struct {
+	Seq uint64
+}
+
+// storeInterest declares which keys the sender wants a redistribution
+// hub to relay to it (its own writes still reach every peer directly).
+// The set replaces any earlier declaration from the same peer; peers
+// that never declare one get the full relay stream. Interest is
+// re-sent every sync turn, so a declaration lost on a lossy link heals
+// within one period.
+type storeInterest struct {
+	Keys []string
 }
 
 // RegisterWire registers the data plane's message and payload types
@@ -20,14 +43,64 @@ type storeSyncMsg struct {
 // they are not plain Go scalars.
 func RegisterWire(register func(any)) {
 	register(storeSyncMsg{})
+	register(storeSyncAck{})
+	register(storeInterest{})
 	register(crdt.Entry{})
 	register(Item{})
 	register(Label{})
 	register(Hop{})
 }
 
-// Size approximates item payloads (key + value + label).
-func (m storeSyncMsg) Size() int { return 8 + 96*len(m.Entries) }
+// frameOverhead is the fixed encoded cost of one sync frame: sequence
+// number, relayed flag, entry count.
+const frameOverhead = 13
+
+// ackSize is the encoded cost of one frame acknowledgement.
+const ackSize = 12
+
+// Size reports the frame's encoded wire size from real per-entry
+// sizing (key + value payload + label + lineage via crdt.EntrySize),
+// so link-byte stats measure actual wire cost.
+func (m storeSyncMsg) Size() int { return frameOverhead + crdt.EntriesSize(m.Entries) }
+
+// Size reports the ack's encoded wire size.
+func (m storeSyncAck) Size() int { return ackSize }
+
+// Size reports the interest declaration's encoded wire size: count
+// plus length-prefixed keys.
+func (m storeInterest) Size() int {
+	n := 8
+	for _, k := range m.Keys {
+		n += 1 + len(k)
+	}
+	return n
+}
+
+// LinkStats counts sync traffic over one store→peer link (or, from
+// SyncStats, over all of a store's links).
+type LinkStats struct {
+	// Sender side: frames/entries/bytes shipped to the peer and acks
+	// heard back.
+	FramesSent  uint64
+	EntriesSent uint64
+	BytesSent   uint64
+	AcksIn      uint64
+	// Receiver side: frames/entries/bytes that arrived from the peer.
+	FramesIn  uint64
+	EntriesIn uint64
+	BytesIn   uint64
+}
+
+// Add folds another counter row into ls.
+func (ls *LinkStats) Add(o LinkStats) {
+	ls.FramesSent += o.FramesSent
+	ls.EntriesSent += o.EntriesSent
+	ls.BytesSent += o.BytesSent
+	ls.AcksIn += o.AcksIn
+	ls.FramesIn += o.FramesIn
+	ls.EntriesIn += o.EntriesIn
+	ls.BytesIn += o.BytesIn
+}
 
 // Store is a governed, replicated data store hosted by one node: local
 // writes are LWW entries whose values are Items (with labels), and
@@ -35,6 +108,12 @@ func (m storeSyncMsg) Size() int { return 8 + 96*len(m.Entries) }
 // both directions — the sender filters its out-flow, the receiver
 // checks its in-flow (each component controls its own data in/out
 // policies, §VI).
+//
+// Replication is delta-state: a per-peer delta buffer coalesces
+// repeated writes to one key, sync turns cut the pending set into
+// size-capped frames, and each frame is acknowledged so a peer that
+// was down receives exactly the coalesced keys it missed when it
+// heals — never a full-state reship.
 type Store struct {
 	port   simnet.Port
 	spaces *space.Map
@@ -43,21 +122,26 @@ type Store struct {
 	peers  []simnet.NodeID
 
 	interval  time.Duration
-	lastSent  map[simnet.NodeID]time.Duration
 	ticker    *simnet.Ticker
 	lastWrite time.Duration
 
-	// Relay state: a hub store re-forwards entries it receives, so its
-	// outgoing watermark cannot be the origin-timestamp high-water mark
-	// ordinary stores use (a received entry is older than the store's
-	// newest and would be skipped as already-sent). Instead the hub
-	// numbers every local change — own writes and winning remote
-	// applies — with a monotonic sequence and tracks per-peer positions
-	// in that sequence.
-	relay   bool
-	seq     uint64
-	changed map[string]uint64 // key -> seq of its latest local change
-	sentSeq map[simnet.NodeID]uint64
+	// buf tracks per-peer dirty keys with seq/ack bookkeeping.
+	buf *crdt.DeltaBuffer
+	// relay marks a redistribution hub: its frames carry the Relayed
+	// flag so receivers do not forward hub-delivered entries again.
+	relay bool
+	// lastFrom records which peer delivered a key's current winning
+	// entry, so a sync turn never echoes an entry back to its sender.
+	lastFrom map[string]simnet.NodeID
+	// wants holds this store's own interest declarations, per hub peer
+	// (sorted key sets, re-sent every sync turn).
+	wants map[simnet.NodeID][]string
+	// peerInterest holds, on a hub, each peer's declared relay interest.
+	// A peer with no declaration receives the full relay stream.
+	peerInterest map[string]map[string]bool
+
+	maxFrame int
+	links    map[simnet.NodeID]*LinkStats
 
 	received int
 	rejected int
@@ -65,6 +149,9 @@ type Store struct {
 	// admitScratch is reused by handle for the per-message admitted
 	// batch; its contents never outlive the call.
 	admitScratch []crdt.Entry
+	// sendScratch is reused by syncTo for frame assembly.
+	sendScratch []crdt.Entry
+	keyScratch  []string
 }
 
 // StoreConfig parameterizes NewStore.
@@ -77,10 +164,14 @@ type StoreConfig struct {
 	// engine.
 	Engine *Engine
 	// Relay marks a redistribution hub: entries received from one peer
-	// are re-forwarded to the others (minus the origin replica). Leave
-	// false for stores that only exchange their own writes directly —
-	// the default high-water-mark sync never re-forwards.
+	// are re-forwarded to the others (minus the origin replica), and
+	// its frames carry the Relayed flag so receivers stop the chain
+	// there.
 	Relay bool
+	// MaxFrameBytes caps one sync frame's encoded size; a turn with
+	// more pending data emits several frames so a single turn never
+	// floods a link (default 4096).
+	MaxFrameBytes int
 }
 
 // NewStore builds a store on port, placed in spaces (the node's own
@@ -92,6 +183,9 @@ func NewStore(port simnet.Port, spaces *space.Map, cfg StoreConfig) *Store {
 	if cfg.Engine == nil {
 		cfg.Engine = DefaultPrivacyEngine()
 	}
+	if cfg.MaxFrameBytes <= 0 {
+		cfg.MaxFrameBytes = 4096
+	}
 	s := &Store{
 		port:      port,
 		spaces:    spaces,
@@ -99,16 +193,15 @@ func NewStore(port simnet.Port, spaces *space.Map, cfg StoreConfig) *Store {
 		data:      crdt.NewLWWMap(crdt.ReplicaID(port.ID())),
 		peers:     append([]simnet.NodeID(nil), cfg.Peers...),
 		interval:  cfg.SyncInterval,
-		lastSent:  make(map[simnet.NodeID]time.Duration),
 		lastWrite: -1,
+		buf:       crdt.NewDeltaBuffer(),
+		lastFrom:  make(map[string]simnet.NodeID),
+		relay:     cfg.Relay,
+		maxFrame:  cfg.MaxFrameBytes,
+		links:     make(map[simnet.NodeID]*LinkStats),
 	}
 	for _, p := range s.peers {
-		s.lastSent[p] = -1
-	}
-	if cfg.Relay {
-		s.relay = true
-		s.changed = make(map[string]uint64)
-		s.sentSeq = make(map[simnet.NodeID]uint64)
+		s.buf.AddPeer(string(p))
 	}
 	port.OnMessage(s.handle)
 	return s
@@ -157,15 +250,8 @@ func (s *Store) Put(item Item) {
 	}
 	s.lastWrite = ts
 	if s.data.Set(item.Key, item, ts) {
-		s.markChanged(item.Key)
-	}
-}
-
-// markChanged stamps a key with the next change sequence (relay mode).
-func (s *Store) markChanged(key string) {
-	if s.relay {
-		s.seq++
-		s.changed[key] = s.seq
+		delete(s.lastFrom, item.Key)
+		s.buf.DirtyAll(item.Key)
 	}
 }
 
@@ -215,6 +301,50 @@ func (s *Store) Received() int { return s.received }
 // Rejected returns how many remote entries in-flow policy refused.
 func (s *Store) Rejected() int { return s.rejected }
 
+// link returns (creating) the stats row for one peer.
+func (s *Store) link(peer simnet.NodeID) *LinkStats {
+	ls, ok := s.links[peer]
+	if !ok {
+		ls = &LinkStats{}
+		s.links[peer] = ls
+	}
+	return ls
+}
+
+// LinkStats returns a copy of the per-peer sync traffic counters.
+func (s *Store) LinkStats() map[simnet.NodeID]LinkStats {
+	out := make(map[simnet.NodeID]LinkStats, len(s.links))
+	for p, ls := range s.links {
+		out[p] = *ls
+	}
+	return out
+}
+
+// SyncStats returns the sync traffic counters summed over all links.
+func (s *Store) SyncStats() LinkStats {
+	var total LinkStats
+	for _, ls := range s.links {
+		total.Add(*ls)
+	}
+	return total
+}
+
+// PendingFor reports how many keys are queued for a peer — the
+// coalesced backlog a healed peer would receive.
+func (s *Store) PendingFor(peer simnet.NodeID) int {
+	return s.buf.PendingCount(string(peer))
+}
+
+// ResyncPeer queues the store's entire current key set for one peer —
+// the digest-less recovery path for a peer that lost its state (a
+// restarted real-socket node). In-simulation crashes preserve store
+// memory, so the per-peer buffers alone cover heals there.
+func (s *Store) ResyncPeer(peer simnet.NodeID) {
+	for _, k := range s.data.Keys() {
+		s.buf.Dirty(string(peer), k)
+	}
+}
+
 // domainOf resolves a node's administrative domain from the space map.
 func (s *Store) domainOf(node simnet.NodeID) space.Domain {
 	pl, ok := s.spaces.PlacementOf(string(node))
@@ -227,8 +357,48 @@ func (s *Store) domainOf(node simnet.NodeID) space.Domain {
 
 func (s *Store) syncAll() {
 	for _, p := range s.peers {
+		s.sendInterest(p)
 		s.syncTo(p)
 	}
+}
+
+// DeclareInterest tells a redistribution hub which keys this store
+// consumes, so the hub relays only those instead of its full stream
+// (the store's own writes still reach every peer directly, and the
+// hub itself still receives everything). The set replaces any earlier
+// declaration and is re-sent every sync turn so a lost declaration
+// heals within one period. An empty non-nil set means "relay nothing
+// to me"; a store that never declares gets the full stream.
+func (s *Store) DeclareInterest(peer simnet.NodeID, keys []string) {
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	if s.wants == nil {
+		s.wants = make(map[simnet.NodeID][]string)
+	}
+	s.wants[peer] = sorted
+	s.sendInterest(peer)
+}
+
+// sendInterest ships the store's current interest declaration to one
+// peer, if it has one.
+func (s *Store) sendInterest(peer simnet.NodeID) {
+	keys, ok := s.wants[peer]
+	if !ok {
+		return
+	}
+	msg := storeInterest{Keys: keys}
+	s.link(peer).BytesSent += uint64(msg.Size())
+	s.port.Send(peer, msg)
+}
+
+// peerWants reports whether a relay should forward key to peer: yes
+// unless the peer has declared an interest set that excludes it.
+func (s *Store) peerWants(peer simnet.NodeID, key string) bool {
+	in, ok := s.peerInterest[string(peer)]
+	if !ok {
+		return true
+	}
+	return in[key]
 }
 
 // SyncNow pushes pending deltas to all peers immediately, outside the
@@ -236,93 +406,118 @@ func (s *Store) syncAll() {
 // detects stale data.
 func (s *Store) SyncNow() { s.syncAll() }
 
+// syncTo cuts the peer's pending delta into size-capped frames and
+// ships them. Keys whose current winner came from the peer (echo), or
+// that the peer itself produced, or that out-flow policy refuses, are
+// dropped from the buffer instead of sent. Frames unacknowledged for
+// longer than one retransmission timeout are requeued first, so loss
+// means retransmission of the *current* coalesced entries, not a
+// growing backlog — while frames whose ack is merely still in flight
+// (an out-of-band SyncNow moments after the periodic turn) are not
+// duplicated.
 func (s *Store) syncTo(peer simnet.NodeID) {
-	if s.relay {
-		s.relayTo(peer)
-		return
-	}
-	last := s.lastSent[peer]
-	if s.data.MaxTimestamp() <= last {
-		return // nothing newer than the peer has seen; skip the export
-	}
-	delta := s.data.Since(last)
-	if len(delta) == 0 {
+	pk := string(peer)
+	s.buf.Requeue(pk, s.port.Now()-s.interval)
+	keys := s.buf.Pending(pk)
+	if len(keys) == 0 {
 		return
 	}
 	from := s.domainOf(s.port.ID())
 	to := s.domainOf(peer)
 	now := s.port.Now()
-	// Filter in place: delta is freshly exported and the admitted
-	// prefix is what goes on the wire, so no second slice is needed.
-	allowed := delta[:0]
-	for _, e := range delta {
-		item, ok := e.Value.(Item)
-		if !ok {
-			continue
-		}
-		if s.engine.Admit(FlowContext{Item: item, From: from, To: to}, now) {
-			allowed = append(allowed, e)
-		}
-	}
-	s.lastSent[peer] = s.data.MaxTimestamp() - 1
-	if len(allowed) == 0 {
-		return
-	}
-	s.port.Send(peer, storeSyncMsg{Entries: allowed})
-}
 
-// relayTo forwards every entry changed since the peer's last sync,
-// regardless of origin timestamp, skipping entries the peer itself
-// produced. Selected keys are ordered by change sequence so the wire
-// content is deterministic.
-func (s *Store) relayTo(peer simnet.NodeID) {
-	last := s.sentSeq[peer]
-	if s.seq <= last {
-		return
-	}
-	type change struct {
-		seq uint64
-		key string
-	}
-	var sel []change
-	for k, sq := range s.changed {
-		if sq > last {
-			sel = append(sel, change{sq, k})
+	entries := s.sendScratch[:0]
+	batch := s.keyScratch[:0]
+	bytes := frameOverhead
+	flush := func() {
+		if len(entries) == 0 {
+			return
 		}
+		seq := s.buf.NextSeq(pk)
+		msg := storeSyncMsg{Seq: seq, Relayed: s.relay, Entries: append([]crdt.Entry(nil), entries...)}
+		s.buf.MarkSent(pk, seq, batch, now)
+		ls := s.link(peer)
+		ls.FramesSent++
+		ls.EntriesSent += uint64(len(entries))
+		ls.BytesSent += uint64(msg.Size())
+		s.port.Send(peer, msg)
+		entries = entries[:0]
+		batch = batch[:0]
+		bytes = frameOverhead
 	}
-	s.sentSeq[peer] = s.seq
-	if len(sel) == 0 {
-		return
-	}
-	sort.Slice(sel, func(i, j int) bool { return sel[i].seq < sel[j].seq })
-	from := s.domainOf(s.port.ID())
-	to := s.domainOf(peer)
-	now := s.port.Now()
-	entries := make([]crdt.Entry, 0, len(sel))
-	for _, c := range sel {
-		e, ok := s.data.Entry(c.key)
-		if !ok || e.Replica == crdt.ReplicaID(peer) {
+	for _, k := range keys {
+		e, ok := s.data.Entry(k)
+		if !ok || e.Replica == crdt.ReplicaID(peer) || s.lastFrom[k] == peer {
+			s.buf.Drop(pk, k)
 			continue
 		}
 		item, ok := e.Value.(Item)
 		if !ok {
+			s.buf.Drop(pk, k)
 			continue
 		}
-		if s.engine.Admit(FlowContext{Item: item, From: from, To: to}, now) {
-			entries = append(entries, e)
+		if !s.engine.Admit(FlowContext{Item: item, From: from, To: to}, now) {
+			// Policy refused the flow: the key leaves the buffer without
+			// consuming a frame or an ack. A later write re-queues it for
+			// re-evaluation.
+			s.buf.Drop(pk, k)
+			continue
 		}
+		sz := crdt.EntrySize(e)
+		if len(entries) > 0 && bytes+sz > s.maxFrame {
+			flush()
+		}
+		entries = append(entries, e)
+		batch = append(batch, k)
+		bytes += sz
 	}
-	if len(entries) == 0 {
-		return
-	}
-	s.port.Send(peer, storeSyncMsg{Entries: entries})
+	flush()
+	s.sendScratch = entries[:0]
+	s.keyScratch = batch[:0]
 }
 
 func (s *Store) handle(from simnet.NodeID, msg simnet.Message) {
-	m, ok := msg.(storeSyncMsg)
-	if !ok {
-		return
+	switch m := msg.(type) {
+	case storeSyncMsg:
+		s.handleFrame(from, m)
+	case storeSyncAck:
+		if s.buf.Ack(string(from), m.Seq) {
+			s.link(from).AcksIn++
+		}
+	case storeInterest:
+		s.link(from).BytesIn += uint64(m.Size())
+		prev := s.peerInterest[string(from)]
+		set := make(map[string]bool, len(m.Keys))
+		for _, k := range m.Keys {
+			set[k] = true
+			// Pre-seed newly declared keys the hub already holds: a
+			// controller that just gained a zone gets its current state
+			// on the next sync turn instead of waiting for the next
+			// upstream write. Re-declarations of an unchanged set add no
+			// keys, so the periodic interest refresh re-ships nothing.
+			if s.relay && !prev[k] {
+				if _, ok := s.data.Entry(k); ok {
+					s.buf.Dirty(string(from), k)
+				}
+			}
+		}
+		if s.peerInterest == nil {
+			s.peerInterest = make(map[string]map[string]bool)
+		}
+		s.peerInterest[string(from)] = set
 	}
+}
+
+// handleFrame admits one delta frame and acknowledges it. The ack
+// covers frame *receipt*: entries the in-flow policy rejects are
+// refused here and counted, but they do not stall the sender's buffer
+// — retransmitting into a policy wall forever would turn governance
+// into a bandwidth leak.
+func (s *Store) handleFrame(from simnet.NodeID, m storeSyncMsg) {
+	ls := s.link(from)
+	ls.FramesIn++
+	ls.EntriesIn += uint64(len(m.Entries))
+	ls.BytesIn += uint64(m.Size())
 	fromDom := s.domainOf(from)
 	toDom := s.domainOf(s.port.ID())
 	now := s.port.Now()
@@ -343,7 +538,20 @@ func (s *Store) handle(from simnet.NodeID, msg simnet.Message) {
 			// traffic — with all-to-all peering, most entries lose.
 			if s.data.Wins(e) {
 				e.Value = item.WithHop(Hop{Node: string(s.port.ID()), At: now, Action: "received"})
-				s.markChanged(e.Key)
+				s.lastFrom[e.Key] = from
+				// Redistribution is the hub's job: only a relay store
+				// forwards received wins onward (and never a win that a
+				// hub already broadcast — a relayed frame stops the
+				// chain). Non-relay stores ship their *local* writes to
+				// every peer directly; re-forwarding remote wins around
+				// the ring as well would flood every entry fanout-fold.
+				if s.relay && !m.Relayed {
+					for _, p := range s.peers {
+						if p != from && s.peerWants(p, e.Key) {
+							s.buf.Dirty(string(p), e.Key)
+						}
+					}
+				}
 			}
 			admitted = append(admitted, e)
 		} else {
@@ -362,4 +570,5 @@ func (s *Store) handle(from simnet.NodeID, msg simnet.Message) {
 			}
 		}
 	}
+	s.port.Send(from, storeSyncAck{Seq: m.Seq})
 }

@@ -29,6 +29,10 @@ type Knowledge struct {
 	// max(now, lastWrite+1ns) so that a same-tick overwrite by the
 	// local replica still wins under LWW resolution.
 	lastWrite time.Duration
+	// version counts applied changes (local wins and absorbed remote
+	// wins), so a syncer can tell a quiescent knowledge base apart
+	// from one with fresh facts without exporting anything.
+	version uint64
 }
 
 // NewKnowledge creates a knowledge base owned by the given replica,
@@ -46,7 +50,9 @@ func (k *Knowledge) Put(key string, value any) {
 		ts = k.lastWrite + 1
 	}
 	k.lastWrite = ts
-	k.data.Set(key, value, ts)
+	if k.data.Set(key, value, ts) {
+		k.version++
+	}
 }
 
 // Get reads a fact.
@@ -95,7 +101,15 @@ func (k *Knowledge) Delta(ts time.Duration) []crdt.Entry { return k.data.Since(t
 func (k *Knowledge) MaxTimestamp() time.Duration { return k.data.MaxTimestamp() }
 
 // Absorb merges exported entries from another loop's knowledge.
-func (k *Knowledge) Absorb(entries []crdt.Entry) int { return k.data.Apply(entries) }
+func (k *Knowledge) Absorb(entries []crdt.Entry) int {
+	won := k.data.Apply(entries)
+	k.version += uint64(won)
+	return won
+}
+
+// Version returns the knowledge change counter; it advances on every
+// applied local write and absorbed remote win.
+func (k *Knowledge) Version() uint64 { return k.version }
 
 // PropRule derives an atomic proposition from knowledge each cycle.
 type PropRule struct {

@@ -274,13 +274,59 @@ func TestSyncerStop(t *testing.T) {
 	}
 }
 
+func TestSyncerQuiescentAfterConvergence(t *testing.T) {
+	// Regression for the lastSent watermark: once both loops converge
+	// and stop writing, no further sync traffic flows. The old
+	// watermark (MaxTimestamp() without the -1 guard, and no version
+	// short-circuit) re-shipped the boundary entries every round
+	// forever.
+	sim := simnet.New(simnet.WithSeed(3))
+	epA := sim.AddNode("a")
+	epB := sim.AddNode("b")
+	la := NewLoop(NewKnowledge("a", sim.Now), sim.Now)
+	lb := NewLoop(NewKnowledge("b", sim.Now), sim.Now)
+	NewSyncer(epA, la, []simnet.NodeID{"b"}, 100*time.Millisecond).Start()
+	NewSyncer(epB, lb, []simnet.NodeID{"a"}, 100*time.Millisecond).Start()
+
+	la.Knowledge().Put("zone1/temp", 22.5)
+	lb.Knowledge().Put("zone2/temp", 19.0)
+	sim.RunUntil(time.Second)
+	if _, ok := lb.Knowledge().Get("zone1/temp"); !ok {
+		t.Fatal("knowledge did not converge")
+	}
+
+	// Converged and quiescent: many more rounds, zero sends.
+	before := sim.Stats().Sent
+	sim.RunUntil(5 * time.Second)
+	if got := sim.Stats().Sent; got != before {
+		t.Fatalf("converged syncers sent %d extra messages", got-before)
+	}
+
+	// A new write resumes sharing.
+	la.Knowledge().Put("zone3/temp", 30.0)
+	sim.RunUntil(6 * time.Second)
+	if v, ok := lb.Knowledge().GetFloat("zone3/temp"); !ok || v != 30.0 {
+		t.Fatalf("post-quiescence write did not flow: %v/%v", v, ok)
+	}
+}
+
 func TestSyncMsgSize(t *testing.T) {
 	empty := syncMsg{}
 	if empty.Size() != 8 {
 		t.Fatalf("empty size = %d", empty.Size())
 	}
-	one := syncMsg{Entries: make([]crdt.Entry, 2)}
-	if one.Size() != 8+96 {
-		t.Fatalf("size = %d", one.Size())
+	// Sizing is per-entry and accurate, not a flat per-entry guess: the
+	// key and value payloads count.
+	entries := []crdt.Entry{
+		{Key: "zone0/temp", Value: 21.5, Replica: "gw-0"},
+		{Key: "k", Value: "hello", Replica: "gw-11"},
+	}
+	msg := syncMsg{Entries: entries}
+	if got, want := msg.Size(), 8+crdt.EntriesSize(entries); got != want {
+		t.Fatalf("size = %d, want %d", got, want)
+	}
+	short := syncMsg{Entries: entries[:1]}
+	if msg.Size()-short.Size() != crdt.EntrySize(entries[1]) {
+		t.Fatalf("second entry not sized by its own payload")
 	}
 }

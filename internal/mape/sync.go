@@ -12,8 +12,10 @@ type syncMsg struct {
 	Entries []crdt.Entry
 }
 
-// Size approximates a compact encoding: per-entry key + value + clock.
-func (m syncMsg) Size() int { return 8 + 48*len(m.Entries) }
+// Size reports the message's encoded wire size from real per-entry
+// sizing (key + value payload + clock), matching the store sync path's
+// accounting.
+func (m syncMsg) Size() int { return 8 + crdt.EntriesSize(m.Entries) }
 
 // Syncer implements the paper's "information sharing" decentralization
 // pattern (§V): each MAPE loop self-adapts locally but periodically
@@ -28,6 +30,11 @@ type Syncer struct {
 	peers    []simnet.NodeID
 	interval time.Duration
 	lastSent time.Duration
+	// lastVer is the knowledge version at the previous share: a
+	// quiescent loop (no new local writes or absorbed wins) skips the
+	// export and the send entirely instead of re-sharing the boundary
+	// entries every round.
+	lastVer  uint64
 	ticker   *simnet.Ticker
 	absorbed int
 }
@@ -72,7 +79,12 @@ func (s *Syncer) Absorbed() int { return s.absorbed }
 func (s *Syncer) ShareNow() { s.share() }
 
 func (s *Syncer) share() {
-	delta := s.loop.Knowledge().Delta(s.lastSent)
+	k := s.loop.Knowledge()
+	if k.Version() == s.lastVer {
+		return // quiescent since the last share: nothing to export
+	}
+	s.lastVer = k.Version()
+	delta := k.Delta(s.lastSent)
 	if len(delta) == 0 {
 		return
 	}

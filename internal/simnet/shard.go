@@ -562,10 +562,14 @@ func (sh *sharding) startWorkers(s *Sim) {
 	if sh.started || sh.n < 2 {
 		return
 	}
-	sh.jobs = make(chan laneJob)
+	// Workers range over a local copy of the channel: reading the
+	// sh.jobs field from the worker goroutines would race with
+	// stopWorkers clearing it.
+	jobs := make(chan laneJob)
+	sh.jobs = jobs
 	for i := 0; i < sh.n-1; i++ {
 		go func() {
-			for j := range sh.jobs {
+			for j := range jobs {
 				s.laneRun(j.ln, j.end, j.incl)
 				sh.wg.Done()
 			}

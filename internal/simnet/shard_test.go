@@ -143,7 +143,11 @@ func TestShardInvarianceProperty(t *testing.T) {
 	run := func(seed int64, shards int) map[NodeID][]string {
 		s := New(WithShards(shards), WithSeed(seed),
 			WithDefaultLatency(2*time.Millisecond), WithDefaultLoss(0.05), WithDuplicateProb(0.02))
-		traces := make(map[NodeID][]string, nodes)
+		// One slice slot per node: callbacks run on their node's lane
+		// goroutine, so writing only the node's own index keeps the
+		// collection race-free without a lock (a shared map here races
+		// across lanes within a window).
+		perNode := make([][]string, nodes)
 		eps := make([]*Endpoint, nodes)
 		for i := 0; i < nodes; i++ {
 			i := i
@@ -151,8 +155,7 @@ func TestShardInvarianceProperty(t *testing.T) {
 			eps[i] = s.AddNode(id)
 			s.SetShard(id, i%shards)
 			eps[i].OnMessage(func(from NodeID, msg Message) {
-				traces[NodeID(fmt.Sprintf("n%d", i))] = append(traces[NodeID(fmt.Sprintf("n%d", i))],
-					fmt.Sprintf("%v %s %v", eps[i].Now(), from, msg))
+				perNode[i] = append(perNode[i], fmt.Sprintf("%v %s %v", eps[i].Now(), from, msg))
 			})
 			eps[i].Every(time.Duration(10+i)*time.Millisecond, func() {
 				peer := NodeID(fmt.Sprintf("n%d", eps[i].Rand().Intn(nodes)))
@@ -160,6 +163,10 @@ func TestShardInvarianceProperty(t *testing.T) {
 			})
 		}
 		s.RunUntil(2 * time.Second)
+		traces := make(map[NodeID][]string, nodes)
+		for i, tr := range perNode {
+			traces[NodeID(fmt.Sprintf("n%d", i))] = tr
+		}
 		return traces
 	}
 	for _, seed := range []int64{1, 42} {

@@ -38,6 +38,10 @@ type bench struct {
 	// skip-until-baselined rule as the resilience latencies.
 	LatP50Ns int64 `json:"lat_p50_ns,omitempty"`
 	LatP99Ns int64 `json:"lat_p99_ns,omitempty"`
+
+	// Replication bytes-on-wire (sync experiments). Deterministic for a
+	// given seed; same skip-until-baselined rule.
+	SyncBytes int64 `json:"sync_bytes,omitempty"`
 }
 
 type benchFile struct {
@@ -166,6 +170,17 @@ func diff(base, cand benchFile, threshold float64) (lines, failures []string) {
 			if r > 1+threshold {
 				failures = append(failures, fmt.Sprintf("%s: %s regressed %.1f%% (%d -> %d)",
 					b.ID, m.name, (r-1)*100, m.base, m.cand))
+			}
+		}
+		if b.SyncBytes != 0 {
+			r := ratio(float64(c.SyncBytes), float64(b.SyncBytes))
+			lines = append(lines, fmt.Sprintf("%-8s sync_bytes %12d -> %12d (%+.1f%%)",
+				b.ID, b.SyncBytes, c.SyncBytes, (r-1)*100))
+			// Upward drift only: shipping fewer sync bytes for the same
+			// scenario is always fine.
+			if r > 1+threshold {
+				failures = append(failures, fmt.Sprintf("%s: sync_bytes regressed %.1f%% (%d -> %d)",
+					b.ID, (r-1)*100, b.SyncBytes, c.SyncBytes))
 			}
 		}
 	}

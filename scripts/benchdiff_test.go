@@ -120,6 +120,35 @@ func TestDiffServeLatencyAbsentFromBaselineIgnored(t *testing.T) {
 	}
 }
 
+func TestDiffSyncBytesRegression(t *testing.T) {
+	base := bf(bench{ID: "sync/city", NsPerOp: 1000, AllocsPerOp: 100, SyncBytes: 1_500_000})
+	cand := bf(bench{ID: "sync/city", NsPerOp: 1000, AllocsPerOp: 100, SyncBytes: 2_500_000})
+	_, failures := diff(base, cand, 0.25)
+	if len(failures) != 1 || !strings.Contains(failures[0], "sync_bytes") {
+		t.Fatalf("failures = %v", failures)
+	}
+
+	// Shipping fewer bytes for the same workload never fails the gate.
+	better := bf(bench{ID: "sync/city", NsPerOp: 1000, AllocsPerOp: 100, SyncBytes: 500_000})
+	if _, failures := diff(base, better, 0.25); len(failures) != 0 {
+		t.Fatalf("bytes improvement flagged: %v", failures)
+	}
+}
+
+func TestDiffSyncBytesAbsentFromBaselineIgnored(t *testing.T) {
+	// A baseline written before the sync legs reported bytes-on-wire
+	// must not gate them (and must not flag growth-from-zero).
+	base := bf(bench{ID: "sync/city", NsPerOp: 1000, AllocsPerOp: 100})
+	cand := bf(bench{ID: "sync/city", NsPerOp: 1000, AllocsPerOp: 100, SyncBytes: 1_500_000})
+	lines, failures := diff(base, cand, 0.25)
+	if len(failures) != 0 {
+		t.Fatalf("pre-bytes baseline gated: %v", failures)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("unexpected sync_bytes lines for pre-bytes baseline: %v", lines)
+	}
+}
+
 func TestDiffNewExperimentPasses(t *testing.T) {
 	base := bf()
 	cand := bf(bench{ID: "x9", NsPerOp: 1000, AllocsPerOp: 100})
