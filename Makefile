@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-city fuzz experiments examples obs-demo bench-baseline bench-gate bench-serve bench-sync serve-demo determinism metro metro-smoke chaos chaos-replay chaos-verify explain clean
+.PHONY: all build test race cover bench bench-city fuzz experiments examples obs-demo bench-baseline bench-gate bench-serve bench-sync serve-demo determinism metro metro-smoke chaos chaos-replay chaos-verify realnet explain clean
 
 all: build test
 
@@ -125,6 +125,18 @@ chaos-replay:
 # Each entry prints its incident timeline (-explain).
 chaos-verify:
 	$(GO) run -race ./cmd/riotchaos verify -corpus corpus/chaos -parallel 4 -explain
+
+# Live corpus replay on real loopback UDP sockets: race-enabled realnet
+# tests, then every entry replays fully armed at wall-clock scale 0.05
+# under both profiles — default-knob runs must still fail, hardened
+# runs must match their expectations (no journal hashes: outcome-level
+# judging only, DESIGN.md §14). Finally the city smoke tier (365 live
+# UDP nodes, hardened ML4) replays a corpus entry and must survive;
+# the city needs -scale >= 0.5 on a single core (see DESIGN.md §14).
+realnet:
+	$(GO) test -race -count=1 ./internal/realnet/
+	$(GO) run ./cmd/riotchaos realnet -corpus corpus/chaos -profile both -scale 0.05
+	$(GO) run ./cmd/riotchaos realnet -corpus corpus/chaos -profile none -city -scale 0.5
 
 # Explain every corpus entry: R(t) timeline + incident records with
 # MTTD/MTTR, as found (default knobs) and under the hardened profile.

@@ -9,6 +9,7 @@
 //	riotchaos replay -corpus DIR [-parallel 4]
 //	riotchaos verify -corpus DIR [-parallel 4] [-explain] [-flight-dir DIR]
 //	riotchaos refresh -corpus DIR
+//	riotchaos realnet -corpus DIR [-match SUBSTR] [-limit N] [-profile default|hardened|both|none] [-scale 0.1] [-city] [-city-entry NAME] [-explain]
 //
 // search judges -budget candidate schedules (deterministically derived
 // from -seed) against the oracle and delta-debugs every violation to a
@@ -29,6 +30,14 @@
 // prints a riotscope incident timeline of its hardened run; with
 // -flight-dir, entries that still fail hardened dump a flight-recorder
 // artifact (the moments leading up to the failure) there.
+// realnet replays corpus entries on real loopback UDP sockets at a
+// wall-clock time scale: the entry's topology boots live, every fault
+// kind arms on wall timers (skipped arms fail the run), and the oracle
+// judges outcomes — default-knob runs must still fail, hardened runs
+// must match their `expect` field; -city additionally boots the city
+// smoke tier live under hardened ML4, replays the -city-entry corpus
+// schedule against it at the entry's horizon, and requires the city to
+// survive the oracle.
 // refresh re-runs every entry at default knobs and re-records its
 // journal hash, goal persistence and hash-suffixed file name — the
 // maintained path after an intentional behavioral change (e.g. a wire-
@@ -74,8 +83,10 @@ func run(args []string, out io.Writer) error {
 		return runVerify(args[1:], out)
 	case "refresh":
 		return runRefresh(args[1:], out)
+	case "realnet":
+		return runRealnet(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want search, shrink, replay, verify or refresh)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want search, shrink, replay, verify, refresh or realnet)", args[0])
 	}
 }
 

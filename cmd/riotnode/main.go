@@ -202,6 +202,7 @@ func run(args []string, out io.Writer) error {
 	var reg *obs.Registry
 	var aliveGauge, keysGauge *obs.Gauge
 	var syncBytesGauge, syncEntriesGauge, syncPendingGauge *obs.Gauge
+	var netDroppedGauge, netDelayedGauge, netShapedGauge *obs.Gauge
 	if cfg.metricsAddr != "" {
 		reg = obs.NewRegistry()
 		reg.WatchBus(bus)
@@ -210,6 +211,12 @@ func run(args []string, out io.Writer) error {
 		syncBytesGauge = reg.Gauge("riot_sync_bytes_sent", "replication bytes shipped to peers")
 		syncEntriesGauge = reg.Gauge("riot_sync_entries_sent", "replication entries shipped to peers")
 		syncPendingGauge = reg.Gauge("riot_sync_pending_keys", "dirty keys buffered for unreachable peers")
+		netDroppedGauge = reg.Gauge("riot_realnet_dropped_total",
+			"datagrams dropped by partitions, shaper loss or the crash fault")
+		netDelayedGauge = reg.Gauge("riot_realnet_delayed_total",
+			"datagrams routed through a shaped link's delay queue")
+		netShapedGauge = reg.Gauge("riot_realnet_shaped_total",
+			"datagrams that traversed a link with an active shaping rule")
 
 		// Incident counters: every peer transition to dead opens an
 		// incident, the next alive transition closes it and records the
@@ -321,6 +328,10 @@ func run(args []string, out io.Writer) error {
 						pending += store.PendingFor(p)
 					}
 					syncPendingGauge.Set(float64(pending))
+					ns := node.NetStats()
+					netDroppedGauge.Set(float64(ns.Dropped))
+					netDelayedGauge.Set(float64(ns.Delayed))
+					netShapedGauge.Set(float64(ns.Shaped))
 				})
 			}
 		case <-deadlineC:

@@ -134,6 +134,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"riot_incidents_total 0",
 		"riot_incidents_open 0",
 		"riot_incident_recovery_seconds_count 0",
+		"riot_realnet_dropped_total 0",
+		"riot_realnet_delayed_total 0",
+		"riot_realnet_shaped_total 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, body)

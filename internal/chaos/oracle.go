@@ -61,6 +61,16 @@ func (o *Oracle) Run(s *fault.Schedule) Verdict {
 	return v
 }
 
+// JudgeLive applies the oracle's properties to a run that happened
+// outside the simulator — a realnet replay on live UDP sockets. The
+// verdict carries no journal hash: live runs are wall-clock executions
+// with no bit-for-bit determinism contract (DESIGN.md §14), so the
+// oracle judges outcomes (persistence floor, non-recovery, privacy vs
+// the simulated fault-free baseline, design checks) and nothing else.
+func (o *Oracle) JudgeLive(report core.Report, journal []core.RunEvent) Verdict {
+	return o.judge(runResult{report: report, journal: journal})
+}
+
 // judge applies the oracle's properties to an executed run.
 func (o *Oracle) judge(res runResult) Verdict {
 	if res.panicMsg != "" {

@@ -1,0 +1,52 @@
+package chaos
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/realnet"
+	"repro/internal/simnet"
+)
+
+// TestCorpusArmsFullyOnRealnet boots every committed corpus entry's
+// topology as live loopback UDP nodes and arms its schedule on the
+// realnet injector: every event of every entry must arm — the injector
+// no longer silently drops any fault kind, so skipped must be zero
+// across the whole corpus.
+func TestCorpusArmsFullyOnRealnet(t *testing.T) {
+	ces, err := LoadCorpus(filepath.Join("..", "..", "corpus", "chaos"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ces) == 0 {
+		t.Fatal("corpus is empty")
+	}
+	for _, ce := range ces {
+		ce := ce
+		t.Run(ce.Name, func(t *testing.T) {
+			cfg, err := ce.Config()
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes := make(map[simnet.NodeID]*realnet.Node)
+			for _, id := range core.TopologyOf(cfg.Scenario).All() {
+				n, err := realnet.NewNode(id, "127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer n.Close()
+				nodes[id] = n
+			}
+			inj := realnet.NewInjector(nodes, 1)
+			defer inj.Stop()
+			armed, skipped := inj.Arm(ce.Schedule)
+			if skipped != 0 {
+				t.Fatalf("entry %s: %d of %d events failed to arm on realnet", ce.Name, skipped, ce.Schedule.Len())
+			}
+			if armed != ce.Schedule.Len() {
+				t.Fatalf("entry %s: armed %d, schedule has %d", ce.Name, armed, ce.Schedule.Len())
+			}
+		})
+	}
+}

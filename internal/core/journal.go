@@ -57,7 +57,7 @@ func (sys *System) recordSpan(kind string, span, parent uint64, format string, a
 // call site). The entry is stamped with the node's lane clock and, in
 // sharded mode, buffered per lane under the executing event's logical
 // key so the post-run merge restores the global order.
-func (sys *System) recordOn(ep *simnet.Endpoint, kind, format string, args ...any) {
+func (sys *System) recordOn(ep simnet.Port, kind, format string, args ...any) {
 	sys.recordAt(ep, kind, 0, 0, format, args...)
 }
 
@@ -75,21 +75,29 @@ type laneEvent struct {
 // zero-subscriber fast path. In sharded mode the entry goes to the
 // executing lane's buffer (see mergeJournal); in legacy mode straight
 // to the journal, byte-identically to the pre-sharding code.
-func (sys *System) recordAt(ep *simnet.Endpoint, kind string, span, parent uint64, format string, args ...any) {
+func (sys *System) recordAt(ep simnet.Port, kind string, span, parent uint64, format string, args ...any) {
 	detail := fmt.Sprintf(format, args...)
-	at := sys.sim.Now()
+	at := sys.now()
 	if ep != nil {
 		at = ep.Now()
 	}
-	// Lane buffers exist only until mergeJournal; anything recorded
-	// after the merge (e.g. the horizon sync summary) goes straight to
-	// the journal even if the scheduler still reports a lane context.
-	if lane, seq, ok := sys.sim.ExecContext(ep); ok && sys.laneJournals != nil {
-		sys.laneJournals[lane] = append(sys.laneJournals[lane], laneEvent{
-			seq: seq,
-			ev:  RunEvent{At: at, Kind: kind, Detail: detail},
-		})
-	} else {
+	// Lane buffers exist only until mergeJournal (and only in sharded
+	// simulation, where every ep is a simulator endpoint); anything
+	// recorded after the merge (e.g. the horizon sync summary) goes
+	// straight to the journal even if the scheduler still reports a
+	// lane context.
+	buffered := false
+	if sys.laneJournals != nil {
+		sep, _ := ep.(*simnet.Endpoint)
+		if lane, seq, ok := sys.sim.ExecContext(sep); ok {
+			sys.laneJournals[lane] = append(sys.laneJournals[lane], laneEvent{
+				seq: seq,
+				ev:  RunEvent{At: at, Kind: kind, Detail: detail},
+			})
+			buffered = true
+		}
+	}
+	if !buffered {
 		sys.journal = append(sys.journal, RunEvent{At: at, Kind: kind, Detail: detail})
 	}
 	sys.bus.Publish(obs.Event{

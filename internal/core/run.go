@@ -32,30 +32,48 @@ func (sys *System) Run() Report {
 	return sys.report()
 }
 
+// envTickBody advances the physical world by one step: environment
+// processes, actuator effects and battery drain. Shared between the
+// simulated scheduler loop and the live wall-clock driver.
+func (sys *System) envTickBody(step time.Duration) {
+	sys.envm.Step(step)
+	for _, rig := range sys.actuators {
+		// A crashed actuator node has no effect on the world.
+		if sys.nodeUp(rig.id) {
+			rig.actuator.Apply(sys.envm, step)
+		}
+	}
+	for _, rig := range sys.sensors {
+		if rig.dev.Idle(step) {
+			// Battery exhausted: the node goes dark.
+			sys.setNodeDown(rig.id, true)
+		}
+	}
+}
+
 // startEnvironmentLoop advances the physical world: environment
 // processes, actuator effects and battery drain, every EnvStep.
 func (sys *System) startEnvironmentLoop() {
 	step := sys.cfg.EnvStep
 	var tick func()
 	tick = func() {
-		sys.envm.Step(step)
-		for _, rig := range sys.actuators {
-			// A crashed actuator node has no effect on the world.
-			if sys.sim.NodeUp(rig.id) {
-				rig.actuator.Apply(sys.envm, step)
-			}
-		}
-		for _, rig := range sys.sensors {
-			if rig.dev.Idle(step) {
-				// Battery exhausted: the node goes dark.
-				sys.sim.SetDown(rig.id, true)
-			}
-		}
+		sys.envTickBody(step)
 		if sys.sim.Now()+step <= sys.cfg.Duration {
 			sys.sim.After(step, tick)
 		}
 	}
 	sys.sim.After(step, tick)
+}
+
+// sampleInvocations records one invocation-success sample per zone:
+// did each zone see a successful control tick within 1.5 control
+// intervals?
+func (sys *System) sampleInvocations() {
+	inv := sys.cfg.ControlInterval
+	for z := 0; z < sys.cfg.Zones; z++ {
+		ok := sys.now()-time.Duration(sys.lastControlOK[z].Load()) <= inv+inv/2
+		sys.invocations.RecordOutcome(ok)
+	}
 }
 
 // startMeasurementLoop samples ground truth and per-vector metrics.
@@ -76,10 +94,7 @@ func (sys *System) startMeasurementLoop() {
 	var invTick func()
 	invTick = func() {
 		if sys.sim.Now() >= sys.warmup {
-			for z := 0; z < sys.cfg.Zones; z++ {
-				ok := sys.sim.Now()-time.Duration(sys.lastControlOK[z].Load()) <= inv+inv/2
-				sys.invocations.RecordOutcome(ok)
-			}
+			sys.sampleInvocations()
 		}
 		if sys.sim.Now()+inv <= sys.cfg.Duration {
 			sys.sim.After(inv, invTick)
@@ -94,19 +109,19 @@ func (sys *System) controllerStack(z int) (*edgeStack, bool) {
 	switch sys.arch {
 	case ML1:
 		st := sys.gateways[z]
-		return st, sys.sim.NodeUp(st.id)
+		return st, sys.nodeUp(st.id)
 	case ML2:
-		return sys.cloud, sys.sim.NodeUp(cloudID)
+		return sys.cloud, sys.nodeUp(cloudID)
 	case ML3:
-		if sys.sim.NodeUp(sys.gateways[z].id) {
+		if sys.nodeUp(sys.gateways[z].id) {
 			return sys.gateways[z], true
 		}
 		bak := sys.backupFor(z)
-		return bak, sys.sim.NodeUp(bak.id)
+		return bak, sys.nodeUp(bak.id)
 	case ML4:
 		if !sys.ml4Hardened() {
 			for _, st := range sys.edgeStacks() {
-				if st.applied[z] == st.id && sys.sim.NodeUp(st.id) {
+				if st.applied[z] == st.id && sys.nodeUp(st.id) {
 					return st, true
 				}
 			}
@@ -120,7 +135,7 @@ func (sys *System) controllerStack(z int) (*edgeStack, bool) {
 		// claimant when nobody has data.
 		var first *edgeStack
 		for _, st := range sys.edgeStacks() {
-			if !sys.sim.NodeUp(st.id) || !sys.ml4Controls(st, z) {
+			if !sys.nodeUp(st.id) || !sys.ml4Controls(st, z) {
 				continue
 			}
 			if _, fresh := sys.freshAt(st.view, zoneTempKey(z)); fresh {
@@ -163,13 +178,13 @@ func (sys *System) freshAt(view dataView, key string) (time.Duration, bool) {
 	if !ok {
 		return 0, false
 	}
-	age := sys.sim.Now() - item.ProducedAt
+	age := sys.now() - item.ProducedAt
 	return age, age <= sys.freshWin
 }
 
 // measure samples every metric once.
 func (sys *System) measure() {
-	now := sys.sim.Now()
+	now := sys.now()
 	if sys.prevTempOK == nil {
 		sys.prevTempOK = make([]bool, sys.cfg.Zones)
 		sys.prevFresh = make([]bool, sys.cfg.Zones)
@@ -228,7 +243,7 @@ func (sys *System) measure() {
 		sensor := tempSensorID(z, 0)
 		servable := false
 		for _, c := range sys.servableCandidates(z) {
-			if sys.sim.NodeUp(c) && sys.sim.Reachable(sensor, c) {
+			if sys.nodeUp(c) && sys.reachable(sensor, c) {
 				servable = true
 				break
 			}
@@ -238,11 +253,11 @@ func (sys *System) measure() {
 		// Data-flow vector: the application's intended consumers.
 		dash := sys.gateways[(z+1)%sys.cfg.Zones]
 		var dashView dataView
-		if sys.sim.NodeUp(dash.id) {
+		if sys.nodeUp(dash.id) {
 			dashView = dash.view
 		}
 		var cloudView dataView
-		if sys.sim.NodeUp(cloudID) {
+		if sys.nodeUp(cloudID) {
 			cloudView = sys.cloud.view
 		}
 		for _, consumer := range []dataView{ctrlView, cloudView, dashView} {
@@ -256,7 +271,7 @@ func (sys *System) measure() {
 		// dashboards inside the jurisdiction (never the cloud).
 		home := sys.gateways[z]
 		var homeView dataView
-		if sys.sim.NodeUp(home.id) {
+		if sys.nodeUp(home.id) {
 			homeView = home.view
 		}
 		for _, consumer := range []dataView{homeView, dashView} {
@@ -282,8 +297,8 @@ func (sys *System) report() Report {
 		DesignChecksPassed: sys.designPassed,
 		RuntimeChecks:      int(sys.runtimeChecks.Load()),
 		RuntimeAlerts:      int(sys.runtimeAlerts.Load()),
-		Messages:           sys.sim.Stats().Delivered,
-		Bytes:              sys.sim.Stats().Bytes,
+		Messages:           sys.messageCount(),
+		Bytes:              sys.byteCount(),
 	}
 	st := sys.SyncTraffic()
 	r.SyncFrames = int(st.FramesSent)
@@ -336,7 +351,7 @@ func (sys *System) report() Report {
 // recoveryTimes extracts external repair instants from the fault log.
 func (sys *System) recoveryTimes() []time.Duration {
 	var out []time.Duration
-	for _, ev := range sys.injector.Log() {
+	for _, ev := range sys.faultLog() {
 		switch ev.Kind {
 		case fault.KindRecover, fault.KindPartitionEnd, fault.KindLinkRestore:
 			out = append(out, ev.At)

@@ -27,11 +27,14 @@ import (
 // dataView reads a node's current belief about a data key.
 type dataView func(key string) (dataflow.Item, bool)
 
-// sensorRig is one sensor device with its delivery path.
+// sensorRig is one sensor device with its delivery path. ep is the
+// node's network surface: a simulator endpoint in sim runs, a live UDP
+// realnet node in live runs — all wiring is written against the Port
+// seam so the same protocol code drives both.
 type sensorRig struct {
 	id       simnet.NodeID
 	zone     int
-	ep       *simnet.Endpoint
+	ep       simnet.Port
 	mux      *simnet.Mux
 	dev      *device.Device
 	sensor   *device.Sensor
@@ -45,7 +48,7 @@ type sensorRig struct {
 type actRig struct {
 	id       simnet.NodeID
 	zone     int
-	ep       *simnet.Endpoint
+	ep       simnet.Port
 	mux      *simnet.Mux
 	dev      *device.Device
 	actuator *device.Actuator
@@ -64,7 +67,7 @@ type actRig struct {
 // archetype installed.
 type edgeStack struct {
 	id   simnet.NodeID
-	ep   *simnet.Endpoint
+	ep   simnet.Port
 	mux  *simnet.Mux
 	dev  *device.Device
 	zone int // home zone; -1 for cloudlets and cloud
@@ -100,7 +103,12 @@ type System struct {
 	cfg  ScenarioConfig
 	arch Archetype
 
+	// sim backs simulated runs; live backs wall-clock runs over real
+	// UDP sockets (exactly one is non-nil). All run-time queries go
+	// through the now/nodeUp/reachable seam so the measurement and
+	// control code is backend-agnostic.
 	sim      *simnet.Sim
+	live     *liveBackend
 	envm     *env.Environment
 	spaces   *space.Map
 	injector *fault.Injector
@@ -174,20 +182,18 @@ type System struct {
 
 // NewSystem builds the scenario at the given maturity level.
 func NewSystem(cfg ScenarioConfig, arch Archetype) *System {
+	return newSystem(cfg, arch, nil)
+}
+
+// newSystem is the shared constructor: with live == nil the system runs
+// on the simulator exactly as before; with a live backend the same
+// topology boots on real UDP nodes and the simulator is never created.
+func newSystem(cfg ScenarioConfig, arch Archetype, live *liveBackend) *System {
 	cfg = cfg.withDefaults()
-	simOpts := []simnet.Option{simnet.WithSeed(cfg.Seed), simnet.WithDefaultLatency(2 * time.Millisecond)}
-	if cfg.UseHeapScheduler {
-		simOpts = append(simOpts, simnet.WithHeapScheduler())
-	}
-	if cfg.Shards > 0 {
-		// Sharded deterministic mode supersedes the scheduler choice:
-		// every lane runs its own timing wheel.
-		simOpts = append(simOpts, simnet.WithShards(cfg.Shards))
-	}
 	sys := &System{
 		cfg:          cfg,
 		arch:         arch,
-		sim:          simnet.New(simOpts...),
+		live:         live,
 		envm:         env.New(cfg.Seed + 1),
 		spaces:       space.NewMap(),
 		auditor:      dataflow.ObservedEngine(),
@@ -200,13 +206,27 @@ func NewSystem(cfg ScenarioConfig, arch Archetype) *System {
 		// record path would otherwise dominate short runs.
 		journal: make([]RunEvent, 0, 256),
 	}
-	sys.bus = obs.NewBus(sys.sim.Now)
-	sys.injector = fault.NewInjector(sys.sim)
-	if n := sys.sim.ShardCount(); n > 0 {
-		sys.laneJournals = make([][]laneEvent, n+1)
-		sys.auditors = make([]*dataflow.Engine, n+1)
-		for i := range sys.auditors {
-			sys.auditors[i] = dataflow.ObservedEngine()
+	if live == nil {
+		simOpts := []simnet.Option{simnet.WithSeed(cfg.Seed), simnet.WithDefaultLatency(2 * time.Millisecond)}
+		if cfg.UseHeapScheduler {
+			simOpts = append(simOpts, simnet.WithHeapScheduler())
+		}
+		if cfg.Shards > 0 {
+			// Sharded deterministic mode supersedes the scheduler choice:
+			// every lane runs its own timing wheel.
+			simOpts = append(simOpts, simnet.WithShards(cfg.Shards))
+		}
+		sys.sim = simnet.New(simOpts...)
+		sys.injector = fault.NewInjector(sys.sim)
+	}
+	sys.bus = obs.NewBus(sys.now)
+	if sys.sim != nil {
+		if n := sys.sim.ShardCount(); n > 0 {
+			sys.laneJournals = make([][]laneEvent, n+1)
+			sys.auditors = make([]*dataflow.Engine, n+1)
+			for i := range sys.auditors {
+				sys.auditors[i] = dataflow.ObservedEngine()
+			}
 		}
 	}
 	sys.buildWorld()
@@ -223,16 +243,25 @@ func NewSystem(cfg ScenarioConfig, arch Archetype) *System {
 	default:
 		panic(fmt.Sprintf("core: unknown archetype %v", arch))
 	}
-	sys.injector.Arm(buildFaults(cfg))
-	sys.injector.Subscribe(sys.onFault)
-	sys.injector.Subscribe(func(ev fault.Event) {
+	if sys.injector != nil {
+		sys.injector.Arm(buildFaults(cfg))
+		sys.attachFaultSubscribers(sys.injector)
+	}
+	return sys
+}
+
+// attachFaultSubscribers wires the system's fault handling onto an
+// injector — the simulator's or a live realnet one, both of which
+// expose the same Subscribe surface.
+func (sys *System) attachFaultSubscribers(src interface{ Subscribe(fault.Subscriber) }) {
+	src.Subscribe(sys.onFault)
+	src.Subscribe(func(ev fault.Event) {
 		// Each fault roots a causal chain: the violations it provokes
 		// and the recoveries that resolve them are parented on its span.
 		span := sys.bus.NewSpanID()
 		sys.lastFaultSpan = span
 		sys.recordSpan(EventFault, span, 0, "%s%s", ev.Kind, faultDetail(ev))
 	})
-	return sys
 }
 
 // Bus returns the system's observability bus. Attach subscribers (a
@@ -302,7 +331,7 @@ func (sys *System) buildWorld() {
 	// traffic (sensors↔gateway↔actuators — the overwhelming bulk) stays
 	// shard-local and only gateway↔gateway, gateway↔cloudlet and WAN
 	// traffic crosses lanes. SetShard is a no-op in legacy mode.
-	shards := sys.sim.ShardCount()
+	shards := sys.shardCount()
 	shardFor := func(z int) int {
 		if shards > 1 && z >= 0 {
 			return z * shards / cfg.Zones
@@ -327,9 +356,9 @@ func (sys *System) buildWorld() {
 				},
 				key: zoneTempKey(z),
 			}
-			rig.ep = sys.sim.AddNode(id)
-			rig.mux = simnet.NewMux(rig.ep)
-			sys.sim.SetShard(id, shardFor(z))
+			rig.ep = sys.addNode(id)
+			rig.mux = simnet.NewPortMux(rig.ep)
+			sys.setShard(id, shardFor(z))
 			sys.sensors = append(sys.sensors, rig)
 			place(id, z, 10+float64(i)*5, 10, "campus")
 		}
@@ -347,9 +376,9 @@ func (sys *System) buildWorld() {
 			},
 			key: zoneOccKey(z),
 		}
-		occRig.ep = sys.sim.AddNode(occ)
-		occRig.mux = simnet.NewMux(occRig.ep)
-		sys.sim.SetShard(occ, shardFor(z))
+		occRig.ep = sys.addNode(occ)
+		occRig.mux = simnet.NewPortMux(occRig.ep)
+		sys.setShard(occ, shardFor(z))
 		sys.sensors = append(sys.sensors, occRig)
 		place(occ, z, 20, 20, "campus")
 
@@ -363,9 +392,9 @@ func (sys *System) buildWorld() {
 			id: act, zone: z, dev: actDev,
 			actuator: &device.Actuator{Device: actDev, Zone: zoneID(z), Variable: env.Temperature, Effect: cfg.CoolRate},
 		}
-		actR.ep = sys.sim.AddNode(act)
-		actR.mux = simnet.NewMux(actR.ep)
-		sys.sim.SetShard(act, shardFor(z))
+		actR.ep = sys.addNode(act)
+		actR.mux = simnet.NewPortMux(actR.ep)
+		sys.setShard(act, shardFor(z))
 		sys.actuators = append(sys.actuators, actR)
 		place(act, z, 40, 40, "campus")
 
@@ -381,9 +410,9 @@ func (sys *System) buildWorld() {
 				id: bid, zone: z, dev: bDev,
 				actuator: &device.Actuator{Device: bDev, Zone: zoneID(z), Variable: env.Temperature, Effect: cfg.CoolRate},
 			}
-			bR.ep = sys.sim.AddNode(bid)
-			bR.mux = simnet.NewMux(bR.ep)
-			sys.sim.SetShard(bid, shardFor(z))
+			bR.ep = sys.addNode(bid)
+			bR.mux = simnet.NewPortMux(bR.ep)
+			sys.setShard(bid, shardFor(z))
 			sys.actuators = append(sys.actuators, bR)
 			place(bid, z, 35+float64(b)*3, 42, "campus")
 			cands = append(cands, bid)
@@ -392,7 +421,7 @@ func (sys *System) buildWorld() {
 
 		gw := gatewayID(z)
 		sys.gateways = append(sys.gateways, sys.newEdgeStack(gw, z, device.ClassGateway))
-		sys.sim.SetShard(gw, shardFor(z))
+		sys.setShard(gw, shardFor(z))
 		place(gw, z, 45, 45, "campus")
 	}
 	for i := 0; i < cfg.Cloudlets; i++ {
@@ -400,29 +429,29 @@ func (sys *System) buildWorld() {
 		sys.cloudlets = append(sys.cloudlets, sys.newEdgeStack(cl, -1, device.ClassCloudlet))
 		if shards > 1 {
 			// Cloudlets have no home zone; spread them across lanes.
-			sys.sim.SetShard(cl, i*shards/cfg.Cloudlets)
+			sys.setShard(cl, i*shards/cfg.Cloudlets)
 		}
 		place(cl, -1, 50+float64(i)*10, 120, "campus")
 	}
 	sys.cloud = sys.newEdgeStack(cloudID, -1, device.ClassCloudVM)
-	sys.sim.SetShard(cloudID, 0)
+	sys.setShard(cloudID, 0)
 	place(cloudID, -1, 500, 500, "cloudprov")
 
 	// WAN links to the cloud: 40ms each way.
 	for _, id := range sys.allNodeIDs() {
 		if id != cloudID {
-			sys.sim.SetLinkBidirectional(id, cloudID, 40*time.Millisecond, 0)
+			sys.setWANLink(id, cloudID, 40*time.Millisecond)
 		}
 	}
 }
 
 // newEdgeStack registers the node and device for an edge/cloud host.
 func (sys *System) newEdgeStack(id simnet.NodeID, zone int, class device.Class) *edgeStack {
-	ep := sys.sim.AddNode(id)
+	ep := sys.addNode(id)
 	st := &edgeStack{
 		id:      id,
 		ep:      ep,
-		mux:     simnet.NewMux(ep),
+		mux:     simnet.NewPortMux(ep),
 		dev:     device.New(device.ID(id), device.Config{Class: class}),
 		zone:    zone,
 		desired: make(map[int]bool),
@@ -570,7 +599,7 @@ func (sys *System) deviceOf(id simnet.NodeID) *device.Device {
 // event runs on its lane in sharded mode, so the check uses that
 // lane's engine and clock. The per-item verdict is stateless, so the
 // summed count is shard-count-invariant.
-func (sys *System) auditArrival(item dataflow.Item, at simnet.NodeID, ep *simnet.Endpoint) {
+func (sys *System) auditArrival(item dataflow.Item, at simnet.NodeID, ep simnet.Port) {
 	fromDom, _ := sys.spaces.Domain(item.Label.Origin)
 	pl, ok := sys.spaces.PlacementOf(string(at))
 	if !ok {
@@ -582,7 +611,10 @@ func (sys *System) auditArrival(item dataflow.Item, at simnet.NodeID, ep *simnet
 	}
 	eng := sys.auditor
 	if sys.auditors != nil {
-		laneIdx, _, _ := sys.sim.ExecContext(ep)
+		// auditors is only non-nil in sharded simulation, where every
+		// ep is a simulator endpoint.
+		sep, _ := ep.(*simnet.Endpoint)
+		laneIdx, _, _ := sys.sim.ExecContext(sep)
 		eng = sys.auditors[laneIdx]
 	}
 	before := eng.ViolationCount()

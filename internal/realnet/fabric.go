@@ -1,0 +1,137 @@
+package realnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// Fabric applies network-level faults across a set of live nodes with
+// the simulator's exact semantics: Partition REPLACES any previous
+// grouping (nodes absent from every group form an implicit extra
+// group, unreachable from all named ones), HealPartition clears all
+// groups at once, and link shapes override a link independently of
+// partitions — so overlapping partitions collapse under a single
+// KindPartitionEnd and crashes compose freely with both.
+//
+// Fabric methods are safe to call from any goroutine; they only flip
+// per-node drop/shape state, never touch protocol state.
+type Fabric struct {
+	mu    sync.Mutex
+	nodes map[simnet.NodeID]*Node
+	group map[simnet.NodeID]string
+}
+
+// NewFabric builds a fabric over the given nodes (copied; register
+// later additions with Register).
+func NewFabric(nodes map[simnet.NodeID]*Node) *Fabric {
+	f := &Fabric{nodes: make(map[simnet.NodeID]*Node, len(nodes)), group: make(map[simnet.NodeID]string)}
+	for id, n := range nodes {
+		f.nodes[id] = n
+	}
+	return f
+}
+
+// Register adds a node to the fabric.
+func (f *Fabric) Register(n *Node) {
+	f.mu.Lock()
+	f.nodes[n.ID()] = n
+	f.mu.Unlock()
+}
+
+// Node returns the live node with the given id, or nil.
+func (f *Fabric) Node(id simnet.NodeID) *Node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nodes[id]
+}
+
+// Partition splits the network into the given groups, replacing any
+// previous partition. Nodes listed in no group land in an implicit
+// group of their own ("" — simnet's zero group), mutually reachable
+// but cut off from every named group.
+func (f *Fabric) Partition(groups ...[]simnet.NodeID) {
+	f.mu.Lock()
+	f.group = make(map[simnet.NodeID]string)
+	for i, g := range groups {
+		name := groupName(i)
+		for _, id := range g {
+			f.group[id] = name
+		}
+	}
+	f.pushBlockedLocked()
+	f.mu.Unlock()
+}
+
+// HealPartition removes every partition at once, whatever sequence of
+// Partition calls produced the current state.
+func (f *Fabric) HealPartition() {
+	f.mu.Lock()
+	f.group = make(map[simnet.NodeID]string)
+	f.pushBlockedLocked()
+	f.mu.Unlock()
+}
+
+// Reachable reports whether the current partition state lets from talk
+// to to — the live analogue of simnet's group check (link loss, even
+// total, does not affect reachability, matching the simulator).
+func (f *Fabric) Reachable(from, to simnet.NodeID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.group) == 0 {
+		return true
+	}
+	return f.group[from] == f.group[to]
+}
+
+// pushBlockedLocked recomputes every node's blocked-peer set from the
+// group map and installs it. Caller holds f.mu.
+func (f *Fabric) pushBlockedLocked() {
+	partitioned := len(f.group) > 0
+	for id, n := range f.nodes {
+		blocked := make(map[simnet.NodeID]bool)
+		if partitioned {
+			g := f.group[id]
+			for peer := range f.nodes {
+				if peer != id && f.group[peer] != g {
+					blocked[peer] = true
+				}
+			}
+		}
+		n.SetBlocked(blocked)
+	}
+}
+
+// DegradeLink raises latency/loss on both directions of a↔b,
+// mirroring simnet.SetLinkBidirectional. Unknown endpoints are
+// ignored, as the simulator harmlessly records overrides for ids it
+// never routes.
+func (f *Fabric) DegradeLink(a, b simnet.NodeID, latency time.Duration, loss float64) {
+	f.mu.Lock()
+	na, nb := f.nodes[a], f.nodes[b]
+	f.mu.Unlock()
+	if na != nil {
+		na.ShapeLink(b, latency, loss)
+	}
+	if nb != nil {
+		nb.ShapeLink(a, latency, loss)
+	}
+}
+
+// RestoreLink clears both directions of a↔b back to native latency and
+// zero loss. Restoring a link that was never degraded is a no-op.
+func (f *Fabric) RestoreLink(a, b simnet.NodeID) {
+	f.mu.Lock()
+	na, nb := f.nodes[a], f.nodes[b]
+	f.mu.Unlock()
+	if na != nil {
+		na.ClearShapedLink(b)
+	}
+	if nb != nil {
+		nb.ClearShapedLink(a)
+	}
+}
+
+func groupName(i int) string { return fmt.Sprintf("g%d", i) }

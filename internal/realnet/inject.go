@@ -8,20 +8,35 @@ import (
 	"repro/internal/simnet"
 )
 
-// Injector replays the crash faults of a fault.Schedule against live
-// realnet nodes: the same minimized counterexample a chaos search
-// committed against the simulator can be rehearsed on real processes.
-// Only KindCrash and KindRecover are portable — the remaining kinds
-// (partitions, link shaping, model-level events) need network-layer
-// control realnet does not own and are skipped, with the skip count
-// reported by Arm so callers notice schedule coverage loss.
+// TimedEvent pairs an injected fault with the wall-clock instant it
+// fired, so a live run's fault log can be correlated with external
+// observations (packet captures, metrics scrapes) that only know wall
+// time.
+type TimedEvent struct {
+	Event fault.Event
+	Wall  time.Time
+}
+
+// Injector replays a fault.Schedule against live realnet nodes: the
+// same minimized counterexample a chaos search committed against the
+// simulator rehearses on real processes and sockets. All six network
+// fault kinds arm — crashes and recoveries through Node.SetDown,
+// partitions and heals through Fabric group drops, link degrade and
+// restore through the per-link shaper — and the model-level kinds
+// (domain transfer, stack upgrade, battery drain) are delivered to
+// subscribers, exactly as in the simulator. The only skipped events
+// are crash/recover targets the node set does not contain, so
+// skipped == 0 on any schedule drawn from the run's own topology.
 type Injector struct {
-	nodes map[simnet.NodeID]*Node
-	scale float64
+	fabric *Fabric
+	scale  float64
+	serial *sync.Mutex // optional world lock held while applying
 
 	mu     sync.Mutex
+	subs   []fault.Subscriber
 	timers []*time.Timer
 	log    []fault.Event
+	timed  []TimedEvent
 }
 
 // NewInjector builds an injector over the given nodes. scale multiplies
@@ -29,30 +44,45 @@ type Injector struct {
 // compresses a six-minute simulated schedule into a 3.6 s rehearsal;
 // values <= 0 mean 1 (real time).
 func NewInjector(nodes map[simnet.NodeID]*Node, scale float64) *Injector {
+	return NewFabricInjector(NewFabric(nodes), scale)
+}
+
+// NewFabricInjector builds an injector over an existing fabric, so a
+// cluster harness and its injector share one partition state.
+func NewFabricInjector(f *Fabric, scale float64) *Injector {
 	if scale <= 0 {
 		scale = 1
 	}
-	return &Injector{nodes: nodes, scale: scale}
+	return &Injector{fabric: f, scale: scale}
 }
 
-// Arm schedules the portable events of s on the wall clock and returns
-// how many were armed and how many were skipped (unportable kind or
-// unknown target node). Faults fire asynchronously; Stop cancels the
-// ones still pending.
+// SetSerializer installs a mutex held while each fault applies and its
+// subscribers run — pass the cluster's world lock so fault application
+// serializes with protocol event loops and measurements.
+func (inj *Injector) SetSerializer(mu *sync.Mutex) { inj.serial = mu }
+
+// Subscribe registers a subscriber invoked for every injected event
+// (all kinds), after the event's network effect has been applied.
+func (inj *Injector) Subscribe(fn fault.Subscriber) {
+	inj.mu.Lock()
+	inj.subs = append(inj.subs, fn)
+	inj.mu.Unlock()
+}
+
+// Fabric returns the fabric this injector applies partitions and link
+// shapes through.
+func (inj *Injector) Fabric() *Fabric { return inj.fabric }
+
+// Arm schedules every event of s on the wall clock and returns how many
+// were armed and how many were skipped. With the full fault port,
+// skipped counts only crash/recover events naming a node outside the
+// fabric — on a schedule drawn from the run's own topology it is 0, and
+// tests treat anything else as a hard error. Faults fire
+// asynchronously; Stop cancels the ones still pending.
 func (inj *Injector) Arm(s *fault.Schedule) (armed, skipped int) {
 	for _, ev := range s.Events() {
 		ev := ev
-		var apply func()
-		switch ev.Kind {
-		case fault.KindCrash:
-			if n := inj.nodes[ev.Node]; n != nil {
-				apply = func() { n.SetDown(true) }
-			}
-		case fault.KindRecover:
-			if n := inj.nodes[ev.Node]; n != nil {
-				apply = func() { n.SetDown(false) }
-			}
-		}
+		apply := inj.applyFn(ev)
 		if apply == nil {
 			skipped++
 			continue
@@ -61,14 +91,65 @@ func (inj *Injector) Arm(s *fault.Schedule) (armed, skipped int) {
 		delay := time.Duration(float64(ev.At) * inj.scale)
 		inj.mu.Lock()
 		inj.timers = append(inj.timers, time.AfterFunc(delay, func() {
-			apply()
-			inj.mu.Lock()
-			inj.log = append(inj.log, ev)
-			inj.mu.Unlock()
+			inj.fire(ev, apply)
 		}))
 		inj.mu.Unlock()
 	}
 	return armed, skipped
+}
+
+// Inject applies one event immediately (At is kept as given). Events
+// that would be skipped by Arm are ignored.
+func (inj *Injector) Inject(ev fault.Event) {
+	if apply := inj.applyFn(ev); apply != nil {
+		inj.fire(ev, apply)
+	}
+}
+
+// applyFn resolves an event to its network effect, or nil when the
+// event cannot arm (crash/recover target outside the fabric, unknown
+// kind).
+func (inj *Injector) applyFn(ev fault.Event) func() {
+	switch ev.Kind {
+	case fault.KindCrash:
+		if n := inj.fabric.Node(ev.Node); n != nil {
+			return func() { n.SetDown(true) }
+		}
+	case fault.KindRecover:
+		if n := inj.fabric.Node(ev.Node); n != nil {
+			return func() { n.SetDown(false) }
+		}
+	case fault.KindPartitionStart:
+		groups := ev.Groups
+		return func() { inj.fabric.Partition(groups...) }
+	case fault.KindPartitionEnd:
+		return func() { inj.fabric.HealPartition() }
+	case fault.KindLinkDegrade:
+		return func() { inj.fabric.DegradeLink(ev.From, ev.To, ev.Latency, ev.Loss) }
+	case fault.KindLinkRestore:
+		return func() { inj.fabric.RestoreLink(ev.From, ev.To) }
+	case fault.KindDomainTransfer, fault.KindStackUpgrade, fault.KindBatteryDrain:
+		return func() {} // model-level: subscribers own these
+	}
+	return nil
+}
+
+// fire applies one event under the serializer (if any), logs it with a
+// wall-clock timestamp, and notifies subscribers.
+func (inj *Injector) fire(ev fault.Event, apply func()) {
+	if inj.serial != nil {
+		inj.serial.Lock()
+		defer inj.serial.Unlock()
+	}
+	apply()
+	inj.mu.Lock()
+	inj.log = append(inj.log, ev)
+	inj.timed = append(inj.timed, TimedEvent{Event: ev, Wall: time.Now()})
+	subs := append([]fault.Subscriber(nil), inj.subs...)
+	inj.mu.Unlock()
+	for _, fn := range subs {
+		fn(ev)
+	}
 }
 
 // Stop cancels every pending fault. Already-fired faults stay applied.
@@ -81,9 +162,20 @@ func (inj *Injector) Stop() {
 	inj.timers = nil
 }
 
-// Log returns the events injected so far, in firing order.
+// Log returns the events injected so far, in firing order, with their
+// scheduled virtual offsets — the same shape the simulator's injector
+// log has, so recovery attribution works unchanged on live runs.
 func (inj *Injector) Log() []fault.Event {
 	inj.mu.Lock()
 	defer inj.mu.Unlock()
 	return append([]fault.Event(nil), inj.log...)
+}
+
+// TimedLog returns the events injected so far with the wall-clock
+// instants they fired — partitions and link events timestamped exactly
+// like crashes.
+func (inj *Injector) TimedLog() []TimedEvent {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return append([]TimedEvent(nil), inj.timed...)
 }

@@ -1,6 +1,7 @@
 package realnet
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -45,12 +46,21 @@ func TestInjectorCrashRecover(t *testing.T) {
 
 	// Crash b at 10ms (virtual 100ms, scale 0.1) for 150ms.
 	s := (&fault.Schedule{}).Crash(100*time.Millisecond, "b", 1500*time.Millisecond)
-	s.TransferDomain(50*time.Millisecond, "b", "foreign") // unportable: must be skipped
+	s.TransferDomain(50*time.Millisecond, "b", "foreign") // model-level: arms, delivered to subscribers
 	inj := NewInjector(map[simnet.NodeID]*Node{"a": a, "b": b}, 0.1)
 	defer inj.Stop()
+	var modelEvents []fault.Event
+	var modelMu sync.Mutex
+	inj.Subscribe(func(ev fault.Event) {
+		if ev.Kind == fault.KindDomainTransfer {
+			modelMu.Lock()
+			modelEvents = append(modelEvents, ev)
+			modelMu.Unlock()
+		}
+	})
 	armed, skipped := inj.Arm(s)
-	if armed != 2 || skipped != 1 {
-		t.Fatalf("Arm: armed=%d skipped=%d, want 2 armed (crash+recover), 1 skipped", armed, skipped)
+	if armed != 3 || skipped != 0 {
+		t.Fatalf("Arm: armed=%d skipped=%d, want 3 armed (crash+recover+transfer), 0 skipped", armed, skipped)
 	}
 
 	waitFor := func(what string, cond func() bool) {
@@ -90,7 +100,26 @@ func TestInjectorCrashRecover(t *testing.T) {
 	if gotDowns != 1 || gotUps != 1 {
 		t.Fatalf("transitions: OnDown=%d OnUp=%d, want 1/1", gotDowns, gotUps)
 	}
-	if lg := inj.Log(); len(lg) != 2 || lg[0].Kind != fault.KindCrash || lg[1].Kind != fault.KindRecover {
-		t.Fatalf("injector log = %v, want [crash recover]", lg)
+	if lg := inj.Log(); len(lg) != 3 || lg[0].Kind != fault.KindDomainTransfer ||
+		lg[1].Kind != fault.KindCrash || lg[2].Kind != fault.KindRecover {
+		t.Fatalf("injector log = %v, want [transfer crash recover]", lg)
+	}
+	modelMu.Lock()
+	nModel := len(modelEvents)
+	modelMu.Unlock()
+	if nModel != 1 {
+		t.Fatalf("model-level subscriber saw %d events, want 1", nModel)
+	}
+	tl := inj.TimedLog()
+	if len(tl) != 3 {
+		t.Fatalf("timed log has %d entries, want 3", len(tl))
+	}
+	for i, te := range tl {
+		if te.Wall.IsZero() {
+			t.Fatalf("timed log entry %d has zero wall timestamp", i)
+		}
+		if i > 0 && te.Wall.Before(tl[i-1].Wall) {
+			t.Fatalf("timed log out of order at %d", i)
+		}
 	}
 }

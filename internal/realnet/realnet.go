@@ -10,6 +10,14 @@
 // replays the crash events of a fault.Schedule (e.g. a committed chaos
 // counterexample) against live nodes on the wall clock.
 //
+// Partition and link-shaping faults port as well: every node carries a
+// blocked-peer set (group partitions enforce bidirectional drops at
+// both the sender and the receiver) and a per-link shaper (added
+// latency through a FIFO delay queue, probabilistic loss from a PRNG
+// seeded deterministically per link), so the full network-fault surface
+// of a fault.Schedule replays on live sockets. Fabric coordinates those
+// per-node controls across a node set with simnet's exact semantics.
+//
 // Wire format: gob. Protocol packages register their message types via
 // their RegisterWire functions before nodes start.
 package realnet
@@ -21,6 +29,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/simnet"
@@ -42,22 +51,77 @@ func RegisterWireType(value any) {
 // maxDatagram bounds encoded message size.
 const maxDatagram = 64 * 1024
 
+// shapeQueueCap bounds each shaped link's delay queue; packets beyond
+// it drop, the overload behaviour of a congested real link.
+const shapeQueueCap = 4096
+
+// NetStats counts one node's datagram-level traffic and the pressure
+// the fault machinery put on it. Dropped counts packets removed by
+// partitions, shaper loss, delay-queue overflow, and delayed packets
+// whose link was cut before delivery — not sends refused because the
+// node itself was down.
+type NetStats struct {
+	Sent      int64 // datagrams written to the socket
+	SentBytes int64 // bytes written to the socket
+	Received  int64 // datagrams delivered to the handler
+	Dropped   int64 // datagrams dropped by partition/loss/overflow
+	Delayed   int64 // datagrams routed through a delay queue
+	Shaped    int64 // datagrams that traversed a shaped link
+}
+
+type netCounters struct {
+	sent      atomic.Int64
+	sentBytes atomic.Int64
+	received  atomic.Int64
+	dropped   atomic.Int64
+	delayed   atomic.Int64
+	shaped    atomic.Int64
+}
+
+// delayedPacket is one encoded datagram waiting in a link's delay
+// queue.
+type delayedPacket struct {
+	data []byte
+	addr *net.UDPAddr
+	to   simnet.NodeID
+	due  time.Time
+}
+
+// linkShape is the fault-injected state of one outgoing link: added
+// latency (virtual time; scaled to the wall clock at send) and
+// probabilistic loss drawn from a per-link deterministic PRNG. The
+// queue exists only while latency > 0 has been requested at least
+// once; its drain goroutine preserves FIFO order per link.
+type linkShape struct {
+	latency time.Duration
+	loss    float64
+	rng     *rand.Rand // guarded by Node.mu
+	q       chan delayedPacket
+}
+
 // Node is one real-network protocol host. Construct with NewNode, add
 // peers, install protocols (they call OnMessage/Every through the Port
 // interface), then Run. Close stops the event loop and the socket.
 type Node struct {
-	id    simnet.NodeID
-	conn  *net.UDPConn
-	rng   *rand.Rand
-	start time.Time
+	id      simnet.NodeID
+	conn    *net.UDPConn
+	rng     *rand.Rand
+	scale   float64     // wall seconds per virtual second (default 1)
+	netSeed int64       // base seed for per-link loss PRNG streams
+	serial  *sync.Mutex // optional world lock around event callbacks
 
 	mu      sync.Mutex
+	start   time.Time
 	peers   map[simnet.NodeID]*net.UDPAddr
 	handler simnet.Handler
 	closed  bool
 	down    bool
 	onUp    []func()
 	onDown  []func()
+	blocked map[simnet.NodeID]bool
+	shapes  map[simnet.NodeID]*linkShape
+
+	stat netCounters
 
 	events chan func()
 	done   chan struct{}
@@ -77,15 +141,79 @@ func NewNode(id simnet.NodeID, bind string) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("realnet: listen %q: %w", bind, err)
 	}
+	// Large clusters burst hard on loopback (hundreds of nodes sharing
+	// one machine); grow the kernel buffers so those bursts queue
+	// instead of dropping. Best-effort: the OS clamps to its limits.
+	_ = conn.SetReadBuffer(1 << 20)
+	_ = conn.SetWriteBuffer(1 << 20)
 	return &Node{
-		id:     id,
-		conn:   conn,
-		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
-		start:  time.Now(),
-		peers:  make(map[simnet.NodeID]*net.UDPAddr),
-		events: make(chan func(), 1024),
-		done:   make(chan struct{}),
+		id:      id,
+		conn:    conn,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		scale:   1,
+		start:   time.Now(),
+		peers:   make(map[simnet.NodeID]*net.UDPAddr),
+		blocked: make(map[simnet.NodeID]bool),
+		shapes:  make(map[simnet.NodeID]*linkShape),
+		events:  make(chan func(), 1024),
+		done:    make(chan struct{}),
 	}, nil
+}
+
+// SetSeed reseeds the node's RNG deterministically and fixes the base
+// seed that per-link loss PRNG streams derive from, so a replayed
+// schedule draws the same loss pattern on every run. Call before Run.
+func (n *Node) SetSeed(seed int64) {
+	n.rng = rand.New(rand.NewSource(subSeed(seed, "node/"+string(n.id))))
+	n.netSeed = seed
+}
+
+// SetTimeScale compresses (or stretches) the node's clock: one virtual
+// second occupies scale wall seconds. Now reports virtual time;
+// After/Every and shaper latencies convert virtual durations to wall
+// delays, so protocol code written against virtual intervals runs
+// unchanged at any compression. Call before Run; values <= 0 mean 1.
+func (n *Node) SetTimeScale(scale float64) {
+	if scale <= 0 {
+		scale = 1
+	}
+	n.scale = scale
+}
+
+// SetSerializer installs a shared mutex held around every event-loop
+// callback. A cluster of nodes sharing one serializer behaves like the
+// simulator's single-threaded world: any goroutine holding the mutex
+// can read protocol state without racing the event loops. Call before
+// Run. Never call Do while holding the serializer — that deadlocks.
+func (n *Node) SetSerializer(mu *sync.Mutex) { n.serial = mu }
+
+// resetClock restarts the node's virtual clock at zero. The cluster
+// harness calls it right before Run so every node's Now and the
+// harness's own clock share one epoch.
+func (n *Node) resetClock() {
+	n.mu.Lock()
+	n.start = time.Now()
+	n.mu.Unlock()
+}
+
+// wall converts a virtual duration to a wall-clock delay.
+func (n *Node) wall(d time.Duration) time.Duration {
+	if n.scale == 1 {
+		return d
+	}
+	return time.Duration(float64(d) * n.scale)
+}
+
+// NetStats returns a snapshot of the node's traffic counters.
+func (n *Node) NetStats() NetStats {
+	return NetStats{
+		Sent:      n.stat.sent.Load(),
+		SentBytes: n.stat.sentBytes.Load(),
+		Received:  n.stat.received.Load(),
+		Dropped:   n.stat.dropped.Load(),
+		Delayed:   n.stat.delayed.Load(),
+		Shaped:    n.stat.shaped.Load(),
+	}
 }
 
 // Addr returns the bound UDP address.
@@ -141,8 +269,17 @@ func (n *Node) readLoop() {
 			n.mu.Lock()
 			h := n.handler
 			down := n.down
+			blocked := n.blocked[env.From]
 			n.mu.Unlock()
+			if blocked {
+				// The sender was partitioned away by the time the
+				// datagram arrived — the receive-side half of simnet's
+				// delivery-time reachability check.
+				n.stat.dropped.Add(1)
+				return
+			}
 			if h != nil && !down {
+				n.stat.received.Add(1)
 				h(env.From, env.Payload)
 			}
 		})
@@ -154,7 +291,13 @@ func (n *Node) eventLoop() {
 	for {
 		select {
 		case fn := <-n.events:
-			fn()
+			if n.serial != nil {
+				n.serial.Lock()
+				fn()
+				n.serial.Unlock()
+			} else {
+				fn()
+			}
 		case <-n.done:
 			return
 		}
@@ -194,8 +337,17 @@ func (n *Node) Do(fn func()) bool {
 // ID returns the node identifier.
 func (n *Node) ID() simnet.NodeID { return n.id }
 
-// Now returns the wall-clock time since the node was created.
-func (n *Node) Now() time.Duration { return time.Since(n.start) }
+// Now returns the virtual time since the node's clock epoch: wall time
+// elapsed divided by the time scale.
+func (n *Node) Now() time.Duration {
+	n.mu.Lock()
+	elapsed := time.Since(n.start)
+	n.mu.Unlock()
+	if n.scale == 1 {
+		return elapsed
+	}
+	return time.Duration(float64(elapsed) / n.scale)
+}
 
 // Rand returns the node's random source. It must only be used from
 // protocol callbacks (the event loop), which is how protocols written
@@ -266,15 +418,11 @@ func (n *Node) Down() bool {
 }
 
 // Send encodes and transmits msg to the peer. Unknown peers and
-// encoding failures report false.
+// encoding failures report false, as do sends refused by an injected
+// fault: a down node, a partitioned peer, or a loss draw on a shaped
+// link — mirroring simnet, where Send reports false when the message
+// will not arrive.
 func (n *Node) Send(to simnet.NodeID, msg simnet.Message) bool {
-	n.mu.Lock()
-	addr, ok := n.peers[to]
-	blocked := n.closed || n.down
-	n.mu.Unlock()
-	if !ok || blocked {
-		return false
-	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(wireEnvelope{From: n.id, Payload: msg}); err != nil {
 		return false
@@ -282,16 +430,194 @@ func (n *Node) Send(to simnet.NodeID, msg simnet.Message) bool {
 	if buf.Len() > maxDatagram {
 		return false
 	}
+
+	n.mu.Lock()
+	addr, ok := n.peers[to]
+	if !ok || n.closed || n.down {
+		n.mu.Unlock()
+		return false
+	}
+	if n.blocked[to] {
+		n.mu.Unlock()
+		n.stat.dropped.Add(1)
+		return false
+	}
+	sh := n.shapes[to]
+	var delay time.Duration
+	if sh != nil {
+		n.stat.shaped.Add(1)
+		if sh.loss > 0 && sh.rng.Float64() < sh.loss {
+			n.mu.Unlock()
+			n.stat.dropped.Add(1)
+			return false
+		}
+		delay = n.wall(sh.latency)
+		if delay > 0 {
+			// Enqueue under mu: the queue is only closed (by
+			// ClearShapedLink/Close) while mu is held and the shape
+			// removed from the map, so this send cannot race a close.
+			pkt := delayedPacket{
+				data: append([]byte(nil), buf.Bytes()...),
+				addr: addr,
+				to:   to,
+				due:  time.Now().Add(delay),
+			}
+			select {
+			case sh.q <- pkt:
+				n.mu.Unlock()
+				n.stat.delayed.Add(1)
+				return true
+			default:
+				n.mu.Unlock()
+				n.stat.dropped.Add(1)
+				return false
+			}
+		}
+	}
+	n.mu.Unlock()
+
 	_, err := n.conn.WriteToUDP(buf.Bytes(), addr)
+	if err == nil {
+		n.stat.sent.Add(1)
+		n.stat.sentBytes.Add(int64(buf.Len()))
+	}
 	return err == nil
 }
 
-// After schedules fn on the event loop d from now.
+// SetBlocked replaces the set of peers this node must not exchange
+// datagrams with — the per-node projection of a network partition.
+// Blocks apply on both paths: Send refuses immediately, the read loop
+// drops arrivals from blocked senders, and delayed packets re-check at
+// delivery time, so a partition starting while a packet sits in a delay
+// queue still cuts it off.
+func (n *Node) SetBlocked(peers map[simnet.NodeID]bool) {
+	cp := make(map[simnet.NodeID]bool, len(peers))
+	for id, b := range peers {
+		if b {
+			cp[id] = true
+		}
+	}
+	n.mu.Lock()
+	n.blocked = cp
+	n.mu.Unlock()
+}
+
+// Blocked reports whether traffic to/from peer is currently cut by a
+// partition.
+func (n *Node) Blocked(peer simnet.NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.blocked[peer]
+}
+
+// ShapeLink installs (or replaces) the outgoing shape of the link to
+// peer: latency is added virtual delay through a FIFO queue, loss the
+// per-datagram drop probability drawn from a PRNG stream derived
+// deterministically from (seed, from→to), so two runs with the same
+// seed and traffic see the same loss pattern.
+func (n *Node) ShapeLink(to simnet.NodeID, latency time.Duration, loss float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	sh := n.shapes[to]
+	if sh == nil {
+		sh = &linkShape{
+			rng: rand.New(rand.NewSource(subSeed(n.netSeed, "loss/"+string(n.id)+"->"+string(to)))),
+		}
+		n.shapes[to] = sh
+	}
+	sh.latency, sh.loss = latency, loss
+	if latency > 0 && sh.q == nil {
+		sh.q = make(chan delayedPacket, shapeQueueCap)
+		n.wg.Add(1)
+		go n.drainShape(sh.q)
+	}
+}
+
+// ClearShapedLink removes the shape of the link to peer, restoring its
+// native latency and zero loss. Packets already in the delay queue
+// still deliver at their original due time, as in the simulator.
+func (n *Node) ClearShapedLink(to simnet.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sh := n.shapes[to]
+	if sh == nil {
+		return
+	}
+	delete(n.shapes, to)
+	if sh.q != nil {
+		close(sh.q) // drain flushes the backlog, then exits
+	}
+}
+
+// drainShape delivers one link's delayed packets in FIFO order,
+// re-checking partitions and shutdown at each packet's due time.
+func (n *Node) drainShape(q chan delayedPacket) {
+	defer n.wg.Done()
+	for {
+		select {
+		case pkt, ok := <-q:
+			if !ok {
+				return
+			}
+			if d := time.Until(pkt.due); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-t.C:
+				case <-n.done:
+					t.Stop()
+					return
+				}
+			}
+			n.deliverDelayed(pkt)
+		case <-n.done:
+			return
+		}
+	}
+}
+
+func (n *Node) deliverDelayed(pkt delayedPacket) {
+	n.mu.Lock()
+	blocked := n.blocked[pkt.to]
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return
+	}
+	if blocked {
+		n.stat.dropped.Add(1)
+		return
+	}
+	if _, err := n.conn.WriteToUDP(pkt.data, pkt.addr); err == nil {
+		n.stat.sent.Add(1)
+		n.stat.sentBytes.Add(int64(len(pkt.data)))
+	}
+}
+
+// subSeed derives an independent RNG-stream seed from a base seed and
+// a stream label (FNV-1a over the label, folded into the seed) — the
+// same derivation the fault package uses for schedule generation.
+func subSeed(seed int64, label string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	return seed ^ int64(h)
+}
+
+// After schedules fn on the event loop d (virtual) from now.
 func (n *Node) After(d time.Duration, fn func()) *simnet.Timer {
 	var fired sync.Once
 	stopped := false
 	var mu sync.Mutex
-	t := time.AfterFunc(d, func() {
+	t := time.AfterFunc(n.wall(d), func() {
 		n.post(func() {
 			mu.Lock()
 			s := stopped
@@ -311,10 +637,14 @@ func (n *Node) After(d time.Duration, fn func()) *simnet.Timer {
 	})
 }
 
-// Every runs fn on the event loop at the given period until stopped or
-// the node closes.
+// Every runs fn on the event loop at the given (virtual) period until
+// stopped or the node closes.
 func (n *Node) Every(interval time.Duration, fn func()) *simnet.Ticker {
-	ticker := time.NewTicker(interval)
+	wall := n.wall(interval)
+	if wall < 100*time.Microsecond {
+		wall = 100 * time.Microsecond // ticker floor at high compression
+	}
+	ticker := time.NewTicker(wall)
 	stop := make(chan struct{})
 	var once sync.Once
 	n.wg.Add(1)
